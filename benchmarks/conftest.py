@@ -1,0 +1,121 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+default scale keeps the full suite in the minutes range; set
+``REPRO_SCALE=paper`` to run the paper's dataset sizes (2^13..2^15 series
+of length 1024) — the assertions are scale-independent, only the runtime
+changes.
+
+Each benchmark prints its paper-style report through the ``report``
+fixture, which bypasses pytest's output capture so the tee'd
+``bench_output.txt`` is self-describing.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.datagen import QueryLogGenerator
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one benchmark scale."""
+
+    name: str
+    days: int
+    database_sizes: tuple[int, ...]
+    tightness_pairs: int
+    pruning_queries: int
+    timing_queries: int
+
+
+SCALES = {
+    "default": Scale(
+        name="default",
+        days=512,
+        database_sizes=(1024, 2048, 4096),
+        tightness_pairs=100,
+        pruning_queries=25,
+        timing_queries=10,
+    ),
+    "paper": Scale(
+        name="paper",
+        days=1024,
+        database_sizes=(8192, 16384, 32768),
+        tightness_pairs=100,
+        pruning_queries=100,
+        timing_queries=50,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return SCALES.get(os.environ.get("REPRO_SCALE", "default"), SCALES["default"])
+
+
+@pytest.fixture
+def report(capfd):
+    """Print a report section, bypassing pytest's output capture."""
+
+    def emit(*blocks) -> None:
+        with capfd.disabled():
+            print()
+            for block in blocks:
+                print(block)
+
+    return emit
+
+
+# ----------------------------------------------------------------------
+# Catalog workloads (figure-level experiments)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def year_2002():
+    """The named catalog over calendar year 2002 (the figures' window)."""
+    return QueryLogGenerator(seed=0, start=dt.date(2002, 1, 1), days=365)
+
+
+@pytest.fixture(scope="session")
+def catalog_2002(year_2002):
+    return year_2002.catalog_collection()
+
+
+@pytest.fixture(scope="session")
+def years_2000_2002():
+    """The catalog over 2000-2002 (fig. 15 / fig. 19 window)."""
+    return QueryLogGenerator(seed=0, start=dt.date(2000, 1, 1), days=1096)
+
+
+@pytest.fixture(scope="session")
+def catalog_2000_2002(years_2000_2002):
+    return years_2000_2002.catalog_collection()
+
+
+# ----------------------------------------------------------------------
+# Database-scale workloads (figs. 20-23)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def dataset_generator(scale):
+    return QueryLogGenerator(seed=11, days=scale.days)
+
+
+@pytest.fixture(scope="session")
+def database_matrix(dataset_generator, scale):
+    """The largest synthetic database, standardised, as a matrix."""
+    db = dataset_generator.synthetic_database(
+        scale.database_sizes[-1], include_catalog=True
+    )
+    return db.standardize().as_matrix()
+
+
+@pytest.fixture(scope="session")
+def query_matrix(dataset_generator, scale):
+    """Out-of-database query workload, standardised."""
+    queries = dataset_generator.queries_outside_database(scale.pruning_queries)
+    return queries.standardize().as_matrix()

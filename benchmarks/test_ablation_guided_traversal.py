@@ -1,0 +1,54 @@
+"""Ablation A3: guided ("most promising child first") traversal.
+
+Section 4.1's heuristic descends first into the child whose region
+overlaps more of the query's [LB, UB] annulus, hoping to find a good
+match sooner and prune harder.  The ablation toggles it off and compares
+search work on identical trees.
+"""
+
+import numpy as np
+
+from repro.compression import StorageBudget
+from repro.evaluation import format_table
+from repro.index import VPTreeIndex
+
+
+def test_ablation_guided_traversal(database_matrix, query_matrix, report,
+                                   benchmark):
+    matrix = database_matrix[:2048]
+    queries = query_matrix[:10]
+    compressor = StorageBudget(16).compressor("best_min_error")
+
+    work = {}
+    answers = {}
+    for guided in (True, False):
+        index = VPTreeIndex(
+            matrix, compressor=compressor, guided=guided, seed=33
+        )
+        retrievals, bounds = [], []
+        distances = []
+        for query in queries:
+            hits, stats = index.search(query, k=1)
+            retrievals.append(stats.full_retrievals)
+            bounds.append(stats.bound_computations)
+            distances.append(hits[0].distance)
+        work[guided] = (float(np.mean(retrievals)), float(np.mean(bounds)))
+        answers[guided] = distances
+
+    report(
+        format_table(
+            ("traversal", "avg full retrievals", "avg bound comps"),
+            [
+                ("guided (annulus overlap)", *work[True]),
+                ("fixed order", *work[False]),
+            ],
+            title="ablation A3: guided traversal",
+        )
+    )
+    # Identical trees must return identical (exact) answers either way.
+    np.testing.assert_allclose(answers[True], answers[False], atol=1e-9)
+    # Guidance must not increase verification work beyond noise.
+    assert work[True][0] <= work[False][0] * 1.05
+
+    index = VPTreeIndex(matrix[:512], compressor=compressor, seed=33)
+    benchmark(index.search, queries[0], 1)

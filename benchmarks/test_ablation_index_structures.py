@@ -1,0 +1,89 @@
+"""Ablation A9: the compressed VP-tree vs the structures the paper rejects.
+
+Section 4 motivates the customised VP-tree two ways: (a) best-coefficient
+sketches have no common feature space, so "traditional multidimensional
+indices such as the R*-tree" only work for the *first*-coefficient GEMINI
+pipeline; (b) among metric trees, [5] showed the VP-tree dominating the
+M-tree.  This bench builds all three from scratch and compares the work
+per 1-NN query:
+
+* **VP-tree** over BestMinError sketches (the paper's index),
+* **M-tree** over uncompressed sequences with exact distances,
+* **GEMINI R-tree** over first-k Fourier features with verification.
+
+All three return exact answers; they differ in how many *full sequences*
+they must touch ("disk accesses") and how much distance work they do.
+"""
+
+import numpy as np
+
+from repro.compression import StorageBudget
+from repro.evaluation import format_table
+from repro.index import GeminiRTreeIndex, MTreeIndex, VPTreeIndex, distances_to_query
+
+
+def test_ablation_index_structures(database_matrix, query_matrix, report,
+                                   benchmark):
+    matrix = database_matrix[:1024]
+    queries = query_matrix[:8]
+    budget = StorageBudget(16)
+
+    vptree = VPTreeIndex(
+        matrix, compressor=budget.compressor("best_min_error"), seed=41
+    )
+    mtree = MTreeIndex(matrix, capacity=16)
+    gemini = GeminiRTreeIndex(matrix, k=budget.first_k)
+
+    work = {"vp-tree (best coeffs)": [0, 0], "m-tree (exact)": [0, 0],
+            "gemini r-tree (first coeffs)": [0, 0]}
+    for query in queries:
+        truth = float(distances_to_query(matrix, query).min())
+
+        hits, stats = vptree.search(query, k=1)
+        assert abs(hits[0].distance - truth) < 1e-9
+        work["vp-tree (best coeffs)"][0] += stats.full_retrievals
+        work["vp-tree (best coeffs)"][1] += stats.bound_computations
+
+        hits, mstats = mtree.search(query, k=1)
+        assert abs(hits[0].distance - truth) < 1e-9
+        # Every M-tree distance computation touches a full sequence.
+        work["m-tree (exact)"][0] += mstats.distance_computations
+        work["m-tree (exact)"][1] += 0
+
+        hits, gstats = gemini.search(query, k=1)
+        assert abs(hits[0].distance - truth) < 1e-9
+        work["gemini r-tree (first coeffs)"][0] += gstats.full_retrievals
+        work["gemini r-tree (first coeffs)"][1] += gstats.bound_computations
+
+    rows = [
+        (
+            label,
+            full / len(queries),
+            cheap / len(queries),
+            100 * full / (len(queries) * len(matrix)),
+        )
+        for label, (full, cheap) in work.items()
+    ]
+    report(
+        format_table(
+            (
+                "index",
+                "full-sequence touches / query",
+                "cheap ops / query",
+                "% of DB touched",
+            ),
+            rows,
+            title=(
+                "ablation A9: index structures on 1024 sequences "
+                "(all exact)"
+            ),
+            digits=1,
+        ),
+        "the paper's claim: the compressed VP-tree touches the fewest "
+        "full sequences (its cheap ops are compressed-bound evaluations)",
+    )
+    vp_full = work["vp-tree (best coeffs)"][0]
+    assert vp_full < work["m-tree (exact)"][0]
+    assert vp_full < work["gemini r-tree (first coeffs)"][0]
+
+    benchmark(vptree.search, queries[0], 1)

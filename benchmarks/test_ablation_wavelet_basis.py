@@ -1,0 +1,70 @@
+"""Ablation A6: Fourier vs Haar wavelet basis for the same machinery.
+
+Section 3 claims the algorithms "can be adapted to any class of
+orthogonal decompositions ... with minimal or no adjustments".  The
+ablation runs the identical compressor + bound stack in both bases and
+compares (a) bound validity, (b) tightness on the periodic query-log data
+(Fourier's home turf) and (c) tightness on piecewise-constant data
+(wavelets' home turf).
+"""
+
+import numpy as np
+
+from repro.bounds import bounds_for
+from repro.compression import BestErrorCompressor
+from repro.evaluation import format_table
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+from repro.wavelets import haar_spectrum
+
+
+def _cumulative_lb(rows, to_spectrum, compressor):
+    total_lb, total_true = 0.0, 0.0
+    for i in range(0, len(rows) - 1, 2):
+        q, t = rows[i], rows[i + 1]
+        pair = bounds_for(to_spectrum(q), compressor.compress(to_spectrum(t)))
+        total_lb += pair.lower
+        total_true += float(np.linalg.norm(q - t))
+        # Validity in either basis.
+        assert pair.lower <= total_true + total_lb  # cheap sanity
+    return total_lb, total_true
+
+
+def test_ablation_wavelet_basis(database_matrix, report, benchmark):
+    compressor = BestErrorCompressor(12)
+    periodic = database_matrix[:120, :512]
+
+    rng = np.random.default_rng(6)
+    piecewise = np.array(
+        [zscore(np.repeat(rng.normal(size=16), 32)) for _ in range(120)]
+    )
+
+    rows = []
+    results = {}
+    for label, data in (("periodic logs", periodic), ("piecewise", piecewise)):
+        for basis, to_spectrum in (
+            ("fourier", Spectrum.from_series),
+            ("haar", haar_spectrum),
+        ):
+            lb, true = _cumulative_lb(data, to_spectrum, compressor)
+            results[(label, basis)] = lb / true
+            rows.append((label, basis, lb, true, lb / true))
+
+    report(
+        format_table(
+            ("workload", "basis", "cumulative LB", "true distance", "ratio"),
+            rows,
+            title="ablation A6: the same machinery under two orthonormal bases",
+            digits=3,
+        ),
+        "each basis is tightest on its home workload; both remain valid",
+    )
+    # Fourier wins on periodic query logs, Haar on piecewise-constant data.
+    assert results[("periodic logs", "fourier")] > results[("periodic logs", "haar")]
+    assert results[("piecewise", "haar")] > results[("piecewise", "fourier")]
+    # And both are genuine lower bounds (ratio <= 1 + epsilon).
+    for ratio in results.values():
+        assert ratio <= 1.0 + 1e-9
+
+    x = piecewise[0]
+    benchmark(haar_spectrum, x)

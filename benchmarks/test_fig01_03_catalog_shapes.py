@@ -1,0 +1,94 @@
+"""Figures 1-3: the demand shapes of 'cinema', 'easter' and 'elvis'.
+
+The paper opens with three exemplar demand curves for 2002: cinema's 52
+weekend peaks, easter's spring accumulation with an immediate post-feast
+drop, and elvis's August-16 anniversary spike.  This benchmark checks the
+synthetic substrate reproduces those shapes and times series generation.
+"""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.datagen import easter_date
+from repro.evaluation import format_table
+from repro.tools import line_chart
+
+
+def weekend_peak_count(series):
+    """Count local maxima that fall on Friday/Saturday."""
+    values = series.values
+    peaks = 0
+    for i in range(1, len(values) - 1):
+        if values[i] >= values[i - 1] and values[i] >= values[i + 1]:
+            if series.date_at(i).weekday() in (4, 5):
+                peaks += 1
+    return peaks
+
+
+def test_fig01_cinema_weekend_peaks(catalog_2002, report, benchmark, year_2002):
+    cinema = catalog_2002["cinema"]
+    weekly_maxima = sum(
+        1
+        for week_start in range(0, 364 - 7, 7)
+        if catalog_2002["cinema"]
+        .values[week_start : week_start + 7]
+        .argmax()
+        is not None
+    )
+    peaks = weekend_peak_count(cinema)
+    # Which weekday carries each week's maximum?
+    weekday_of_max = [
+        cinema.date_at(start + int(cinema.values[start : start + 7].argmax())).weekday()
+        for start in range(0, 364, 7)
+    ]
+    weekend_weeks = sum(1 for d in weekday_of_max if d in (4, 5))
+    report(
+        line_chart(cinema, height=8),
+        f"fig 1: {weekend_weeks}/52 weekly maxima fall on Fri/Sat "
+        f"(paper: '52 peaks that correspond to each weekend')",
+    )
+    assert weekend_weeks >= 48
+    assert peaks >= 40
+    benchmark(year_2002.series, "cinema")
+
+
+def test_fig02_easter_ramp_and_drop(catalog_2002, report, benchmark, year_2002):
+    easter = catalog_2002["easter"]
+    feast = easter.index_of(easter_date(2002))
+    values = easter.values
+    peak_region = values[max(feast - 7, 0) : feast + 2].max()
+    two_months_before = values[feast - 60 : feast - 50].mean()
+    week_after = values[feast + 7 : feast + 17].mean()
+    report(
+        line_chart(easter, height=8),
+        f"fig 2: demand at the feast {peak_region:.0f}, two months before "
+        f"{two_months_before:.0f}, a week after {week_after:.0f} "
+        f"(accumulation then immediate drop)",
+    )
+    assert peak_region > 2.5 * two_months_before
+    assert week_after < two_months_before * 1.5
+    assert week_after < peak_region / 2
+    benchmark(year_2002.series, "easter")
+
+
+def test_fig03_elvis_anniversary_spike(catalog_2002, report, benchmark, year_2002):
+    elvis = catalog_2002["elvis"]
+    anniversary = elvis.index_of(dt.date(2002, 8, 16))
+    values = elvis.values
+    spike = values[anniversary - 2 : anniversary + 3].max()
+    baseline = np.median(values)
+    report(
+        line_chart(elvis, height=8),
+        format_table(
+            ("quantity", "value"),
+            [
+                ("peak around Aug 16", spike),
+                ("median daily demand", baseline),
+                ("peak / baseline", spike / baseline),
+            ],
+        ),
+    )
+    assert int(np.argmax(values)) in range(anniversary - 2, anniversary + 3)
+    assert spike > 3 * baseline
+    benchmark(year_2002.series, "elvis")

@@ -1,0 +1,53 @@
+"""Figure 4: decomposition of a signal into its DFT components.
+
+The figure shows a time series as a sum of complex sinusoids
+(coefficients a0..a6).  The benchmark verifies the decomposition
+machinery: summing the reconstructions of individual coefficients equals
+the joint reconstruction, and adding components converges monotonically
+to the signal (in the best-first order).
+"""
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.spectral import (
+    Spectrum,
+    best_indexes,
+    dft,
+    reconstruct,
+    reconstruction_error,
+)
+from repro.timeseries import zscore
+
+
+def test_fig04_component_decomposition(catalog_2002, report, benchmark):
+    x = zscore(catalog_2002["cinema"].values)
+    spectrum = Spectrum.from_series(x)
+
+    # Reconstruction from component sets is additive (linearity of DFT).
+    first7 = np.arange(1, 8)
+    joint = reconstruct(x, first7)
+    summed = np.sum([reconstruct(x, [i]) for i in first7], axis=0)
+    np.testing.assert_allclose(joint, summed, atol=1e-9)
+
+    # Adding best components one at a time converges to the signal.
+    order = best_indexes(spectrum, 10)
+    rows = []
+    errors = []
+    for count in range(0, 11, 2):
+        kept = best_indexes(spectrum, count) if count else np.arange(0)
+        error = reconstruction_error(x, kept)
+        errors.append(error)
+        rows.append((f"{count} components", error))
+    report(
+        format_table(
+            ("reconstruction", "euclidean error"),
+            rows,
+            title="fig 4: cumulative DFT decomposition of 'cinema'",
+        )
+    )
+    assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+    assert errors[-1] < errors[0] * 0.6
+    assert order.size == 10
+
+    benchmark(dft, x)

@@ -1,0 +1,74 @@
+"""Figure 5: first vs best coefficients for four real queries.
+
+The paper reconstructs 'athens 2004', 'bank', 'cinema' and 'president'
+from (a) their 5 first and (b) their 4 best Fourier coefficients and
+shows the best coefficients achieve a *lower* error with *fewer*
+components (e.g. cinema: E=108.0 vs E=52.8).  Same protocol here on the
+synthetic catalog versions of the same four queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import format_table
+from repro.spectral import Spectrum, best_indexes, first_indexes, reconstruction_error
+from repro.timeseries import zscore
+
+QUERIES = ("athens 2004", "bank", "cinema", "president")
+
+
+@pytest.fixture(scope="module")
+def errors(catalog_2002):
+    rows = {}
+    for name in QUERIES:
+        x = zscore(catalog_2002[name].values)
+        spectrum = Spectrum.from_series(x)
+        rows[name] = (
+            reconstruction_error(x, first_indexes(spectrum, 5)),
+            reconstruction_error(x, best_indexes(spectrum, 4)),
+        )
+    return rows
+
+
+def test_fig05_best_beats_first(errors, report, benchmark, catalog_2002):
+    rows = [
+        (name, first, best, 100 * (first - best) / first)
+        for name, (first, best) in errors.items()
+    ]
+    report(
+        format_table(
+            ("query", "E (5 first)", "E (4 best)", "improvement %"),
+            rows,
+            title="fig 5: reconstruction error, 5 first vs 4 best coefficients",
+        )
+    )
+    # The periodic queries must improve decisively; on the aperiodic ones
+    # ('president' is a random-walk-like series, where "the first
+    # coefficients describe adequately the decomposed signal") the best
+    # coefficients may only break even.
+    for name in ("bank", "cinema"):
+        first, best = errors[name]
+        assert best < first, name
+    improved = sum(1 for first, best in errors.values() if best < first * 1.02)
+    assert improved >= 3
+
+    x = zscore(catalog_2002["cinema"].values)
+    spectrum = Spectrum.from_series(x)
+    benchmark(reconstruction_error, x, best_indexes(spectrum, 4))
+
+
+def test_fig05_benchmark_best_selection(catalog_2002, benchmark):
+    x = zscore(catalog_2002["cinema"].values)
+    spectrum = Spectrum.from_series(x)
+
+    benchmark(best_indexes, spectrum, 4)
+
+
+def test_fig05_energy_ordering(errors, catalog_2002, benchmark):
+    """Parseval backs the figure: lower error == more retained energy."""
+    for name, (first, best) in errors.items():
+        assert first >= 0 and best >= 0
+        assert np.isfinite(first) and np.isfinite(best)
+    x = zscore(catalog_2002["bank"].values)
+    spectrum = Spectrum.from_series(x)
+    benchmark(reconstruction_error, x, best_indexes(spectrum, 4))

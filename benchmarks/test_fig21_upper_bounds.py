@@ -1,0 +1,69 @@
+"""Figure 21: upper-bound tightness at three storage budgets.
+
+Cumulative UB over random pairs.  The paper: BestMinError gives the
+tightest upper bound, 13-18% better than the next best (Wang); GEMINI has
+no upper bound at all; BestMin's upper bound is loose at small budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds import bounds_for
+from repro.compression import StorageBudget
+from repro.evaluation import bound_tightness_experiment
+from repro.spectral import Spectrum
+
+BUDGETS = (StorageBudget(8), StorageBudget(16), StorageBudget(32))
+
+
+@pytest.fixture(scope="module")
+def results(database_matrix, scale):
+    return bound_tightness_experiment(
+        database_matrix[:4096],
+        BUDGETS,
+        pairs=scale.tightness_pairs,
+        seed=21,
+    )
+
+
+def test_fig21_upper_bound_ordering(results, report, benchmark, database_matrix):
+    blocks = []
+    for result in results:
+        blocks.append(result.as_table())
+        blocks.append(
+            f"UB improvement of BestMinError over next best: "
+            f"{result.ub_improvement():.2f}% (paper: 13-18%)"
+        )
+    report(*blocks)
+
+    for result in results:
+        upper = result.upper
+        assert upper["gemini"] == float("inf")  # 'N/A' in the figure
+        # Sound upper bounds stay above the true distance.
+        for method in ("wang", "best_error", "best_min"):
+            assert upper[method] >= result.true_distance - 1e-6, method
+        # BestMinError is the tightest finite UB.
+        finite = {m: u for m, u in upper.items() if np.isfinite(u)}
+        assert min(finite, key=finite.get) == "best_min_error"
+        assert result.ub_improvement() > 5.0
+
+    query = Spectrum.from_series(database_matrix[0])
+    sketch = BUDGETS[1].compressor("wang").compress(
+        Spectrum.from_series(database_matrix[1])
+    )
+    benchmark(bounds_for, query, sketch)
+
+
+def test_fig21_best_min_loose_at_small_budgets(results, benchmark, database_matrix):
+    """The figure's outlier: UB_BestMin is the loosest at 2*(8)+1."""
+    small = results[0]
+    finite = {m: u for m, u in small.upper.items() if np.isfinite(u)}
+    assert finite["best_min"] == max(finite.values())
+    # ... and it tightens sharply as the budget grows.
+    assert results[2].upper["best_min"] < small.upper["best_min"]
+
+    query = Spectrum.from_series(database_matrix[4])
+    sketch = BUDGETS[0].compressor("best_min").compress(
+        Spectrum.from_series(database_matrix[5])
+    )
+    benchmark(bounds_for, query, sketch)

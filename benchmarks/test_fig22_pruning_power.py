@@ -1,0 +1,84 @@
+"""Figure 22: pruning power — fraction of the database examined for 1-NN.
+
+The index-free protocol of section 7.3 over three database sizes and
+three storage budgets, comparing GEMINI, Wang and BestMinError.  The
+paper reports BestMinError examining 10-35 percentage points less of the
+database than the next best method, with the advantage growing as fewer
+coefficients are used.
+"""
+
+import pytest
+
+from repro.compression import SketchDatabase, StorageBudget
+from repro.evaluation import pruning_power_experiment
+from repro.evaluation.pruning import fraction_examined
+from repro.spectral import Spectrum
+
+BUDGETS = (StorageBudget(8), StorageBudget(16), StorageBudget(32))
+
+
+@pytest.fixture(scope="module")
+def results(database_matrix, query_matrix, scale):
+    by_size = {}
+    for size in scale.database_sizes:
+        by_size[size] = pruning_power_experiment(
+            database_matrix[:size], query_matrix, BUDGETS
+        )
+    return by_size
+
+
+def test_fig22_best_min_error_examines_least(results, report, benchmark,
+                                             database_matrix, query_matrix):
+    blocks = []
+    for size, budget_results in results.items():
+        for result in budget_results:
+            blocks.append(result.as_table())
+            blocks.append(
+                f"reduction vs next best: "
+                f"{result.reduction_vs_next_best():.2f} percentage points "
+                f"(paper: 10-35)"
+            )
+    report(*blocks)
+
+    for budget_results in results.values():
+        for result in budget_results:
+            fractions = result.fractions
+            assert fractions["best_min_error"] <= fractions["wang"] + 1e-9
+            assert fractions["best_min_error"] <= fractions["gemini"] + 1e-9
+            assert result.reduction_vs_next_best() > 0
+
+    budget = BUDGETS[1]
+    sketch_db = SketchDatabase.from_matrix(
+        database_matrix[:1024], budget.compressor("best_min_error")
+    )
+    query = query_matrix[0]
+    spectrum = Spectrum.from_series(query)
+    benchmark(
+        fraction_examined, query, spectrum, sketch_db, database_matrix[:1024]
+    )
+
+
+def test_fig22_trends(results, scale, benchmark, database_matrix, query_matrix):
+    """More coefficients help every method; the advantage of the best
+    coefficients is largest at the smallest budget (the paper's -35.6pp
+    cell sits at 2*(8)+1)."""
+    for budget_results in results.values():
+        fractions = [r.fractions["best_min_error"] for r in budget_results]
+        # Allow small non-monotonic wiggles; the overall trend must hold.
+        assert fractions[-1] <= fractions[0] + 0.02
+
+    largest = results[scale.database_sizes[-1]]
+    assert (
+        largest[0].reduction_vs_next_best()
+        >= largest[-1].reduction_vs_next_best() - 2.0
+    )
+
+    budget = BUDGETS[0]
+    sketch_db = SketchDatabase.from_matrix(
+        database_matrix[:1024], budget.compressor("gemini")
+    )
+    query = query_matrix[1]
+    spectrum = Spectrum.from_series(query)
+    benchmark(
+        fraction_examined, query, spectrum, sketch_db, database_matrix[:1024]
+    )

@@ -1,0 +1,89 @@
+"""Figure 23: 1-NN query time — linear scan vs the VP-tree index.
+
+The paper's result: the disk-resident index answers 1-NN queries >= 20x
+faster than the linear scan, exceeding two orders of magnitude when the
+compressed features fit in memory.  We report host wall-clock for
+transparency and assert on the modeled operation-count costs (see
+``repro.evaluation.timing`` for the 2004 cost model and why wall-clock
+alone cannot reproduce a 2004 comparison).
+"""
+
+import pytest
+
+from repro.compression import StorageBudget
+from repro.evaluation import index_vs_scan_experiment
+from repro.index import VPTreeIndex
+
+
+@pytest.fixture(scope="module")
+def result(database_matrix, query_matrix, scale, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fig23")
+    size = scale.database_sizes[-1]
+    return index_vs_scan_experiment(
+        database_matrix[:size],
+        query_matrix[: scale.timing_queries],
+        tmp,
+        compressor=StorageBudget(16).compressor("best_min_error"),
+        seed=23,
+    )
+
+
+def test_fig23_index_vs_scan(result, report, benchmark, database_matrix,
+                             query_matrix):
+    report(
+        result.as_table(),
+        f"modeled speedup: index-on-disk {result.speedup_disk():.1f}x, "
+        f"index-in-memory {result.speedup_memory():.1f}x over the linear "
+        f"scan (paper: >=20x and >100x on its periodic MSN workload; the "
+        f"synthetic workload mixes in hard aperiodic queries, so expect "
+        f"the same ordering at a smaller factor)",
+    )
+    # The qualitative claims: the index does strictly less work, the
+    # in-memory configuration is at least as fast as the on-disk one, and
+    # both beat the scan.
+    assert result.index_memory.full_retrievals < result.scan.full_retrievals
+    assert result.speedup_disk() > 1.5
+    assert result.speedup_memory() >= result.speedup_disk()
+
+    index = VPTreeIndex(
+        database_matrix[:1024],
+        compressor=StorageBudget(16).compressor("best_min_error"),
+        seed=5,
+    )
+    benchmark(index.search, query_matrix[0], 1)
+
+
+def test_fig23_periodic_queries_fly(database_matrix, dataset_generator,
+                                    report, benchmark):
+    """On periodic in-distribution queries — the regime of the paper's
+    real MSN workload, where nearest neighbours are genuinely close —
+    pruning is dramatic and the modeled speedups approach the paper's
+    factors."""
+    import numpy as np
+
+    index = VPTreeIndex(
+        database_matrix[:4096],
+        compressor=StorageBudget(16).compressor("best_min_error"),
+        seed=6,
+    )
+    queries = (
+        dataset_generator.synthetic_database(
+            10, mixture={"weekly": 0.7, "seasonal": 0.3}, name_prefix="pq"
+        )
+        .standardize()
+        .as_matrix()
+    )
+    examined = []
+    for query in queries:
+        _, stats = index.search(query, k=1)
+        examined.append(stats.full_retrievals)
+    fraction = float(np.mean(examined)) / 4096
+    report(
+        f"fig 23 follow-up: periodic queries examine "
+        f"{100 * fraction:.2f}% of a 4096-sequence database "
+        f"(scan: 100%) -> modeled speedup ~{1 / max(fraction, 1e-6):.0f}x "
+        f"before even counting the cheaper comparisons"
+    )
+    assert fraction < 0.05
+
+    benchmark(index.search, queries[0], 1)

@@ -1,0 +1,75 @@
+"""Table 1: equal-storage coefficient allocation per method.
+
+Verifies the storage accounting on live sketches: under each of the
+paper's three budget labels, every method's sketches fit the budget and
+the best-coefficient methods get floor(c/1.125) coefficients.
+"""
+
+import numpy as np
+
+from repro.compression import StorageBudget
+from repro.evaluation import format_table
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+
+BUDGETS = (8, 16, 32)
+
+
+def test_table1_allocation(catalog_2002, report, benchmark):
+    spectrum = Spectrum.from_series(zscore(catalog_2002["cinema"].values))
+    rows = []
+    for c in BUDGETS:
+        budget = StorageBudget(c)
+        for method, compressor in budget.compressors().items():
+            sketch = compressor.compress(spectrum)
+            rows.append(
+                (
+                    budget.label(),
+                    method,
+                    budget.k_for(method),
+                    sketch.storage_doubles(),
+                )
+            )
+            assert sketch.storage_doubles() <= budget.doubles + 1e-9
+    report(
+        format_table(
+            ("budget", "method", "k", "doubles used"),
+            rows,
+            title="table 1: same storage for every approach",
+        )
+    )
+    # The paper's derivation: best methods lose exactly floor(c/1.125).
+    for c in BUDGETS:
+        assert StorageBudget(c).best_k == int(c / 1.125)
+
+    budget = StorageBudget(16)
+    compressor = budget.compressor("best_min_error")
+    benchmark(compressor.compress, spectrum)
+
+
+def test_table1_equal_storage_is_fair(database_matrix, report, benchmark):
+    """At equal storage the best methods retain strictly more energy."""
+    budget = StorageBudget(16)
+    sample = database_matrix[:128]
+    retained = {}
+    for method in ("gemini", "wang", "best_min_error"):
+        compressor = budget.compressor(method)
+        energies = []
+        for row in sample:
+            spectrum = Spectrum.from_series(row)
+            sketch = compressor.compress(spectrum)
+            energies.append(sketch.stored_energy() / max(spectrum.energy(), 1e-12))
+        retained[method] = float(np.mean(energies))
+    report(
+        format_table(
+            ("method", "mean energy retained"),
+            list(retained.items()),
+            title="table 1 follow-up: energy captured at equal storage",
+            digits=4,
+        )
+    )
+    assert retained["best_min_error"] > retained["gemini"]
+    assert retained["best_min_error"] > retained["wang"]
+
+    spectrum = Spectrum.from_series(sample[0])
+    benchmark(budget.compressor("gemini").compress, spectrum)

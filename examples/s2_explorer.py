@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Launch the S2 similarity tool (section 7.5) over synthetic query logs.
+
+Interactive:      python examples/s2_explorer.py
+Scripted tour:    python examples/s2_explorer.py --demo
+Bigger database:  python examples/s2_explorer.py --synthetic 500
+
+Inside the shell try:
+
+    list                     all loaded queries
+    show cinema              demand curve
+    periods full moon        significant periods
+    search cinema 5          similar queries via the VP-tree
+    bursts halloween         long-term bursts
+    burstsearch christmas    query-by-burst
+    preview cinema 5         best-coefficient reconstruction
+"""
+
+import sys
+
+from repro.tools.s2 import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,10 @@
+"""Legacy entry point so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file exists only because
+the build environment is offline and lacks `wheel`, which the PEP 517
+editable-install path requires.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Euclidean distance bounds on compressed representations (section 3)."""
+
+from repro.bounds.batch import BatchBounds, batch_bounds
+from repro.bounds.best_error import best_error_bounds, wang_bounds
+from repro.bounds.best_min import best_min_bounds
+from repro.bounds.best_min_error import best_min_error_bounds
+from repro.bounds.core import BoundPair, QueryPartition, partition
+from repro.bounds.gemini import gemini_bounds
+from repro.bounds.registry import BOUND_FUNCTIONS, bounds_for, get_bound_function
+from repro.bounds.safe import best_min_error_safe_bounds
+
+__all__ = [
+    "BoundPair",
+    "QueryPartition",
+    "partition",
+    "gemini_bounds",
+    "wang_bounds",
+    "best_error_bounds",
+    "best_min_bounds",
+    "best_min_error_bounds",
+    "best_min_error_safe_bounds",
+    "BatchBounds",
+    "batch_bounds",
+    "BOUND_FUNCTIONS",
+    "bounds_for",
+    "get_bound_function",
+]

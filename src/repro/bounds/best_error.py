@@ -1,0 +1,49 @@
+"""Algorithm BestError (section 3.4) — and the Wang baseline.
+
+The sketch stores ``T.err``, the energy of the omitted coefficients.  With
+``Q.err`` the query's energy outside the stored positions, the triangle
+inequality in the omitted subspace gives
+
+.. math::
+
+    \\bigl(\\sqrt{Q.err} - \\sqrt{T.err}\\bigr)^2
+    \\;\\le\\; \\lVert Q^- - T^- \\rVert^2 \\;\\le\\;
+    \\bigl(\\sqrt{Q.err} + \\sqrt{T.err}\\bigr)^2 .
+
+The formulas do not use the ``minProperty``, so the same code serves two of
+the paper's methods: **BestError** when applied to a best-coefficient
+sketch and **Wang** (LB_Wang / UB_Wang, Wang & Wang 2000) when applied to a
+first-coefficient sketch — "analogous to what had been proposed in [14]
+but for the case of best coefficients".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.core import BoundPair, partition
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError
+from repro.spectral.dft import Spectrum
+
+__all__ = ["best_error_bounds", "wang_bounds"]
+
+
+def best_error_bounds(query: Spectrum, sketch: SpectralSketch) -> BoundPair:
+    """LB/UB_BestError from the stored coefficients and ``T.err``."""
+    if sketch.error is None:
+        raise CompressionError(
+            f"BestError bounds need a sketch with a stored error; "
+            f"method {sketch.method!r} does not record one"
+        )
+    part = partition(query, sketch)
+    q_err = math.sqrt(part.omitted_energy)
+    t_err = math.sqrt(sketch.error)
+    lower = math.sqrt(part.exact_sq + (q_err - t_err) ** 2)
+    upper = math.sqrt(part.exact_sq + (q_err + t_err) ** 2)
+    return BoundPair(lower, upper)
+
+
+#: The Wang & Wang bounds are the same formulas evaluated on a
+#: first-coefficient sketch; exposed under the paper's name for clarity.
+wang_bounds = best_error_bounds

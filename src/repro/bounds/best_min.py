@@ -1,0 +1,50 @@
+"""Algorithm BestMin (section 3.3).
+
+Uses only the ``minProperty``: every omitted coefficient of ``T`` has
+magnitude at most ``minPower``, the smallest stored best coefficient.
+Geometrically (fig. 6), each omitted :math:`T^-_i` lies inside the complex
+disc of radius ``minPower``, so for each omitted query coefficient
+
+.. math::
+
+    \\lVert Q^-_i \\rVert - minPower \\;\\le\\;
+    \\lVert Q^-_i - T^-_i \\rVert \\;\\le\\;
+    \\lVert Q^-_i \\rVert + minPower
+
+with the lower bound clamped at zero when :math:`\\lVert Q^-_i \\rVert`
+is within the disc.  Both bounds are provably valid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bounds.core import BoundPair, partition
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError
+from repro.spectral.dft import Spectrum
+
+__all__ = ["best_min_bounds"]
+
+
+def best_min_bounds(query: Spectrum, sketch: SpectralSketch) -> BoundPair:
+    """LB/UB_BestMin from the stored coefficients and ``minPower``."""
+    if sketch.min_power is None:
+        raise CompressionError(
+            f"BestMin bounds need a best-coefficient sketch (minProperty); "
+            f"method {sketch.method!r} does not provide one"
+        )
+    part = partition(query, sketch)
+    mags = part.omitted_magnitudes
+    weights = part.omitted_weights
+    min_power = sketch.min_power
+
+    below = np.maximum(mags - min_power, 0.0)
+    lower_sq = float(np.dot(weights, below**2))
+    upper_sq = float(np.dot(weights, (mags + min_power) ** 2))
+    return BoundPair(
+        math.sqrt(part.exact_sq + lower_sq),
+        math.sqrt(part.exact_sq + upper_sq),
+    )

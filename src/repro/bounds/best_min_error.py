@@ -1,0 +1,80 @@
+"""Algorithm BestMinError (section 3.5) — faithful to the paper's pseudocode.
+
+BestMinError combines the ``minProperty`` with the stored error ``T.err``.
+For each omitted query coefficient it distinguishes two cases:
+
+* ``|Q_i| > minPower`` — the ``minProperty`` applies: the distance grows by
+  at least ``(|Q_i| - minPower)^2`` and the algorithm assumes ``T`` "used"
+  ``minPower^2`` of its omitted energy there;
+* ``|Q_i| <= minPower`` — the coefficient's energy is booked as unused
+  query energy ``Q.nused``.
+
+The leftover energies are then combined as in BestError.
+
+.. admonition:: Reproduction note (soundness)
+
+    The published pseudocode (fig. 9) is *not* a mathematically valid
+    bound in all corner cases.  By subtracting a full ``minPower^2`` from
+    ``T.nused`` for every case-1 coefficient, it can underestimate the
+    energy ``T`` has left for the case-2 coefficients and return a "lower
+    bound" that exceeds the true distance (and symmetrically an upper
+    bound that undershoots it).  A concrete counterexample lives in
+    ``tests/bounds/test_best_min_error.py``; on realistic query-log data
+    violations are rare and tiny, which is presumably why they went
+    unnoticed.  This module implements the pseudocode verbatim for
+    faithful reproduction; :mod:`repro.bounds.safe` provides the provably
+    sound tightened combination ``max(LB_BestMin, LB_BestError)`` /
+    ``min(UB_BestMin, UB_BestError)`` that exact search should use.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bounds.core import BoundPair, partition
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError
+from repro.spectral.dft import Spectrum
+
+__all__ = ["best_min_error_bounds"]
+
+
+def best_min_error_bounds(query: Spectrum, sketch: SpectralSketch) -> BoundPair:
+    """LB/UB_BestMinError per fig. 9 of the paper (see soundness note)."""
+    if sketch.min_power is None or sketch.error is None:
+        raise CompressionError(
+            f"BestMinError bounds need a best-coefficient sketch with a "
+            f"stored error; method {sketch.method!r} lacks one"
+        )
+    part = partition(query, sketch)
+    mags = part.omitted_magnitudes
+    weights = part.omitted_weights
+    min_power = sketch.min_power
+
+    case1 = mags > min_power
+    # Case 1: the minProperty guarantees this much distance ...
+    lb_acc = float(
+        np.dot(weights[case1], (mags[case1] - min_power) ** 2)
+    )
+    # ... while T "uses" at most minPower^2 of its omitted energy per
+    # (weighted) coefficient.
+    t_unused = sketch.error - float(weights[case1].sum()) * min_power**2
+    t_unused = max(t_unused, 0.0)
+    # Case 2: query energy that did not participate in case 1.
+    q_unused = float(
+        np.dot(weights[~case1], mags[~case1] ** 2)
+    )
+
+    lower = math.sqrt(
+        part.exact_sq
+        + lb_acc
+        + (math.sqrt(q_unused) - math.sqrt(t_unused)) ** 2
+    )
+    upper = math.sqrt(
+        part.exact_sq
+        + lb_acc
+        + (math.sqrt(q_unused) + math.sqrt(sketch.error)) ** 2
+    )
+    return BoundPair(lower, upper)

@@ -1,0 +1,97 @@
+"""Shared machinery for the Euclidean distance bounds of section 3.
+
+Every bound algorithm splits the squared distance between the *full* query
+``Q`` (all its coefficients — a key design decision of the paper) and a
+compressed object ``T`` into
+
+.. math::
+
+    D(Q, T)^2 = \\underbrace{\\lVert Q(p^+) - T(p^+) \\rVert^2}_{exact}
+              + \\underbrace{\\lVert Q(p^-) - T(p^-) \\rVert^2}_{bounded}
+
+where :math:`p^+` are the stored positions and :math:`p^-` the omitted
+ones.  :func:`partition` computes the exact part and hands each algorithm
+the omitted query magnitudes/weights it needs to bound the second part.
+
+All quantities are *weighted* by the conjugate-pair multiplicities of the
+half spectrum, so the bounds relate to the true time-domain Euclidean
+distance (see :mod:`repro.spectral.dft`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import SpectralSketch
+from repro.spectral.dft import Spectrum
+
+__all__ = ["BoundPair", "QueryPartition", "partition"]
+
+
+@dataclass(frozen=True)
+class BoundPair:
+    """Lower and upper bounds on a Euclidean distance.
+
+    ``upper`` is ``inf`` for methods that cannot produce an upper bound
+    (GEMINI), which keeps comparisons and pruning code uniform.
+    """
+
+    lower: float
+    upper: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.lower < 0 or self.upper < 0:
+            raise ValueError("bounds must be non-negative")
+
+    def contains(self, distance: float, tolerance: float = 1e-9) -> bool:
+        """True when ``lower <= distance <= upper`` up to ``tolerance``."""
+        return (
+            self.lower <= distance + tolerance
+            and distance <= self.upper + tolerance
+        )
+
+
+@dataclass(frozen=True)
+class QueryPartition:
+    """The query-side quantities every bound algorithm consumes.
+
+    Attributes
+    ----------
+    exact_sq:
+        :math:`\\sum_{i \\in p^+} w_i \\lVert Q_i - T_i \\rVert^2` — the
+        exactly computable part of the squared distance.
+    omitted_magnitudes:
+        ``|Q_i|`` for every omitted position ``i``.
+    omitted_weights:
+        Conjugate-pair weights of the omitted positions.
+    """
+
+    exact_sq: float
+    omitted_magnitudes: np.ndarray
+    omitted_weights: np.ndarray
+
+    @property
+    def omitted_energy(self) -> float:
+        """Weighted energy of the query outside the stored positions (Q.err)."""
+        return float(
+            np.dot(self.omitted_weights, self.omitted_magnitudes**2)
+        )
+
+
+def partition(query: Spectrum, sketch: SpectralSketch) -> QueryPartition:
+    """Split the distance computation along the sketch's stored positions."""
+    sketch.check_query(query)
+    exact_diff = (
+        np.abs(query.coefficients[sketch.positions] - sketch.coefficients) ** 2
+    )
+    exact_sq = float(np.dot(sketch.weights, exact_diff))
+
+    omitted_mask = np.ones(len(query), dtype=bool)
+    omitted_mask[sketch.positions] = False
+    return QueryPartition(
+        exact_sq=exact_sq,
+        omitted_magnitudes=query.magnitudes[omitted_mask],
+        omitted_weights=query.weights[omitted_mask],
+    )

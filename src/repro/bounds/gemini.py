@@ -1,0 +1,27 @@
+"""The LB-GEMINI lower bound (Agrawal et al. + Rafiei's symmetry).
+
+The classic GEMINI framework lower-bounds the Euclidean distance by the
+distance over the stored (first) coefficients alone, discarding the
+omitted part entirely.  Rafiei & Mendelzon's improvement — counting each
+stored coefficient's conjugate twin — is inherent in our weighted
+half-spectrum bookkeeping, so this implementation *is* LB-GEMINI.
+
+GEMINI stores no error term and no ``minProperty``, so it cannot produce a
+meaningful upper bound; :func:`gemini_bounds` reports ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.core import BoundPair, partition
+from repro.compression.base import SpectralSketch
+from repro.spectral.dft import Spectrum
+
+__all__ = ["gemini_bounds"]
+
+
+def gemini_bounds(query: Spectrum, sketch: SpectralSketch) -> BoundPair:
+    """LB-GEMINI: distance over stored coefficients only; no upper bound."""
+    part = partition(query, sketch)
+    return BoundPair(lower=math.sqrt(part.exact_sq))

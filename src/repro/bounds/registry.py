@@ -1,0 +1,55 @@
+"""Name-based lookup of the scalar bound algorithms.
+
+The evaluation harness, the VP-tree and the tests all refer to bounds by
+the method names used in the paper's figures; this registry maps those
+names to the scalar implementations.  (The batch kernels keep their own
+parallel table in :mod:`repro.bounds.batch`.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bounds.best_error import best_error_bounds, wang_bounds
+from repro.bounds.best_min import best_min_bounds
+from repro.bounds.best_min_error import best_min_error_bounds
+from repro.bounds.core import BoundPair
+from repro.bounds.gemini import gemini_bounds
+from repro.bounds.safe import best_min_error_safe_bounds
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError
+from repro.spectral.dft import Spectrum
+
+__all__ = ["BOUND_FUNCTIONS", "bounds_for", "get_bound_function"]
+
+BoundFunction = Callable[[Spectrum, SpectralSketch], BoundPair]
+
+BOUND_FUNCTIONS: dict[str, BoundFunction] = {
+    "gemini": gemini_bounds,
+    "wang": wang_bounds,
+    "best_min": best_min_bounds,
+    "best_error": best_error_bounds,
+    "best_min_error": best_min_error_bounds,
+    "adaptive_best_min_error": best_min_error_bounds,
+    "best_min_error_safe": best_min_error_safe_bounds,
+}
+
+
+def get_bound_function(method: str) -> BoundFunction:
+    """The scalar bound implementation registered under ``method``."""
+    try:
+        return BOUND_FUNCTIONS[method]
+    except KeyError:
+        raise CompressionError(f"unknown bound method {method!r}") from None
+
+
+def bounds_for(
+    query: Spectrum, sketch: SpectralSketch, method: str | None = None
+) -> BoundPair:
+    """Bounds between a full query and a sketch.
+
+    ``method`` defaults to the sketch's own method tag, so a sketch
+    produced by e.g. :class:`~repro.compression.WangCompressor`
+    automatically gets the Wang bounds.
+    """
+    return get_bound_function(method or sketch.method)(query, sketch)

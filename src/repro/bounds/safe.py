@@ -1,0 +1,38 @@
+"""Provably sound replacement for the BestMinError bounds.
+
+As documented in :mod:`repro.bounds.best_min_error`, the paper's combined
+algorithm can (rarely) cross the true distance.  Both of its ingredients
+are individually sound, and any finite set of sound bounds can be combined
+by taking the tightest envelope:
+
+.. math::
+
+    LB = \\max(LB_{BestMin},\\ LB_{BestError}), \\qquad
+    UB = \\min(UB_{BestMin},\\ UB_{BestError}).
+
+This loses a little tightness versus the (unsound) published combination
+but never prunes the true nearest neighbour, so it is what
+:class:`repro.index.VPTreeIndex` uses when exactness is required.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.best_error import best_error_bounds
+from repro.bounds.best_min import best_min_bounds
+from repro.bounds.core import BoundPair
+from repro.compression.base import SpectralSketch
+from repro.spectral.dft import Spectrum
+
+__all__ = ["best_min_error_safe_bounds"]
+
+
+def best_min_error_safe_bounds(
+    query: Spectrum, sketch: SpectralSketch
+) -> BoundPair:
+    """Tightest envelope of the BestMin and BestError bounds (sound)."""
+    by_min = best_min_bounds(query, sketch)
+    by_error = best_error_bounds(query, sketch)
+    return BoundPair(
+        max(by_min.lower, by_error.lower),
+        min(by_min.upper, by_error.upper),
+    )

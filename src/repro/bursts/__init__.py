@@ -1,0 +1,44 @@
+"""Burst discovery, compaction and query-by-burst (section 6 of the paper)."""
+
+from repro.bursts.compaction import Burst, compact_bursts, expand_bursts
+from repro.bursts.detection import BurstAnnotation, BurstDetector
+from repro.bursts.elastic import (
+    ElasticBurst,
+    ElasticBurstDetector,
+    ShiftedWaveletTree,
+)
+from repro.bursts.kleinberg import KleinbergBurst, KleinbergDetector
+from repro.bursts.query import BurstDatabase, BurstMatch
+from repro.bursts.similarity import (
+    burst_similarity,
+    intersect,
+    overlap,
+    value_similarity,
+)
+from repro.bursts.weighted import (
+    burst_weight_vector,
+    rank_by_weighted_euclidean,
+    weighted_euclidean,
+)
+
+__all__ = [
+    "BurstAnnotation",
+    "BurstDetector",
+    "Burst",
+    "compact_bursts",
+    "expand_bursts",
+    "overlap",
+    "intersect",
+    "value_similarity",
+    "burst_similarity",
+    "BurstDatabase",
+    "BurstMatch",
+    "KleinbergBurst",
+    "KleinbergDetector",
+    "ElasticBurst",
+    "ElasticBurstDetector",
+    "ShiftedWaveletTree",
+    "burst_weight_vector",
+    "weighted_euclidean",
+    "rank_by_weighted_euclidean",
+]

@@ -1,0 +1,92 @@
+"""Burst compaction into (startDate, endDate, average) triplets (section 6.2).
+
+Rather than store every bursting point, each maximal run of consecutive
+burst positions is compacted to the triplet
+
+    ``[startDate, endDate, average burst value]``
+
+ready to be inserted as a row of a DBMS table.  (The paper's averaging
+formula contains an off-by-one normaliser, ``1/(p+k-1)``; we use the plain
+arithmetic mean of the run — see DESIGN.md.)  A burst's length is
+``endDate - startDate + 1``, i.e. dates are inclusive.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bursts.detection import BurstAnnotation
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries.preprocessing import as_float_array
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["Burst", "compact_bursts", "expand_bursts"]
+
+
+@dataclass(frozen=True, order=True)
+class Burst:
+    """One compacted burst region (indexes are inclusive)."""
+
+    start: int
+    end: int
+    average: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"burst end {self.end} precedes start {self.start}"
+            )
+
+    def __len__(self) -> int:
+        """Burst length ``|B| = endDate - startDate + 1``."""
+        return self.end - self.start + 1
+
+    def start_date(self, series_start: _dt.date) -> _dt.date:
+        """Calendar date of the burst's first day."""
+        return series_start + _dt.timedelta(days=self.start)
+
+    def end_date(self, series_start: _dt.date) -> _dt.date:
+        """Calendar date of the burst's last day."""
+        return series_start + _dt.timedelta(days=self.end)
+
+
+def compact_bursts(values, annotation: BurstAnnotation) -> list[Burst]:
+    """Compact an annotation's burst runs over the *original* values.
+
+    The average stored per burst is taken over the raw (typically
+    standardised) sequence values, not the moving average, matching the
+    paper's :math:`B^{(X)}_i` definition.
+    """
+    if isinstance(values, TimeSeries):
+        values = values.values
+    arr = as_float_array(values)
+    mask = annotation.mask
+    if mask.size != arr.size:
+        raise SeriesMismatchError(
+            f"annotation covers {mask.size} points, sequence has {arr.size}"
+        )
+    if not mask.any():
+        return []
+
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    starts, ends = edges[::2], edges[1::2] - 1
+    return [
+        Burst(int(start), int(end), float(arr[start : end + 1].mean()))
+        for start, end in zip(starts, ends)
+    ]
+
+
+def expand_bursts(bursts, length: int) -> np.ndarray:
+    """Inverse-ish of compaction: a boolean mask covering the burst spans."""
+    mask = np.zeros(length, dtype=bool)
+    for burst in bursts:
+        if burst.end >= length:
+            raise SeriesMismatchError(
+                f"burst [{burst.start}, {burst.end}] exceeds length {length}"
+            )
+        mask[burst.start : burst.end + 1] = True
+    return mask

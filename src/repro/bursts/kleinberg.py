@@ -1,0 +1,154 @@
+"""Kleinberg's burst-detection automaton — the paper's baseline [11].
+
+Section 6 positions the moving-average detector against "the work of
+[11], where the focus is on the modeling of text streams": Kleinberg's
+*Bursty and hierarchical structure in streams* (KDD 2002).  To make that
+comparison concrete, this module implements the batched (discrete-count)
+variant of Kleinberg's model:
+
+* a hidden automaton with states ``0 .. k-1``; state ``i`` emits daily
+  counts from a Poisson distribution with rate ``base_rate * scaling**i``
+  (state 0 is the baseline behaviour, higher states are bursts);
+* per-day emission cost ``-log P(count | rate_i)``;
+* a transition cost ``gamma * (j - i) * log(n)`` for climbing from state
+  ``i`` to ``j`` (descending is free), discouraging spurious bursts;
+* the optimal state sequence is found by Viterbi dynamic programming,
+  and every maximal run in a state ``>= 1`` is reported as a burst with
+  its level (supporting Kleinberg's hierarchical bursts when ``k > 2``).
+
+The ablation benchmark compares this model-based detector with the
+paper's moving-average detector on the synthetic query logs: they agree
+on the obvious bursts, while the MA detector is simpler, parameter-light
+and much cheaper — exactly the trade-off the paper claims ("our method is
+also simpler and less computationally intensive").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.timeseries.preprocessing import as_float_array
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["KleinbergBurst", "KleinbergDetector"]
+
+
+@dataclass(frozen=True, order=True)
+class KleinbergBurst:
+    """A maximal run of days spent in a bursty automaton state."""
+
+    start: int
+    end: int
+    level: int
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+
+class KleinbergDetector:
+    """Batched two-(or multi-)state Kleinberg burst detector.
+
+    Parameters
+    ----------
+    scaling:
+        Rate multiplier ``s`` between adjacent states (Kleinberg's
+        default 2.0): state ``i`` expects ``s**i`` times the baseline rate.
+    gamma:
+        Transition-cost coefficient; larger values demand stronger
+        evidence before entering (or climbing) a burst state.
+    states:
+        Number of automaton states ``k >= 2``; 2 reproduces the classic
+        two-state detector, more states give a burst hierarchy.
+    """
+
+    def __init__(
+        self, scaling: float = 2.0, gamma: float = 1.0, states: int = 2
+    ) -> None:
+        if scaling <= 1.0:
+            raise ValueError(f"scaling must exceed 1, got {scaling}")
+        if gamma <= 0.0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        if states < 2:
+            raise ValueError(f"need at least 2 states, got {states}")
+        self.scaling = scaling
+        self.gamma = gamma
+        self.states = states
+
+    # ------------------------------------------------------------------
+    # Model pieces
+    # ------------------------------------------------------------------
+    def _rates(self, counts: np.ndarray) -> np.ndarray:
+        base = float(counts.mean())
+        if base <= 0.0:
+            base = 1e-9
+        return base * self.scaling ** np.arange(self.states)
+
+    @staticmethod
+    def _emission_costs(counts: np.ndarray, rates: np.ndarray) -> np.ndarray:
+        """-log Poisson(count; rate) for every (day, state) pair."""
+        counts = counts[:, None]
+        rates = rates[None, :]
+        return rates - counts * np.log(rates) + gammaln(counts + 1.0)
+
+    def _transition_cost(self, from_state: int, to_state: int, n: int) -> float:
+        if to_state <= from_state:
+            return 0.0
+        return self.gamma * (to_state - from_state) * math.log(n)
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def state_sequence(self, counts) -> np.ndarray:
+        """The optimal (Viterbi) automaton state per day."""
+        if isinstance(counts, TimeSeries):
+            counts = counts.values
+        arr = np.maximum(np.round(as_float_array(counts)), 0.0)
+        n = arr.size
+        rates = self._rates(arr)
+        emission = self._emission_costs(arr, rates)
+
+        transition = np.zeros((self.states, self.states))
+        for i in range(self.states):
+            for j in range(self.states):
+                transition[i, j] = self._transition_cost(i, j, n)
+
+        cost = np.full(self.states, np.inf)
+        cost[0] = emission[0, 0]  # streams start in the baseline state
+        if self.states > 1:
+            for j in range(1, self.states):
+                cost[j] = transition[0, j] + emission[0, j]
+        backpointer = np.zeros((n, self.states), dtype=np.intp)
+        for day in range(1, n):
+            step = cost[:, None] + transition
+            best_from = np.argmin(step, axis=0)
+            cost = step[best_from, np.arange(self.states)] + emission[day]
+            backpointer[day] = best_from
+
+        states = np.zeros(n, dtype=np.intp)
+        states[-1] = int(np.argmin(cost))
+        for day in range(n - 1, 0, -1):
+            states[day - 1] = backpointer[day, states[day]]
+        return states
+
+    def detect(self, counts) -> list[KleinbergBurst]:
+        """Maximal bursty runs (state >= 1), with their peak level."""
+        states = self.state_sequence(counts)
+        bursts: list[KleinbergBurst] = []
+        start = None
+        level = 0
+        for day, state in enumerate(states):
+            if state >= 1:
+                if start is None:
+                    start, level = day, int(state)
+                else:
+                    level = max(level, int(state))
+            elif start is not None:
+                bursts.append(KleinbergBurst(start, day - 1, level))
+                start = None
+        if start is not None:
+            bursts.append(KleinbergBurst(start, len(states) - 1, level))
+        return bursts

@@ -1,0 +1,109 @@
+"""Equal-storage budgeting across compression methods (Table 1).
+
+Section 7.1 of the paper fixes a memory budget per compressed sequence and
+derives how many coefficients each method may keep:
+
+* a *first* coefficient costs 2 doubles (16 bytes: real + imaginary);
+* a *best* coefficient also needs its half-spectrum position.  Positions
+  fit in 2 bytes (10 bits would do for length-2048 signals), so each best
+  [position, coefficient] pair costs 18 bytes = 2.25 doubles;
+* every method spends one extra double — the middle coefficient for the
+  methods without an error term, or ``T.err`` for those with one.
+
+A budget of ``2c + 1`` doubles therefore buys ``c`` first coefficients or
+``floor(16 c / 18) = floor(c / 1.125)`` best coefficients.  The paper's
+figures label the configurations "2*(c)+1 doubles"; :class:`StorageBudget`
+reproduces that accounting and builds equal-storage compressor sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.best_k import (
+    BestErrorCompressor,
+    BestMinCompressor,
+    BestMinErrorCompressor,
+)
+from repro.compression.first_k import GeminiCompressor, WangCompressor
+from repro.exceptions import CompressionError
+
+__all__ = ["StorageBudget", "BYTES_PER_DOUBLE", "BYTES_PER_POSITION"]
+
+BYTES_PER_DOUBLE = 8
+BYTES_PER_POSITION = 2
+
+#: Methods using first coefficients, in the paper's reporting order.
+FIRST_METHODS = ("gemini", "wang")
+#: Methods using best coefficients, in the paper's reporting order.
+BEST_METHODS = ("best_error", "best_min", "best_min_error")
+
+_COMPRESSORS = {
+    "gemini": GeminiCompressor,
+    "wang": WangCompressor,
+    "best_min": BestMinCompressor,
+    "best_error": BestErrorCompressor,
+    "best_min_error": BestMinErrorCompressor,
+}
+
+
+@dataclass(frozen=True)
+class StorageBudget:
+    """A per-sequence memory budget of ``2 * first_k + 1`` doubles.
+
+    Attributes
+    ----------
+    first_k:
+        The ``c`` in the paper's "2*(c)+1 doubles" labels: the number of
+        first coefficients GEMINI/Wang may store.
+    """
+
+    first_k: int
+
+    def __post_init__(self) -> None:
+        if self.first_k < 2:
+            raise CompressionError(
+                f"budget needs first_k >= 2 so best methods keep >= 1 "
+                f"coefficient, got {self.first_k}"
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def doubles(self) -> int:
+        """Total budget in doubles (coefficients plus the side value)."""
+        return 2 * self.first_k + 1
+
+    @property
+    def best_k(self) -> int:
+        """Best coefficients affordable: ``floor(16 * first_k / 18)``."""
+        pair_cost = 2 * BYTES_PER_DOUBLE + BYTES_PER_POSITION
+        return (self.first_k * 2 * BYTES_PER_DOUBLE) // pair_cost
+
+    def k_for(self, method: str) -> int:
+        """Coefficient count for a named method under this budget."""
+        if method in FIRST_METHODS:
+            return self.first_k
+        if method in BEST_METHODS:
+            return self.best_k
+        raise CompressionError(f"unknown method {method!r}")
+
+    def label(self) -> str:
+        """The paper's figure label, e.g. ``"2*(16)+1 doubles"``."""
+        return f"2*({self.first_k})+1 doubles"
+
+    # ------------------------------------------------------------------
+    # Compressor construction
+    # ------------------------------------------------------------------
+    def compressor(self, method: str):
+        """An equal-storage compressor instance for ``method``."""
+        if method not in _COMPRESSORS:
+            raise CompressionError(f"unknown method {method!r}")
+        return _COMPRESSORS[method](self.k_for(method))
+
+    def compressors(self, methods=None) -> dict[str, object]:
+        """Equal-storage compressors for several methods at once."""
+        if methods is None:
+            methods = FIRST_METHODS + BEST_METHODS
+        return {method: self.compressor(method) for method in methods}

@@ -1,0 +1,248 @@
+"""A packed, column-oriented database of compressed sketches.
+
+The pruning-power and indexing experiments evaluate bounds between one
+query and *every* sketch in databases of up to :math:`2^{15}` sequences.
+Doing that through per-object Python calls would bury the measurement in
+interpreter overhead, so :class:`SketchDatabase` packs all sketches
+produced by one compressor into rectangular numpy arrays:
+
+* ``positions``  — ``(count, width)`` int matrix of half-spectrum indexes,
+* ``coefficients`` / ``weights`` — aligned complex / float matrices,
+* ``errors`` and ``min_powers`` — per-row side values (NaN when absent).
+
+Sketch widths can differ by one (a method that pads with the middle
+coefficient skips the pad when the middle is already among the best), so
+shorter rows are padded with a zero-weight entry at the DC position —
+which contributes nothing to any distance term and marks a coefficient
+(the all-zero DC of standardised data) as "stored" harmlessly.
+
+The batch bound kernels in :mod:`repro.bounds.batch` consume this layout;
+:meth:`SketchDatabase.sketch` recovers an individual
+:class:`~repro.compression.base.SpectralSketch` for spot checks and for
+the VP-tree's per-node computations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError, SeriesMismatchError
+from repro.spectral.dft import Spectrum
+
+__all__ = ["SketchDatabase"]
+
+
+class SketchDatabase:
+    """All sketches of one method over one collection, packed by column."""
+
+    def __init__(
+        self,
+        sketches: Sequence[SpectralSketch],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        if not sketches:
+            raise CompressionError("cannot pack an empty sketch list")
+        first = sketches[0]
+        if any(
+            s.n != first.n or s.basis != first.basis or s.method != first.method
+            for s in sketches
+        ):
+            raise CompressionError(
+                "all sketches must share n, basis and method"
+            )
+        if names is not None and len(names) != len(sketches):
+            raise CompressionError("names must align with sketches")
+
+        self.n = first.n
+        self.basis = first.basis
+        self.method = first.method
+        self.names = tuple(names) if names is not None else None
+
+        count = len(sketches)
+        width = max(len(s) for s in sketches)
+        self.positions = np.zeros((count, width), dtype=np.intp)
+        self.coefficients = np.zeros((count, width), dtype=np.complex128)
+        self.weights = np.zeros((count, width), dtype=np.float64)
+        self.errors = np.full(count, np.nan)
+        self.min_powers = np.full(count, np.nan)
+        for row, sketch in enumerate(sketches):
+            k = len(sketch)
+            self.positions[row, :k] = sketch.positions
+            self.coefficients[row, :k] = sketch.coefficients
+            self.weights[row, :k] = sketch.weights
+            if sketch.error is not None:
+                self.errors[row] = sketch.error
+            if sketch.min_power is not None:
+                self.min_powers[row] = sketch.min_power
+        self._widths = np.array([len(s) for s in sketches], dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spectra(
+        cls,
+        spectra: Iterable[Spectrum],
+        compressor,
+        names: Sequence[str] | None = None,
+    ) -> "SketchDatabase":
+        """Compress an iterable of spectra with one compressor."""
+        return cls([compressor.compress(s) for s in spectra], names)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        compressor,
+        names: Sequence[str] | None = None,
+    ) -> "SketchDatabase":
+        """Compress every row of a ``(count, n)`` time-domain matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        spectra = (Spectrum.from_series(row) for row in matrix)
+        return cls.from_spectra(spectra, compressor, names)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Packed row width (maximum retained coefficients per sketch)."""
+        return int(self.positions.shape[1])
+
+    def sketch(self, row: int) -> SpectralSketch:
+        """Materialise row ``row`` back into a :class:`SpectralSketch`."""
+        k = int(self._widths[row])
+        error = self.errors[row]
+        min_power = self.min_powers[row]
+        return SpectralSketch(
+            n=self.n,
+            positions=self.positions[row, :k].copy(),
+            coefficients=self.coefficients[row, :k].copy(),
+            weights=self.weights[row, :k].copy(),
+            error=None if np.isnan(error) else float(error),
+            min_power=None if np.isnan(min_power) else float(min_power),
+            method=self.method,
+            basis=self.basis,
+        )
+
+    def appended(self, sketch: SpectralSketch) -> "SketchDatabase":
+        """A new database with ``sketch`` appended as the last row.
+
+        Used by the VP-tree's dynamic insertion path.  Amortised cost is
+        one row copy of each packed array; if the new sketch is wider than
+        the current packing, every row is re-padded.
+        """
+        if (
+            sketch.n != self.n
+            or sketch.basis != self.basis
+            or sketch.method != self.method
+        ):
+            raise CompressionError(
+                "appended sketch must share n, basis and method"
+            )
+        count = len(self)
+        width = max(self.width, len(sketch))
+        grown = object.__new__(SketchDatabase)
+        grown.n = self.n
+        grown.basis = self.basis
+        grown.method = self.method
+        grown.names = None if self.names is None else (*self.names, None)
+        grown.positions = np.zeros((count + 1, width), dtype=np.intp)
+        grown.coefficients = np.zeros((count + 1, width), dtype=np.complex128)
+        grown.weights = np.zeros((count + 1, width), dtype=np.float64)
+        grown.positions[:count, : self.width] = self.positions
+        grown.coefficients[:count, : self.width] = self.coefficients
+        grown.weights[:count, : self.width] = self.weights
+        k = len(sketch)
+        grown.positions[count, :k] = sketch.positions
+        grown.coefficients[count, :k] = sketch.coefficients
+        grown.weights[count, :k] = sketch.weights
+        grown.errors = np.append(
+            self.errors, np.nan if sketch.error is None else sketch.error
+        )
+        grown.min_powers = np.append(
+            self.min_powers,
+            np.nan if sketch.min_power is None else sketch.min_power,
+        )
+        grown._widths = np.append(self._widths, k)
+        return grown
+
+    def take(self, rows) -> "SketchDatabase":
+        """A lightweight row-subset view (arrays sliced, metadata shared).
+
+        Used by the VP-tree to evaluate a whole leaf's bounds with one
+        vectorised kernel call instead of per-object Python calls.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        subset = object.__new__(SketchDatabase)
+        subset.n = self.n
+        subset.basis = self.basis
+        subset.method = self.method
+        subset.names = (
+            tuple(self.names[int(i)] for i in rows)
+            if self.names is not None
+            else None
+        )
+        subset.positions = self.positions[rows]
+        subset.coefficients = self.coefficients[rows]
+        subset.weights = self.weights[rows]
+        subset.errors = self.errors[rows]
+        subset.min_powers = self.min_powers[rows]
+        subset._widths = self._widths[rows]
+        return subset
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise the packed database to an ``.npz`` file."""
+        names = np.array(
+            ["" if n is None else n for n in self.names]
+            if self.names is not None
+            else [],
+            dtype=str,
+        )
+        np.savez_compressed(
+            path,
+            positions=self.positions,
+            coefficients=self.coefficients,
+            weights=self.weights,
+            errors=self.errors,
+            min_powers=self.min_powers,
+            widths=self._widths,
+            names=names,
+            meta=np.array([str(self.n), self.basis, self.method], dtype=str),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SketchDatabase":
+        """Load a database previously written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as payload:
+            loaded = object.__new__(cls)
+            loaded.positions = payload["positions"].astype(np.intp)
+            loaded.coefficients = payload["coefficients"]
+            loaded.weights = payload["weights"]
+            loaded.errors = payload["errors"]
+            loaded.min_powers = payload["min_powers"]
+            loaded._widths = payload["widths"].astype(np.intp)
+            names = payload["names"]
+            loaded.names = tuple(names.tolist()) if names.size else None
+            n, basis, method = payload["meta"].tolist()
+            loaded.n = int(n)
+            loaded.basis = basis
+            loaded.method = method
+        return loaded
+
+    def check_query(self, query: Spectrum) -> None:
+        """Validate that a query spectrum is comparable with this database."""
+        if query.n != self.n or query.basis != self.basis:
+            raise SeriesMismatchError(
+                f"database (n={self.n}, basis={self.basis!r}) is "
+                f"incompatible with query (n={query.n}, basis={query.basis!r})"
+            )

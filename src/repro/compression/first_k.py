@@ -1,0 +1,133 @@
+"""First-coefficient compressors: the GEMINI and Wang baselines.
+
+The classic approach of Agrawal et al. (GEMINI) keeps the *first* k Fourier
+coefficients; Rafiei's refinement exploits conjugate symmetry (our
+half-spectrum weights); Wang & Wang additionally record the approximation
+error.  The paper evaluates against both baselines at equal storage:
+
+* **GEMINI** — ``k`` first coefficients plus the middle (Nyquist)
+  coefficient as the storage-parity filler (section 7.1);
+* **Wang** — ``k`` first coefficients plus ``T.err``.
+
+Both operate on standardised data, so the DC coefficient is zero and the
+"first" coefficients start at half-spectrum index 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import SpectralSketch
+from repro.exceptions import CompressionError
+from repro.spectral.dft import Spectrum
+from repro.spectral.reconstruction import first_indexes
+
+__all__ = ["FirstKCompressor", "GeminiCompressor", "WangCompressor"]
+
+
+def _sketch_from_indexes(
+    spectrum: Spectrum,
+    indexes: np.ndarray,
+    store_error: bool,
+    min_power: float | None,
+    method: str,
+) -> SpectralSketch:
+    """Assemble a sketch holding the coefficients at ``indexes``."""
+    error = None
+    if store_error:
+        omitted = np.setdiff1d(np.arange(len(spectrum)), indexes)
+        error = float(spectrum.powers[omitted].sum())
+    return SpectralSketch(
+        n=spectrum.n,
+        positions=indexes,
+        coefficients=spectrum.coefficients[indexes],
+        weights=spectrum.weights[indexes],
+        error=error,
+        min_power=min_power,
+        method=method,
+        basis=spectrum.basis,
+    )
+
+
+def _append_middle(spectrum: Spectrum, indexes: np.ndarray) -> np.ndarray:
+    """Add the middle (Nyquist) coefficient index if not already retained.
+
+    The middle coefficient is only real — and therefore only costs the
+    one-double filler slot — for even-length signals ("we have real data
+    with lengths power of two", section 7.1).  For odd lengths the slot
+    cannot hold a complex conjugate pair, so no filler is stored and the
+    budget double goes unused.
+    """
+    if spectrum.n % 2 != 0:
+        return indexes
+    middle = spectrum.n // 2
+    if middle in indexes:
+        return indexes
+    return np.sort(np.append(indexes, middle))
+
+
+class FirstKCompressor:
+    """Keep the ``k`` lowest-frequency coefficients (skipping DC).
+
+    Parameters
+    ----------
+    k:
+        Number of retained coefficients.
+    store_error:
+        Record the omitted energy ``T.err`` (the Wang variant).
+    store_middle:
+        Pad with the middle coefficient (the GEMINI storage-parity filler).
+        Mutually exclusive with ``store_error``.
+    """
+
+    method = "first_k"
+
+    def __init__(
+        self, k: int, store_error: bool = False, store_middle: bool = False
+    ) -> None:
+        if k < 1:
+            raise CompressionError(f"k must be >= 1, got {k}")
+        if store_error and store_middle:
+            raise CompressionError(
+                "store_error and store_middle are mutually exclusive "
+                "(each fills the same one-double budget slot)"
+            )
+        self.k = k
+        self.store_error = store_error
+        self.store_middle = store_middle
+
+    def compress(self, spectrum: Spectrum) -> SpectralSketch:
+        """Compress a full :class:`Spectrum` into a sketch."""
+        indexes = first_indexes(spectrum, self.k)
+        if indexes.size < self.k:
+            raise CompressionError(
+                f"cannot keep {self.k} coefficients of a length-{spectrum.n} "
+                f"signal ({indexes.size} available)"
+            )
+        if self.store_middle:
+            indexes = _append_middle(spectrum, indexes)
+        return _sketch_from_indexes(
+            spectrum, indexes, self.store_error, None, self.method
+        )
+
+    def compress_series(self, values) -> SpectralSketch:
+        """Convenience: transform a raw sequence, then compress it."""
+        return self.compress(Spectrum.from_series(values))
+
+
+class GeminiCompressor(FirstKCompressor):
+    """``k`` first coefficients + middle coefficient (GEMINI, section 7.1)."""
+
+    method = "gemini"
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k, store_error=False, store_middle=True)
+
+
+class WangCompressor(FirstKCompressor):
+    """``k`` first coefficients + approximation error (Wang & Wang)."""
+
+    method = "wang"
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k, store_error=True, store_middle=False)

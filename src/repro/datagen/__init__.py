@@ -1,0 +1,44 @@
+"""Synthetic query-log substrate replacing the proprietary MSN logs."""
+
+from repro.datagen.calendar import (
+    easter_date,
+    mothers_day,
+    nth_weekday_of_month,
+    super_bowl_sunday,
+    thanksgiving,
+)
+from repro.datagen.catalog import CATALOG, QueryProfile, catalog_names, profile
+from repro.datagen.components import DayGrid
+from repro.datagen.events import (
+    LogAggregator,
+    LogRecord,
+    daily_rates,
+    iter_log_records,
+    sample_daily_counts,
+)
+from repro.datagen.generator import (
+    DEFAULT_MIXTURE,
+    DEFAULT_START,
+    QueryLogGenerator,
+)
+
+__all__ = [
+    "easter_date",
+    "mothers_day",
+    "thanksgiving",
+    "super_bowl_sunday",
+    "nth_weekday_of_month",
+    "CATALOG",
+    "QueryProfile",
+    "catalog_names",
+    "profile",
+    "DayGrid",
+    "LogRecord",
+    "LogAggregator",
+    "daily_rates",
+    "sample_daily_counts",
+    "iter_log_records",
+    "QueryLogGenerator",
+    "DEFAULT_MIXTURE",
+    "DEFAULT_START",
+]

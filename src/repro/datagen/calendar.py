@@ -1,0 +1,71 @@
+"""Calendar helpers for demand modelling.
+
+The paper's exemplar queries are driven by real calendar structure:
+weekends (*cinema*), moving feasts (*easter* — fig. 15 shows its burst
+drifting across March/April between 2000 and 2002), fixed anniversaries
+(*elvis*, August 16), and derived holidays (*flowers* peaks at Valentine's
+Day and Mother's Day).  This module supplies those anchors.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+__all__ = [
+    "easter_date",
+    "nth_weekday_of_month",
+    "mothers_day",
+    "thanksgiving",
+    "super_bowl_sunday",
+]
+
+
+def easter_date(year: int) -> _dt.date:
+    """Western (Gregorian) Easter Sunday via the anonymous Gregorian computus.
+
+    Spot checks: 2000-04-23, 2001-04-15, 2002-03-31 — the three springs
+    visible in the paper's fig. 15.
+    """
+    a = year % 19
+    b, c = divmod(year, 100)
+    d, e = divmod(b, 4)
+    f = (b + 8) // 25
+    g = (b - f + 1) // 3
+    h = (19 * a + b - d - g + 15) % 30
+    i, k = divmod(c, 4)
+    l = (32 + 2 * e + 2 * i - h - k) % 7
+    m = (a + 11 * h + 22 * l) // 451
+    month, day = divmod(h + l - 7 * m + 114, 31)
+    return _dt.date(year, month, day + 1)
+
+
+def nth_weekday_of_month(
+    year: int, month: int, weekday: int, n: int
+) -> _dt.date:
+    """The ``n``-th given weekday (Monday=0) of a month (1-based ``n``)."""
+    if not 1 <= n <= 5:
+        raise ValueError(f"n must be in [1, 5], got {n}")
+    first = _dt.date(year, month, 1)
+    offset = (weekday - first.weekday()) % 7
+    result = first + _dt.timedelta(days=offset + 7 * (n - 1))
+    if result.month != month:
+        raise ValueError(
+            f"{year}-{month:02d} has no {n}th weekday {weekday}"
+        )
+    return result
+
+
+def mothers_day(year: int) -> _dt.date:
+    """US Mother's Day: the second Sunday of May."""
+    return nth_weekday_of_month(year, 5, 6, 2)
+
+
+def thanksgiving(year: int) -> _dt.date:
+    """US Thanksgiving: the fourth Thursday of November."""
+    return nth_weekday_of_month(year, 11, 3, 4)
+
+
+def super_bowl_sunday(year: int) -> _dt.date:
+    """Approximate Super Bowl date: the last Sunday of January."""
+    day = _dt.date(year, 1, 31)
+    return day - _dt.timedelta(days=(day.weekday() - 6) % 7)

@@ -1,0 +1,437 @@
+"""The named query catalog — every exemplar the paper plots or mentions.
+
+Each entry is a :class:`QueryProfile`: a base daily request rate plus a
+set of demand components.  The parameters are tuned so that the paper's
+qualitative claims reproduce:
+
+* *cinema* / *nordstrom* show a dominant 7-day period with a 3.5-day
+  harmonic (fig. 13);
+* *easter* accumulates demand through spring and collapses right after
+  the (moving!) holiday (figs. 2, 15);
+* *elvis* spikes every August 16 (fig. 3);
+* *full moon* carries a ~29.5-day period (figs. 13, 16);
+* *flowers* bursts around Valentine's Day and Mother's Day (fig. 16);
+* *world trade center*, *pentagon attack* and *nostradamus prediction*
+  share one September-2001 burst, *hurricane* / *www.nhc.noaa.gov* /
+  *tropical storm* share hurricane-season bursts, and the Christmas
+  family bursts each December (fig. 19);
+* *dudley moore* is flat noise apart from the actor's death in March
+  2002 (fig. 13).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datagen import components as comp
+from repro.datagen.calendar import (
+    easter_date,
+    mothers_day,
+    super_bowl_sunday,
+    thanksgiving,
+)
+from repro.exceptions import UnknownQueryError
+
+__all__ = ["QueryProfile", "CATALOG", "profile", "catalog_names"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """A named synthetic query-demand model."""
+
+    name: str
+    base_rate: float
+    components: tuple[comp.Component, ...]
+    description: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _profile(name, base_rate, components, description="", tags=()):
+    return QueryProfile(
+        name=name,
+        base_rate=float(base_rate),
+        components=tuple(components),
+        description=description,
+        tags=tuple(tags),
+    )
+
+
+_WTC_DAY = _dt.date(2001, 9, 11)
+_DUDLEY_MOORE_DEATH = _dt.date(2002, 3, 27)
+_HARRY_POTTER_PREMIERE = _dt.date(2001, 11, 16)
+_FELLOWSHIP_PREMIERE = _dt.date(2001, 12, 19)
+_SYDNEY_OLYMPICS = _dt.date(2000, 9, 15)
+_SALT_LAKE_OLYMPICS = _dt.date(2002, 2, 8)
+
+
+CATALOG: dict[str, QueryProfile] = {
+    p.name: p
+    for p in [
+        # ------------------------------------------------------------------
+        # Weekly-periodic queries (figs. 1, 5, 13)
+        # ------------------------------------------------------------------
+        _profile(
+            "cinema",
+            800,
+            [comp.weekly(1.6, (4, 5)), comp.white_noise(0.06)],
+            "Strong Friday/Saturday peaks, 52 per year (fig. 1).",
+            ("weekly",),
+        ),
+        _profile(
+            "nordstrom",
+            300,
+            [
+                comp.weekly(1.1, (4, 5, 6)),
+                comp.annual_ramp((12, 24), 1.2, rise=20, fall=4),
+                comp.white_noise(0.08),
+            ],
+            "Weekend shopping peaks plus a pre-Christmas swell (fig. 13).",
+            ("weekly",),
+        ),
+        _profile(
+            "bank",
+            600,
+            [comp.weekly(0.9, (0, 1, 2, 3, 4)), comp.white_noise(0.05)],
+            "Weekday-driven demand (fig. 5).",
+            ("weekly",),
+        ),
+        _profile(
+            "restaurants",
+            400,
+            [comp.weekly(1.0, (4, 5)), comp.white_noise(0.08)],
+            "Weekend dining research.",
+            ("weekly",),
+        ),
+        _profile(
+            "movie listings",
+            350,
+            [comp.weekly(1.4, (4, 5)), comp.white_noise(0.1)],
+            "Cinema sibling with its own noise floor.",
+            ("weekly",),
+        ),
+        _profile(
+            "weather",
+            1500,
+            [comp.weekly(0.25, (0,)), comp.random_walk(0.01)],
+            "High-volume utility query, mild Monday bump.",
+            ("weekly", "background"),
+        ),
+        # ------------------------------------------------------------------
+        # Monthly periodicity (figs. 13, 16)
+        # ------------------------------------------------------------------
+        _profile(
+            "full moon",
+            120,
+            [comp.monthly(2.2, phase=14.0), comp.white_noise(0.08)],
+            "One bump per lunation, ~29.5-day period (fig. 13).",
+            ("monthly",),
+        ),
+        _profile(
+            "tides",
+            60,
+            [comp.monthly(1.0, phase=2.0), comp.seasonal(0.8, 196, 50)],
+            "Lunar cycle on a summery background.",
+            ("monthly",),
+        ),
+        # ------------------------------------------------------------------
+        # Annual holidays with ramp-then-drop shapes (figs. 2, 14, 15, 16)
+        # ------------------------------------------------------------------
+        _profile(
+            "easter",
+            250,
+            [comp.annual_ramp(easter_date, 4.0, rise=30, fall=3)],
+            "Builds through spring, collapses after the moving feast (fig. 2).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "halloween",
+            220,
+            [comp.annual_ramp((10, 31), 5.0, rise=18, fall=3)],
+            "October/November burst (fig. 14).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "christmas",
+            500,
+            [comp.annual_ramp((12, 25), 4.5, rise=28, fall=4)],
+            "December accumulation (fig. 19).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "christmas gifts",
+            180,
+            [comp.annual_ramp((12, 25), 4.0, rise=24, fall=4)],
+            "Rides the same December wave as 'christmas'.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "gingerbread men",
+            40,
+            [comp.annual_ramp((12, 23), 3.5, rise=20, fall=5)],
+            "Query-by-burst match for 'christmas' (fig. 19).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "rudolph the red nosed reindeer",
+            35,
+            [comp.annual_ramp((12, 24), 4.0, rise=18, fall=4)],
+            "Query-by-burst match for 'christmas' (fig. 19).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "thanksgiving",
+            260,
+            [comp.annual_ramp(thanksgiving, 5.0, rise=14, fall=2)],
+            "Fourth-Thursday-of-November burst.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "valentines day",
+            150,
+            [comp.annual_ramp((2, 14), 5.0, rise=10, fall=2)],
+            "Mid-February burst.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "mothers day",
+            140,
+            [comp.annual_ramp(mothers_day, 5.0, rise=10, fall=2)],
+            "Second-Sunday-of-May burst.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "flowers",
+            200,
+            [
+                comp.annual_ramp((2, 14), 3.2, rise=8, fall=2),
+                comp.annual_ramp(mothers_day, 3.0, rise=8, fall=2),
+                comp.weekly(0.15, (4,)),
+            ],
+            "Two long-term bursts: Valentine's and Mother's Day (fig. 16).",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "taxes",
+            240,
+            [comp.annual_ramp((4, 15), 3.5, rise=35, fall=3)],
+            "Builds to the US filing deadline.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "fireworks",
+            90,
+            [
+                comp.annual_ramp((7, 4), 5.5, rise=8, fall=2),
+                comp.annual_ramp((12, 31), 2.5, rise=5, fall=1.5),
+            ],
+            "Independence Day and New Year's Eve.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "back to school",
+            110,
+            [comp.annual_ramp((8, 25), 3.0, rise=20, fall=8)],
+            "Late-August ramp.",
+            ("annual", "burst"),
+        ),
+        _profile(
+            "super bowl",
+            160,
+            [comp.annual_ramp(super_bowl_sunday, 6.0, rise=10, fall=1.5)],
+            "Last-Sunday-of-January spike.",
+            ("annual", "burst"),
+        ),
+        # ------------------------------------------------------------------
+        # Anniversaries and seasons
+        # ------------------------------------------------------------------
+        _profile(
+            "elvis",
+            130,
+            [comp.annual_spike((8, 16), 5.0, width=1.2), comp.white_noise(0.07)],
+            "Peaks every August 16, the death anniversary (fig. 3).",
+            ("annual", "spike"),
+        ),
+        _profile(
+            "beach",
+            180,
+            [comp.seasonal(1.8, peak_day_of_year=196, width=40)],
+            "Broad July season.",
+            ("seasonal",),
+        ),
+        _profile(
+            "skiing",
+            150,
+            [
+                comp.seasonal(1.6, peak_day_of_year=15, width=30),
+                comp.seasonal(1.2, peak_day_of_year=350, width=20),
+            ],
+            "Winter season straddling the year boundary.",
+            ("seasonal",),
+        ),
+        _profile(
+            "hurricane",
+            140,
+            [
+                comp.seasonal(1.2, peak_day_of_year=250, width=35),
+                comp.annual_spike((9, 15), 2.5, width=4.0),
+            ],
+            "Hurricane-season bursts, late summer (fig. 19).",
+            ("seasonal", "burst"),
+        ),
+        _profile(
+            "www.nhc.noaa.gov",
+            45,
+            [
+                comp.seasonal(1.4, peak_day_of_year=252, width=30),
+                comp.annual_spike((9, 15), 2.8, width=4.0),
+            ],
+            "National Hurricane Center traffic; matches 'hurricane' (fig. 19).",
+            ("seasonal", "burst"),
+        ),
+        _profile(
+            "tropical storm",
+            55,
+            [
+                comp.seasonal(1.3, peak_day_of_year=248, width=32),
+                comp.annual_spike((9, 12), 2.4, width=5.0),
+            ],
+            "Sibling of 'hurricane' (fig. 19).",
+            ("seasonal", "burst"),
+        ),
+        # ------------------------------------------------------------------
+        # One-off news events (figs. 13, 19)
+        # ------------------------------------------------------------------
+        _profile(
+            "world trade center",
+            100,
+            [comp.one_off(_WTC_DAY, 18.0, rise=0.6, fall=25)],
+            "The September 11 burst (fig. 19).",
+            ("news",),
+        ),
+        _profile(
+            "pentagon attack",
+            25,
+            [comp.one_off(_WTC_DAY, 16.0, rise=0.6, fall=18)],
+            "Query-by-burst match for 'world trade center' (fig. 19).",
+            ("news",),
+        ),
+        _profile(
+            "nostradamus prediction",
+            15,
+            [comp.one_off(_WTC_DAY + _dt.timedelta(days=1), 14.0, rise=0.8, fall=10)],
+            "Query-by-burst match for 'world trade center' (fig. 19).",
+            ("news",),
+        ),
+        _profile(
+            "dudley moore",
+            30,
+            [comp.one_off(_DUDLEY_MOORE_DEATH, 12.0, rise=0.6, fall=2),
+             comp.white_noise(0.15)],
+            "Flat except for the actor's death in March 2002 (fig. 13).",
+            ("news",),
+        ),
+        _profile(
+            "harry potter",
+            120,
+            [
+                comp.one_off(_HARRY_POTTER_PREMIERE, 6.0, rise=12, fall=20),
+                comp.random_walk(0.02),
+            ],
+            "Film premiere, November 2001.",
+            ("news",),
+        ),
+        _profile(
+            "lord of the rings",
+            110,
+            [
+                comp.one_off(_FELLOWSHIP_PREMIERE, 6.5, rise=12, fall=22),
+                comp.random_walk(0.02),
+            ],
+            "Film premiere, December 2001.",
+            ("news",),
+        ),
+        _profile(
+            "olympics",
+            170,
+            [
+                comp.one_off(_SYDNEY_OLYMPICS, 7.0, rise=10, fall=14),
+                comp.one_off(_SALT_LAKE_OLYMPICS, 6.0, rise=8, fall=12),
+            ],
+            "Sydney 2000 and Salt Lake 2002 bursts.",
+            ("news",),
+        ),
+        _profile(
+            "athens 2004",
+            20,
+            [
+                comp.linear_trend(1.5),
+                comp.one_off(_SYDNEY_OLYMPICS, 2.5, rise=5, fall=10),
+                comp.white_noise(0.12),
+            ],
+            "Slowly growing interest toward the 2004 games (fig. 5).",
+            ("trend",),
+        ),
+        # ------------------------------------------------------------------
+        # Aperiodic backgrounds (figs. 5, 12)
+        # ------------------------------------------------------------------
+        _profile(
+            "president",
+            380,
+            [
+                comp.random_walk(0.03),
+                comp.one_off(_dt.date(2000, 11, 7), 4.0, rise=6, fall=15),
+                comp.one_off(_dt.date(2001, 1, 20), 2.0, rise=2, fall=6),
+            ],
+            "Election-driven with a wandering baseline (fig. 5).",
+            ("aperiodic",),
+        ),
+        _profile(
+            "email",
+            2000,
+            [comp.random_walk(0.015)],
+            "High-volume utility query, no calendar structure.",
+            ("aperiodic", "background"),
+        ),
+        _profile(
+            "maps",
+            900,
+            [comp.random_walk(0.02), comp.weekly(0.1, (0, 1, 2, 3, 4))],
+            "Near-flat background with a faint weekday tilt.",
+            ("aperiodic", "background"),
+        ),
+        _profile(
+            "news",
+            1100,
+            [
+                comp.random_walk(0.02),
+                comp.one_off(_WTC_DAY, 5.0, rise=0.6, fall=30),
+            ],
+            "Background demand that inherits the September 2001 shock.",
+            ("aperiodic", "news"),
+        ),
+        _profile(
+            "lottery numbers",
+            140,
+            [comp.weekly(0.6, (2, 5)), comp.white_noise(0.12)],
+            "Twice-weekly draw peaks (a 3.5-day periodicity).",
+            ("weekly",),
+        ),
+    ]
+}
+
+
+def profile(name: str) -> QueryProfile:
+    """Look up a catalog profile by query string."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise UnknownQueryError(name) from None
+
+
+def catalog_names(tag: str | None = None) -> Sequence[str]:
+    """All catalog query names, optionally filtered by tag."""
+    if tag is None:
+        return tuple(CATALOG)
+    return tuple(name for name, p in CATALOG.items() if tag in p.tags)

@@ -1,0 +1,244 @@
+"""Composable demand components for synthetic query profiles.
+
+A query's expected daily demand is modelled as
+
+.. math::
+
+    \\lambda(d) = base \\cdot \\max(0,\\ 1 + \\sum_c c(d))
+
+where each component ``c`` contributes a (possibly negative) relative
+modulation for every day ``d`` of the grid.  Components are pure functions
+of a :class:`DayGrid` plus an optional RNG (only the stochastic ones use
+it), so a profile is reproducible given a seed.
+
+The shapes mirror what the paper's figures show:
+
+* :func:`weekly` — weekend peaks, the 52-spike pattern of *cinema* (fig. 1);
+* :func:`annual_ramp` — a build-up followed by "an immediate drop after"
+  the event, the *easter* shape (fig. 2);
+* :func:`annual_spike` — a sharp anniversary pulse, the *elvis* shape
+  (fig. 3);
+* :func:`monthly` — the lunar cycle of *full moon* (fig. 13);
+* :func:`one_off` — a single news burst, the *world trade center* /
+  *dudley moore* shape (figs. 13, 19);
+* :func:`seasonal`, :func:`linear_trend`, :func:`random_walk`,
+  :func:`white_noise` — backgrounds for the bulk of the database.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "DayGrid",
+    "Component",
+    "weekly",
+    "monthly",
+    "seasonal",
+    "annual_ramp",
+    "annual_spike",
+    "one_off",
+    "linear_trend",
+    "white_noise",
+    "random_walk",
+]
+
+#: A component maps (grid, rng) to a per-day relative modulation array.
+Component = Callable[["DayGrid", np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class DayGrid:
+    """Precomputed calendar arrays for a contiguous daily date range."""
+
+    start: _dt.date
+    days: int
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError(f"grid needs at least one day, got {self.days}")
+
+    def __len__(self) -> int:
+        return self.days
+
+    @property
+    def index(self) -> np.ndarray:
+        """0-based day offsets."""
+        return np.arange(self.days)
+
+    @property
+    def dates(self) -> list[_dt.date]:
+        return [self.start + _dt.timedelta(days=int(i)) for i in range(self.days)]
+
+    @property
+    def weekday(self) -> np.ndarray:
+        """Weekday per day, Monday=0 ... Sunday=6."""
+        return (self.index + self.start.weekday()) % 7
+
+    @property
+    def years(self) -> range:
+        """Calendar years the grid touches."""
+        end = self.start + _dt.timedelta(days=self.days - 1)
+        return range(self.start.year, end.year + 1)
+
+    def offset_of(self, date: _dt.date) -> int:
+        """Day offset of a calendar date (may fall outside the grid)."""
+        return (date - self.start).days
+
+
+def _gaussian_bump(grid: DayGrid, center: int, width: float) -> np.ndarray:
+    """A unit-height Gaussian centred on day offset ``center``."""
+    return np.exp(-0.5 * ((grid.index - center) / max(width, 0.5)) ** 2)
+
+
+def _ramp(grid: DayGrid, peak: int, rise: float, fall: float) -> np.ndarray:
+    """Asymmetric bump: slow build-up to ``peak``, fast decay after it."""
+    idx = grid.index
+    before = np.exp(-0.5 * ((idx - peak) / max(rise, 0.5)) ** 2)
+    after = np.exp(-0.5 * ((idx - peak) / max(fall, 0.5)) ** 2)
+    return np.where(idx <= peak, before, after)
+
+
+# ----------------------------------------------------------------------
+# Periodic components
+# ----------------------------------------------------------------------
+def weekly(
+    amplitude: float = 1.0, peak_days: Iterable[int] = (4, 5)
+) -> Component:
+    """Boost demand on given weekdays (default Friday/Saturday).
+
+    Produces the strong 7-day periodicity of *cinema*-like queries; pass
+    ``peak_days=range(5)`` for business-hours queries like *bank*.
+    """
+    peaks = frozenset(int(d) % 7 for d in peak_days)
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        return amplitude * np.isin(grid.weekday, sorted(peaks)).astype(float)
+
+    return component
+
+
+def monthly(amplitude: float = 1.0, period: float = 29.53, phase: float = 0.0) -> Component:
+    """A lunar-cycle modulation (*full moon*): bumps every ~29.5 days."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        angle = 2 * np.pi * (grid.index - phase) / period
+        # Raised-cosine power sharpens the sinusoid into monthly bumps.
+        return amplitude * ((1 + np.cos(angle)) / 2) ** 3
+
+    return component
+
+
+def seasonal(
+    amplitude: float = 1.0, peak_day_of_year: int = 196, width: float = 45.0
+) -> Component:
+    """A broad annual season (beach in July, skiing in January, ...)."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(len(grid))
+        for year in grid.years:
+            center = grid.offset_of(_dt.date(year, 1, 1)) + peak_day_of_year - 1
+            out += amplitude * _gaussian_bump(grid, center, width)
+        return out
+
+    return component
+
+
+# ----------------------------------------------------------------------
+# Event components
+# ----------------------------------------------------------------------
+def annual_ramp(
+    date_of: Callable[[int], _dt.date] | tuple[int, int],
+    amplitude: float = 3.0,
+    rise: float = 25.0,
+    fall: float = 3.0,
+) -> Component:
+    """Build-up to a yearly event, then an immediate drop (*easter*).
+
+    ``date_of`` is either a ``(month, day)`` tuple for fixed dates or a
+    callable ``year -> date`` for moving feasts.
+    """
+    if isinstance(date_of, tuple):
+        month, day = date_of
+        resolver = lambda year: _dt.date(year, month, day)  # noqa: E731
+    else:
+        resolver = date_of
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(len(grid))
+        for year in grid.years:
+            peak = grid.offset_of(resolver(year))
+            out += amplitude * _ramp(grid, peak, rise, fall)
+        return out
+
+    return component
+
+
+def annual_spike(
+    date_of: Callable[[int], _dt.date] | tuple[int, int],
+    amplitude: float = 4.0,
+    width: float = 1.5,
+) -> Component:
+    """A sharp symmetric pulse every year (*elvis* on August 16)."""
+    if isinstance(date_of, tuple):
+        month, day = date_of
+        resolver = lambda year: _dt.date(year, month, day)  # noqa: E731
+    else:
+        resolver = date_of
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(len(grid))
+        for year in grid.years:
+            center = grid.offset_of(resolver(year))
+            out += amplitude * _gaussian_bump(grid, center, width)
+        return out
+
+    return component
+
+
+def one_off(
+    date: _dt.date, amplitude: float = 8.0, rise: float = 0.8, fall: float = 12.0
+) -> Component:
+    """A single news event: near-instant onset, slow decay (*wtc*)."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        peak = grid.offset_of(date)
+        return amplitude * _ramp(grid, peak, rise, fall)
+
+    return component
+
+
+# ----------------------------------------------------------------------
+# Background components
+# ----------------------------------------------------------------------
+def linear_trend(total_change: float = 0.5) -> Component:
+    """Linear drift over the whole grid (growing or waning interest)."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        if len(grid) == 1:
+            return np.zeros(1)
+        return total_change * grid.index / (len(grid) - 1)
+
+    return component
+
+
+def white_noise(sigma: float = 0.1) -> Component:
+    """I.i.d. Gaussian modulation on top of the Poisson sampling noise."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, sigma, size=len(grid))
+
+    return component
+
+
+def random_walk(sigma: float = 0.05) -> Component:
+    """A slowly wandering interest level (aperiodic background queries)."""
+
+    def component(grid: DayGrid, rng: np.random.Generator) -> np.ndarray:
+        return np.cumsum(rng.normal(0.0, sigma, size=len(grid)))
+
+    return component

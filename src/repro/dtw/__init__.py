@@ -1,0 +1,15 @@
+"""DTW extension (the paper's section 8 future-work pointer)."""
+
+from repro.dtw.bounds import WarpingEnvelope, lb_keogh, lb_kim
+from repro.dtw.distance import dtw_distance, resolve_band
+from repro.dtw.search import DTWSearch, DTWSearchStats
+
+__all__ = [
+    "dtw_distance",
+    "resolve_band",
+    "WarpingEnvelope",
+    "lb_kim",
+    "lb_keogh",
+    "DTWSearch",
+    "DTWSearchStats",
+]

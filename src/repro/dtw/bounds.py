@@ -1,0 +1,91 @@
+"""Linear-cost lower bounds for DTW (the paper's section 8 pointer).
+
+Two classic bounds, both cheap enough to filter candidates before any
+quadratic DTW computation:
+
+* **LB_Kim** (simplified): DTW must align first with first and last with
+  last points, so ``max(|a_0 - b_0|, |a_n - b_n|)`` lower-bounds the
+  distance.  O(1) given the sequences.
+* **LB_Keogh** (Keogh, VLDB 2002 — reference [9] of the paper): build the
+  upper/lower *envelope* of a sequence under the warping band; any point
+  of the query outside the envelope contributes its squared excursion.
+  O(n) per comparison after an O(n) envelope precomputation.
+
+Both are exact lower bounds of :func:`repro.dtw.distance.dtw_distance`
+under the same band, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import maximum_filter1d, minimum_filter1d
+
+from repro.dtw.distance import resolve_band
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["WarpingEnvelope", "lb_kim", "lb_keogh"]
+
+
+@dataclass(frozen=True)
+class WarpingEnvelope:
+    """Upper/lower running extrema of a sequence under a warping band."""
+
+    upper: np.ndarray
+    lower: np.ndarray
+    band: int
+
+    def __post_init__(self) -> None:
+        upper = np.ascontiguousarray(self.upper, dtype=np.float64)
+        lower = np.ascontiguousarray(self.lower, dtype=np.float64)
+        if upper.shape != lower.shape:
+            raise SeriesMismatchError("envelope arrays must align")
+        upper.setflags(write=False)
+        lower.setflags(write=False)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "lower", lower)
+
+    def __len__(self) -> int:
+        return int(self.upper.size)
+
+    @classmethod
+    def of(cls, values, band: int | float | None) -> "WarpingEnvelope":
+        """Envelope of ``values`` for a Sakoe-Chiba radius ``band``."""
+        arr = as_float_array(values)
+        radius = resolve_band(arr.size, band)
+        width = 2 * radius + 1
+        return cls(
+            upper=maximum_filter1d(arr, size=width, mode="nearest"),
+            lower=minimum_filter1d(arr, size=width, mode="nearest"),
+            band=radius,
+        )
+
+
+def lb_kim(a, b) -> float:
+    """The simplified first/last-point Kim bound (O(1) from endpoints)."""
+    a = as_float_array(a)
+    b = as_float_array(b)
+    if a.size != b.size:
+        raise SeriesMismatchError(
+            f"cannot compare sequences of lengths {a.size} and {b.size}"
+        )
+    return float(max(abs(a[0] - b[0]), abs(a[-1] - b[-1])))
+
+
+def lb_keogh(query, envelope: WarpingEnvelope) -> float:
+    """Keogh's envelope bound: ``LB_Keogh(Q, C) <= DTW(Q, C)``.
+
+    ``envelope`` is the candidate's precomputed :class:`WarpingEnvelope`;
+    the query is used raw (no envelope needed on the query side).
+    """
+    q = as_float_array(query)
+    if q.size != len(envelope):
+        raise SeriesMismatchError(
+            f"query of length {q.size} vs envelope of length {len(envelope)}"
+        )
+    above = np.maximum(q - envelope.upper, 0.0)
+    below = np.maximum(envelope.lower - q, 0.0)
+    return math.sqrt(float(np.dot(above, above) + np.dot(below, below)))

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.evaluation``."""
+
+from repro.evaluation.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper figure it reproduces;
+this module renders them as aligned ASCII tables so the ``bench_output``
+transcript is self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    """Render numbers compactly; passthrough for strings/None."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Align ``rows`` under ``headers`` with a box-drawing rule."""
+    rendered = [[format_float(cell, digits) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

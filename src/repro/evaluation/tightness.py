@@ -1,0 +1,130 @@
+"""The bound-tightness experiment (figs. 20 and 21).
+
+Protocol from section 7.2: draw random pairs from the (standardised)
+database, compute every method's lower and upper bound at equal storage,
+and report the *cumulative* bound over all pairs next to the cumulative
+true Euclidean distance.  BestMinError should deliver the tightest bounds,
+with a mid-single-digit-% LB improvement and a low-double-digit-% UB
+improvement over the best first-coefficient method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bounds.registry import bounds_for
+from repro.compression.budget import StorageBudget
+from repro.evaluation.reporting import format_table
+from repro.spectral.dft import Spectrum
+
+__all__ = ["TightnessResult", "bound_tightness_experiment"]
+
+#: The paper's reporting order for figs. 20/21.
+DEFAULT_METHODS = ("gemini", "wang", "best_error", "best_min", "best_min_error")
+
+
+@dataclass(frozen=True)
+class TightnessResult:
+    """Cumulative bounds for one storage budget."""
+
+    budget: StorageBudget
+    pairs: int
+    true_distance: float
+    lower: Mapping[str, float]
+    upper: Mapping[str, float]
+
+    def lb_improvement(self, method: str = "best_min_error") -> float:
+        """Percent LB improvement of ``method`` over the best *other* method."""
+        others = [v for name, v in self.lower.items() if name != method]
+        best_other = max(others)
+        return 100.0 * (self.lower[method] - best_other) / best_other
+
+    def ub_improvement(self, method: str = "best_min_error") -> float:
+        """Percent UB improvement (reduction) over the best other method."""
+        others = [
+            v
+            for name, v in self.upper.items()
+            if name != method and np.isfinite(v)
+        ]
+        best_other = min(others)
+        return 100.0 * (best_other - self.upper[method]) / best_other
+
+    def as_table(self) -> str:
+        rows = [
+            (
+                method,
+                self.lower[method],
+                self.upper.get(method, float("inf")),
+            )
+            for method in self.lower
+        ]
+        rows.insert(0, ("full euclidean", self.true_distance, self.true_distance))
+        return format_table(
+            ("method", "cumulative LB", "cumulative UB"),
+            rows,
+            title=f"Memory = {self.budget.label()}",
+        )
+
+
+def bound_tightness_experiment(
+    matrix: np.ndarray,
+    budgets: Sequence[StorageBudget],
+    pairs: int = 100,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed: int = 0,
+) -> list[TightnessResult]:
+    """Run the fig. 20/21 protocol over ``pairs`` random pairs.
+
+    ``matrix`` rows must already be standardised.  Each pair (q, t) draws
+    two distinct rows; q plays the *full query*, t is compressed by every
+    method under every budget.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or len(matrix) < 2:
+        raise ValueError("need a 2-D matrix with at least two rows")
+    rng = np.random.default_rng(seed)
+    pair_ids = [
+        tuple(rng.choice(len(matrix), size=2, replace=False))
+        for _ in range(pairs)
+    ]
+    spectra = {}
+
+    def spectrum_of(row: int) -> Spectrum:
+        if row not in spectra:
+            spectra[row] = Spectrum.from_series(matrix[row])
+        return spectra[row]
+
+    results = []
+    for budget in budgets:
+        compressors = {m: budget.compressor(m) for m in methods}
+        lower = {m: 0.0 for m in methods}
+        upper = {m: 0.0 for m in methods}
+        has_upper = {m: True for m in methods}
+        true_total = 0.0
+        for q_row, t_row in pair_ids:
+            query = spectrum_of(q_row)
+            target = spectrum_of(t_row)
+            true_total += float(np.linalg.norm(matrix[q_row] - matrix[t_row]))
+            for method, compressor in compressors.items():
+                pair = bounds_for(query, compressor.compress(target))
+                lower[method] += pair.lower
+                if np.isfinite(pair.upper):
+                    upper[method] += pair.upper
+                else:
+                    has_upper[method] = False
+        results.append(
+            TightnessResult(
+                budget=budget,
+                pairs=pairs,
+                true_distance=true_total,
+                lower=lower,
+                upper={
+                    m: (upper[m] if has_upper[m] else float("inf"))
+                    for m in methods
+                },
+            )
+        )
+    return results

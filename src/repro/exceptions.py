@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without masking programming errors such as
+:class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SeriesLengthError(ReproError, ValueError):
+    """A time series has an unusable length for the requested operation."""
+
+
+class SeriesMismatchError(ReproError, ValueError):
+    """Two series (or a series and a representation) are incompatible.
+
+    Raised, for example, when computing the distance between sequences of
+    different lengths, or when applying a compressed sketch built from an
+    *N*-point spectrum to an *M*-point query.
+    """
+
+
+class CompressionError(ReproError, ValueError):
+    """A compressed representation could not be constructed as requested."""
+
+
+class StorageError(ReproError):
+    """A failure inside the relational/storage substrate."""
+
+
+class KeyNotFoundError(StorageError, KeyError):
+    """A key was not present in a storage structure (B-tree, table, store)."""
+
+
+class SchemaError(StorageError, ValueError):
+    """A table operation referenced columns that do not exist."""
+
+
+class UnknownQueryError(ReproError, KeyError):
+    """A query name is not present in the catalog or collection."""

@@ -1,0 +1,30 @@
+"""Similarity-search structures: VP-tree index and linear-scan baseline."""
+
+from repro.index.distance import (
+    distances_to_query,
+    euclidean,
+    euclidean_early_abandon,
+)
+from repro.index.flat import FlatSketchIndex
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.mtree import MTreeIndex, MTreeStats
+from repro.index.mvptree import MVPTreeIndex
+from repro.index.results import Neighbor, SearchStats
+from repro.index.rtree import GeminiRTreeIndex, RTree
+from repro.index.vptree import VPTreeIndex
+
+__all__ = [
+    "euclidean",
+    "euclidean_early_abandon",
+    "distances_to_query",
+    "LinearScanIndex",
+    "FlatSketchIndex",
+    "VPTreeIndex",
+    "MTreeIndex",
+    "MTreeStats",
+    "MVPTreeIndex",
+    "RTree",
+    "GeminiRTreeIndex",
+    "Neighbor",
+    "SearchStats",
+]

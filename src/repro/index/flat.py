@@ -1,0 +1,171 @@
+"""A flat (tree-less) compressed index — section 7.3's protocol as an API.
+
+The paper evaluates pruning power with an index-free protocol: bound the
+query against *every* compressed object, discard those whose lower bound
+exceeds the smallest upper bound, then verify the survivors in
+increasing-lower-bound order with early termination.  On modern
+vector-friendly hardware that flat protocol is itself an excellent index
+— one fused kernel call bounds the whole database — so this module
+promotes it to a first-class structure with the same API as the VP-tree.
+
+When to choose which:
+
+* :class:`FlatSketchIndex` — minimal memory, no build cost beyond
+  compression, perfectly predictable performance; bounds are computed for
+  every object (vectorised), so cost is Θ(D·k) per query plus
+  verification.
+* :class:`~repro.index.VPTreeIndex` — can skip bound computations for
+  whole subtrees, which wins when queries are highly selective; costs a
+  build pass and per-node Python overhead.
+
+The ablation benchmark compares them head to head.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.bounds.batch import BatchBounds, get_batch_kernel
+from repro.compression.best_k import BestMinErrorCompressor
+from repro.compression.database import SketchDatabase
+from repro.exceptions import SeriesMismatchError
+from repro.index.distance import euclidean_early_abandon
+from repro.index.results import Neighbor, SearchStats
+from repro.spectral.dft import Spectrum
+from repro.storage.pagestore import MemorySequenceStore
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["FlatSketchIndex"]
+
+
+class FlatSketchIndex:
+    """k-NN and range search over a packed sketch database, no tree.
+
+    Parameters mirror :class:`~repro.index.VPTreeIndex` (minus the
+    tree-construction knobs).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        compressor=None,
+        names: Sequence[str] | None = None,
+        store=None,
+        bound_method: str | None = "best_min_error_safe",
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise SeriesMismatchError(
+                f"expected a 2-D database matrix, got shape {matrix.shape}"
+            )
+        if names is not None and len(names) != len(matrix):
+            raise SeriesMismatchError("names must align with the matrix rows")
+        self._names = tuple(names) if names is not None else None
+        self._compressor = compressor or BestMinErrorCompressor(14)
+        self.bound_method = bound_method or self._compressor.method
+        self._kernel = get_batch_kernel(self.bound_method)
+        self._store = store if store is not None else MemorySequenceStore(
+            matrix.shape[1]
+        )
+        if len(self._store) == 0:
+            self._store.append_matrix(matrix)
+        self._sketch_db = SketchDatabase.from_matrix(matrix, self._compressor)
+        self._count = int(matrix.shape[0])
+        self._n = int(matrix.shape[1])
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def store(self):
+        return self._store
+
+    def _name(self, seq_id: int) -> str | None:
+        return self._names[seq_id] if self._names is not None else None
+
+    def _bounds(self, query: np.ndarray):
+        spectrum = Spectrum.from_series(query)
+        return self._kernel(BatchBounds(spectrum), self._sketch_db)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
+        """The ``k`` nearest neighbours (exact under sound bounds)."""
+        query = as_float_array(query)
+        if query.size != self._n:
+            raise SeriesMismatchError(
+                f"query length {query.size} does not match database "
+                f"sequences of length {self._n}"
+            )
+        if not 1 <= k <= len(self):
+            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+
+        stats = SearchStats()
+        lower, upper = self._bounds(query)
+        stats.bound_computations = len(self)
+        stats.candidates_after_traversal = len(self)
+
+        finite = upper[np.isfinite(upper)]
+        if finite.size >= k:
+            sub = float(np.partition(finite, k - 1)[k - 1])
+            survivor_ids = np.flatnonzero(lower <= sub)
+        else:
+            survivor_ids = np.arange(len(self))
+        stats.candidates_after_sub_filter = int(survivor_ids.size)
+        order = survivor_ids[np.argsort(lower[survivor_ids], kind="stable")]
+
+        best: list[tuple[float, int]] = []
+        cutoff = float("inf")
+        for seq_id in order:
+            seq_id = int(seq_id)
+            if len(best) == k and lower[seq_id] > cutoff:
+                break
+            row = self._store.read(seq_id)
+            stats.full_retrievals += 1
+            distance = euclidean_early_abandon(query, row, cutoff)
+            if distance == float("inf"):
+                continue
+            heapq.heappush(best, (-distance, seq_id))
+            if len(best) > k:
+                heapq.heappop(best)
+            if len(best) == k:
+                cutoff = -best[0][0]
+
+        neighbors = sorted(
+            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
+        )
+        return neighbors, stats
+
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query."""
+        query = as_float_array(query)
+        if query.size != self._n:
+            raise SeriesMismatchError(
+                f"query length {query.size} does not match database "
+                f"sequences of length {self._n}"
+            )
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+
+        stats = SearchStats()
+        lower, _ = self._bounds(query)
+        stats.bound_computations = len(self)
+        survivor_ids = np.flatnonzero(lower <= radius + 1e-7)
+        stats.candidates_after_traversal = len(self)
+        stats.candidates_after_sub_filter = int(survivor_ids.size)
+
+        hits: list[Neighbor] = []
+        for seq_id in survivor_ids:
+            seq_id = int(seq_id)
+            row = self._store.read(seq_id)
+            stats.full_retrievals += 1
+            distance = euclidean_early_abandon(query, row, radius + 1e-7)
+            if distance <= radius:
+                hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
+        return sorted(hits), stats

@@ -1,0 +1,56 @@
+"""Result and statistics containers shared by the search structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Neighbor", "SearchStats"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One nearest-neighbour answer.
+
+    Ordering is by distance first, so a list of neighbours sorts naturally.
+    """
+
+    distance: float
+    seq_id: int
+    name: str | None = field(default=None, compare=False)
+
+
+@dataclass
+class SearchStats:
+    """What a query cost.
+
+    Attributes
+    ----------
+    full_retrievals:
+        Uncompressed sequences fetched from the store and compared
+        exactly.  ``full_retrievals / database_size`` is the paper's
+        "fraction of the database examined" (fig. 22).
+    bound_computations:
+        LB/UB evaluations against compressed sketches.
+    nodes_visited:
+        VP-tree nodes (internal + leaf) touched during traversal.
+    subtrees_pruned:
+        Subtrees discarded by the vantage-point inequalities.
+    candidates_after_traversal:
+        Compressed candidates surviving the traversal, before the
+        smallest-upper-bound (SUB) filter.
+    candidates_after_sub_filter:
+        Candidates left after discarding those with LB > SUB.
+    """
+
+    full_retrievals: int = 0
+    bound_computations: int = 0
+    nodes_visited: int = 0
+    subtrees_pruned: int = 0
+    candidates_after_traversal: int = 0
+    candidates_after_sub_filter: int = 0
+
+    def fraction_examined(self, database_size: int) -> float:
+        """Fraction of the database compared uncompressed (fig. 22 metric)."""
+        if database_size <= 0:
+            raise ValueError("database_size must be positive")
+        return self.full_retrievals / database_size

@@ -1,0 +1,250 @@
+"""The application façade: a live query-log mining service.
+
+The paper's introduction sketches how a search service would *use* all of
+this: ingest the daily logs, keep compressed representations and burst
+features up to date, and answer three kinds of questions — "what looks
+like this query?", "when does it recur?", "what bursts with it?".
+:class:`QueryLogMiner` packages the whole library behind that interface:
+
+* **ingestion** — accept raw log records (via the
+  :class:`~repro.datagen.LogAggregator` pipeline) or ready-made daily
+  count series; new series are inserted into the live VP-tree (the
+  dynamic-maintenance extension) and their burst features land in the
+  relational burst table;
+* **similarity** — exact k-NN over the compressed index, plus DTW search
+  (built lazily, since its envelopes cost a pass over the data);
+* **periods** — per-query significant periods and shared periods across
+  a similarity result set;
+* **bursts** — per-query burst spans and query-by-burst rankings.
+
+Everything is deterministic given the inputs, and every answer comes
+from the same code paths the benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bursts.compaction import Burst
+from repro.bursts.detection import BurstDetector
+from repro.bursts.query import BurstDatabase, BurstMatch
+from repro.compression.best_k import BestMinErrorCompressor
+from repro.datagen.components import DayGrid
+from repro.datagen.events import LogAggregator, LogRecord
+from repro.dtw.search import DTWSearch
+from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.index.results import Neighbor
+from repro.index.vptree import VPTreeIndex
+from repro.periods.aggregate import SharedPeriod, shared_periods
+from repro.periods.detector import PeriodDetector
+from repro.timeseries.preprocessing import zscore
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["QueryLogMiner"]
+
+#: Rebuild the VP-tree from scratch once insertions outnumber the
+#: originally indexed population by this factor (leaf rebuilds keep the
+#: tree exact either way; a full rebuild restores balance).
+_REBUILD_GROWTH = 2.0
+
+
+class QueryLogMiner:
+    """A live mining service over daily query-count series.
+
+    Parameters
+    ----------
+    start / days:
+        The covered date window; every ingested series must match it.
+    compressor_k:
+        Best coefficients kept per sequence in the similarity index.
+    detectors:
+        Burst detectors for the burst table (defaults to the paper's
+        long/short-term pair at 2 sigma).
+    seed:
+        Seed for the index-construction randomness.
+    """
+
+    def __init__(
+        self,
+        start: _dt.date = _dt.date(2002, 1, 1),
+        days: int = 365,
+        compressor_k: int = 14,
+        detectors: Sequence[BurstDetector] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if days < 4:
+            raise SeriesMismatchError(f"need at least 4 days, got {days}")
+        self.grid = DayGrid(start, days)
+        self._seed = seed
+        self._compressor = BestMinErrorCompressor(compressor_k)
+        self._period_detector = PeriodDetector(interpolate=True)
+        self._burst_db = BurstDatabase(detectors=detectors)
+        self._series: dict[str, TimeSeries] = {}
+        self._order: list[str] = []
+        self._index: VPTreeIndex | None = None
+        self._indexed_count = 0
+        self._dtw: DTWSearch | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    def series(self, name: str) -> TimeSeries:
+        """The raw ingested series for a query name."""
+        try:
+            return self._series[name]
+        except KeyError:
+            raise UnknownQueryError(name) from None
+
+    def add_series(self, series: TimeSeries) -> None:
+        """Ingest one fully aggregated daily-count series."""
+        if not series.name:
+            raise UnknownQueryError("ingested series must be named")
+        if series.name in self._series:
+            raise UnknownQueryError(
+                f"query {series.name!r} is already ingested; "
+                f"build a new miner for a new window"
+            )
+        if len(series) != len(self.grid) or series.start != self.grid.start:
+            raise SeriesMismatchError(
+                f"series {series.name!r} covers "
+                f"{series.start.isoformat()}+{len(series)}d, the miner "
+                f"covers {self.grid.start.isoformat()}+{len(self.grid)}d"
+            )
+        self._series[series.name] = series
+        self._order.append(series.name)
+        self._burst_db.add(series)
+        self._dtw = None  # envelopes are stale
+        if self._index is not None:
+            self._index.insert(zscore(series.values), name=series.name)
+            if len(self._order) > _REBUILD_GROWTH * self._indexed_count:
+                self._index = None  # force a balanced rebuild on next use
+
+    def add_records(self, records: Iterable[LogRecord]) -> tuple[str, ...]:
+        """Ingest raw log records; returns the new query names seen.
+
+        Aggregates the stream into daily counts over the miner's window
+        (the storage-efficient, privacy-preserving reduction the paper
+        advocates) and ingests each aggregated series.
+        """
+        aggregator = LogAggregator(self.grid)
+        aggregator.consume(records)
+        added = []
+        for name in aggregator.queries:
+            self.add_series(aggregator.series(name))
+            added.append(name)
+        return tuple(added)
+
+    # ------------------------------------------------------------------
+    # Search structures (built/refreshed lazily)
+    # ------------------------------------------------------------------
+    def _matrix(self) -> np.ndarray:
+        if not self._order:
+            raise SeriesMismatchError("no series ingested yet")
+        return np.stack(
+            [zscore(self._series[name].values) for name in self._order]
+        )
+
+    def _live_index(self) -> VPTreeIndex:
+        if self._index is None:
+            self._index = VPTreeIndex(
+                self._matrix(),
+                compressor=self._compressor,
+                names=list(self._order),
+                seed=self._seed,
+            )
+            self._indexed_count = len(self._order)
+        return self._index
+
+    def _live_dtw(self) -> DTWSearch:
+        if self._dtw is None:
+            self._dtw = DTWSearch(
+                self._matrix(), band=0.05, names=list(self._order)
+            )
+        return self._dtw
+
+    def _standardized_query(self, query) -> np.ndarray:
+        if isinstance(query, str):
+            return zscore(self.series(query).values)
+        if isinstance(query, TimeSeries):
+            return zscore(query.values)
+        return zscore(np.asarray(query, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Questions
+    # ------------------------------------------------------------------
+    def similar(self, query, k: int = 5) -> list[Neighbor]:
+        """Queries with the most similar demand shape (exact k-NN).
+
+        ``query`` may be an ingested name, a :class:`TimeSeries` or a raw
+        sequence; an ingested name excludes itself from the results.
+        """
+        exclude = query if isinstance(query, str) else None
+        values = self._standardized_query(query)
+        extra = 1 if exclude is not None else 0
+        hits, _ = self._live_index().search(
+            values, k=min(k + extra, len(self))
+        )
+        return [hit for hit in hits if hit.name != exclude][:k]
+
+    def dtw_similar(self, query, k: int = 5) -> list[Neighbor]:
+        """Like :meth:`similar`, under banded dynamic time warping."""
+        exclude = query if isinstance(query, str) else None
+        values = self._standardized_query(query)
+        extra = 1 if exclude is not None else 0
+        hits, _ = self._live_dtw().search(values, k=min(k + extra, len(self)))
+        return [hit for hit in hits if hit.name != exclude][:k]
+
+    def periods(self, name: str):
+        """Significant periods of an ingested query (interpolated)."""
+        return self._period_detector.detect(
+            self.series(name).standardize()
+        )
+
+    def shared_periods_of_similar(
+        self, name: str, k: int = 5
+    ) -> list[SharedPeriod]:
+        """Periods common to a query and its nearest neighbours."""
+        members = [self.series(name)]
+        members.extend(
+            self.series(hit.name) for hit in self.similar(name, k=k)
+        )
+        return shared_periods(members, self._period_detector)
+
+    def bursts(self, name: str, window: int | None = None) -> list[Burst]:
+        """Compacted burst triplets of an ingested query."""
+        return self._burst_db.bursts_of(name, window=window)
+
+    def burst_spans(
+        self, name: str, window: int | None = None
+    ) -> list[tuple[_dt.date, _dt.date]]:
+        """Burst spans as calendar dates, for human consumption."""
+        series = self.series(name)
+        return [
+            (burst.start_date(series.start), burst.end_date(series.start))
+            for burst in self.bursts(name, window=window)
+        ]
+
+    def co_bursting(self, query, top: int = 5) -> list[BurstMatch]:
+        """Queries that burst together with ``query`` (query-by-burst)."""
+        if isinstance(query, str):
+            return self._burst_db.query(query, top=top)
+        return self._burst_db.query(query, top=top)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryLogMiner({len(self)} queries, "
+            f"{self.grid.start.isoformat()}+{len(self.grid)}d)"
+        )

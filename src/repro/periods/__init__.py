@@ -1,0 +1,18 @@
+"""Automatic significant-period detection (section 5 of the paper)."""
+
+from repro.periods.aggregate import SharedPeriod, shared_periods
+from repro.periods.detector import (
+    DetectedPeriod,
+    PeriodDetector,
+    detect_periods,
+    exponential_fit,
+)
+
+__all__ = [
+    "DetectedPeriod",
+    "PeriodDetector",
+    "detect_periods",
+    "exponential_fit",
+    "SharedPeriod",
+    "shared_periods",
+]

@@ -1,0 +1,24 @@
+"""Spectral analysis substrate: normalised DFT, periodogram, reconstruction."""
+
+from repro.spectral.dft import Spectrum, dft, half_spectrum, half_weights, idft
+from repro.spectral.periodogram import Periodogram, periodogram
+from repro.spectral.reconstruction import (
+    best_indexes,
+    first_indexes,
+    reconstruct,
+    reconstruction_error,
+)
+
+__all__ = [
+    "Spectrum",
+    "dft",
+    "idft",
+    "half_spectrum",
+    "half_weights",
+    "Periodogram",
+    "periodogram",
+    "first_indexes",
+    "best_indexes",
+    "reconstruct",
+    "reconstruction_error",
+]

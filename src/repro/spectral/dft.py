@@ -1,0 +1,166 @@
+"""Normalised Discrete Fourier Transform and the half-spectrum view.
+
+Section 2.1 of the paper uses the *normalised* DFT
+
+.. math::
+
+    X(f_{k/N}) = \\frac{1}{\\sqrt{N}} \\sum_{n=0}^{N-1} x(n) e^{-j 2\\pi k n / N}
+
+whose crucial property (Parseval) is that it preserves energy and Euclidean
+distance: ``D(x, y) == D(X, Y)``.  All the compressed representations and
+distance bounds of section 3 live in this transformed space.
+
+For *real* signals the coefficients are conjugate-symmetric around the
+middle one (``X[N-k] == conj(X[k])``), so only the first half carries
+information.  Rafiei's "symmetric property" — which both LB-GEMINI and the
+paper's storage accounting exploit — is modelled here explicitly by the
+:class:`Spectrum` class: it keeps one coefficient per conjugate pair
+together with a *weight* (2 for a proper pair, 1 for the DC and Nyquist
+coefficients which are their own conjugates).  Energy and distance sums in
+half-spectrum space then use those weights and agree exactly with the
+full-spectrum (and therefore time-domain) quantities.
+
+:class:`Spectrum` is deliberately basis-agnostic: any orthonormal
+decomposition (e.g. the Haar wavelets in :mod:`repro.wavelets`) can produce
+one with unit weights, and every compressor and bound in
+:mod:`repro.compression` / :mod:`repro.bounds` works on it unchanged.  This
+realises the paper's remark that its algorithms "can be adapted to any
+class of orthogonal decompositions with minimal or no adjustments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["Spectrum", "dft", "idft", "half_spectrum", "half_weights"]
+
+
+def dft(values) -> np.ndarray:
+    """Normalised DFT of a real sequence: full complex coefficient vector."""
+    arr = as_float_array(values)
+    return np.fft.fft(arr) / np.sqrt(arr.size)
+
+
+def idft(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dft`; returns the real part of the reconstruction."""
+    coefficients = np.asarray(coefficients, dtype=np.complex128)
+    return np.real(np.fft.ifft(coefficients) * np.sqrt(coefficients.size))
+
+
+def half_weights(n: int) -> np.ndarray:
+    """Conjugate-pair multiplicities for the half spectrum of a length-``n`` signal.
+
+    Index 0 (DC) always has weight 1.  For even ``n`` the last half-spectrum
+    index ``n // 2`` is the real Nyquist ("middle") coefficient with weight 1;
+    all interior indexes stand for a conjugate pair and weigh 2.
+    """
+    half = n // 2 + 1
+    weights = np.full(half, 2.0)
+    weights[0] = 1.0
+    if n % 2 == 0:
+        weights[-1] = 1.0
+    return weights
+
+
+def half_spectrum(values) -> np.ndarray:
+    """Half of the normalised DFT (indexes ``0 .. n//2`` inclusive)."""
+    arr = as_float_array(values)
+    return np.fft.rfft(arr) / np.sqrt(arr.size)
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """One coefficient per conjugate pair, with distance weights.
+
+    Attributes
+    ----------
+    coefficients:
+        Complex coefficient vector in half-spectrum space (or the full real
+        coefficient vector of a non-Fourier orthonormal basis).
+    weights:
+        Per-coefficient multiplicity so that
+        ``sum(weights * |coefficients|**2)`` equals the signal energy and
+        ``sqrt(sum(weights * |A - B|**2))`` equals the time-domain Euclidean
+        distance.
+    n:
+        Length of the originating time-domain signal.
+    basis:
+        Identifier of the decomposition (``"fourier"``, ``"haar"``, ...).
+    """
+
+    coefficients: np.ndarray
+    weights: np.ndarray
+    n: int
+    basis: str = "fourier"
+
+    def __post_init__(self) -> None:
+        coeffs = np.ascontiguousarray(self.coefficients, dtype=np.complex128)
+        weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        if coeffs.shape != weights.shape or coeffs.ndim != 1:
+            raise SeriesMismatchError(
+                "coefficients and weights must be 1-D arrays of equal length"
+            )
+        coeffs.setflags(write=False)
+        weights.setflags(write=False)
+        object.__setattr__(self, "coefficients", coeffs)
+        object.__setattr__(self, "weights", weights)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_series(cls, values) -> "Spectrum":
+        """Fourier half-spectrum of a real time-domain sequence."""
+        arr = as_float_array(values)
+        return cls(half_spectrum(arr), half_weights(arr.size), arr.size)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.coefficients.size)
+
+    @property
+    def magnitudes(self) -> np.ndarray:
+        """Coefficient magnitudes ``|X_i|`` (unweighted)."""
+        return np.abs(self.coefficients)
+
+    @property
+    def powers(self) -> np.ndarray:
+        """Weighted per-coefficient energies ``w_i * |X_i|**2``."""
+        return self.weights * np.abs(self.coefficients) ** 2
+
+    def energy(self) -> float:
+        """Total signal energy (equals ``sum(x**2)`` by Parseval)."""
+        return float(self.powers.sum())
+
+    def distance(self, other: "Spectrum") -> float:
+        """Euclidean distance in coefficient space (== time-domain distance)."""
+        self._check_compatible(other)
+        diff = np.abs(self.coefficients - other.coefficients) ** 2
+        return float(np.sqrt(np.dot(self.weights, diff)))
+
+    def to_series(self) -> np.ndarray:
+        """Invert the transform back to the time domain (Fourier basis only)."""
+        if self.basis != "fourier":
+            raise SeriesMismatchError(
+                f"to_series is only defined for the Fourier basis, "
+                f"not {self.basis!r}"
+            )
+        return np.fft.irfft(self.coefficients, n=self.n) * np.sqrt(self.n)
+
+    def _check_compatible(self, other: "Spectrum") -> None:
+        if (
+            other.n != self.n
+            or len(other) != len(self)
+            or other.basis != self.basis
+        ):
+            raise SeriesMismatchError(
+                f"incompatible spectra: (n={self.n}, basis={self.basis!r}) "
+                f"vs (n={other.n}, basis={other.basis!r})"
+            )

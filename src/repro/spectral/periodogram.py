@@ -1,0 +1,93 @@
+"""Power spectral density estimation via the periodogram (section 2.2).
+
+The periodogram of a sequence is the squared magnitude of its normalised
+Fourier coefficients,
+
+.. math:: P(f_{k/N}) = \\lVert X(f_{k/N}) \\rVert^2,
+          \\qquad k = 0, 1, \\ldots, \\lfloor (N-1)/2 \\rfloor ,
+
+restricted to frequencies up to the Nyquist limit.  The *k* dominant
+frequencies appear as its tallest peaks; throughout the library "best
+coefficients" means the coefficients under those peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spectral.dft import Spectrum
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["Periodogram", "periodogram"]
+
+
+@dataclass(frozen=True)
+class Periodogram:
+    """The estimated power spectral density of one sequence.
+
+    Attributes
+    ----------
+    power:
+        ``power[k]`` is :math:`\\lVert X_k \\rVert^2` for half-spectrum
+        index ``k`` (unweighted squared magnitude, exactly as in the paper).
+    n:
+        Length of the originating signal, used to convert between
+        half-spectrum indexes, frequencies (cycles/sample) and periods
+        (samples/cycle).
+    """
+
+    power: np.ndarray
+    n: int
+
+    def __post_init__(self) -> None:
+        power = np.ascontiguousarray(self.power, dtype=np.float64)
+        power.setflags(write=False)
+        object.__setattr__(self, "power", power)
+
+    def __len__(self) -> int:
+        return int(self.power.size)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Frequency of each bin in cycles per sample (``k / n``)."""
+        return np.arange(len(self)) / self.n
+
+    @property
+    def periods(self) -> np.ndarray:
+        """Period of each bin in samples (``n / k``; DC maps to ``inf``)."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                np.arange(len(self)) == 0,
+                np.inf,
+                self.n / np.maximum(np.arange(len(self)), 1),
+            )
+
+    def period_of(self, index: int) -> float:
+        """Period (in samples) of half-spectrum index ``index``."""
+        if index == 0:
+            return float("inf")
+        return self.n / index
+
+    def top_indexes(self, k: int, skip_dc: bool = True) -> np.ndarray:
+        """Indexes of the ``k`` most powerful bins, strongest first."""
+        start = 1 if skip_dc else 0
+        body = self.power[start:]
+        k = min(k, body.size)
+        order = np.argsort(body, kind="stable")[::-1][:k]
+        return order + start
+
+
+def periodogram(values) -> Periodogram:
+    """Periodogram of a raw sequence or a precomputed :class:`Spectrum`.
+
+    Only bins up to the Nyquist frequency are produced ("we can detect
+    frequencies that are at most half of the maximum signal frequency").
+    """
+    if isinstance(values, Spectrum):
+        spectrum = values
+    else:
+        spectrum = Spectrum.from_series(as_float_array(values))
+    power = np.abs(spectrum.coefficients) ** 2
+    return Periodogram(power, spectrum.n)

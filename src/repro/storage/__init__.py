@@ -1,0 +1,20 @@
+"""Relational/storage substrate: B+tree, table, disk-backed sequence store."""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.pagestore import IOStats, MemorySequenceStore, SequencePageStore
+from repro.storage.table import Predicate, Row, Table, eq, ge, gt, le, lt
+
+__all__ = [
+    "BPlusTree",
+    "IOStats",
+    "MemorySequenceStore",
+    "SequencePageStore",
+    "Predicate",
+    "Row",
+    "Table",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+]

@@ -1,0 +1,360 @@
+"""An in-memory B+tree.
+
+Section 6.3 of the paper stores the compacted burst triplets "as records in
+a DBMS table" and notes that retrieving overlapping bursts "is extremely
+efficient, if we create an index (basically a B-tree) on the startDate and
+endDate attributes".  This module provides that index structure from
+scratch: a classic B+tree with
+
+* all values stored in leaves, which are chained for fast range scans,
+* configurable fan-out (``order`` = maximum number of keys per node),
+* logarithmic point lookups, inserts and deletes (with borrow/merge
+  rebalancing), and
+* inclusive/exclusive range queries — the access path behind the
+  ``B.startDate < Q.endDate AND B.endDate > Q.startDate`` plan of fig. 18.
+
+Keys may be any mutually comparable values.  Each key maps to exactly one
+value; callers that need duplicate keys (the burst table does — many bursts
+share a start date) store a list as the value or use a composite key.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.exceptions import KeyNotFoundError
+
+__all__ = ["BPlusTree"]
+
+_MIN_ORDER = 3
+
+
+class _Node:
+    """A B+tree node; ``children`` is empty exactly for leaves."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.children: list["_Node"] = []
+        self.values: list[Any] = []
+        self.next_leaf: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BPlusTree:
+    """A B+tree mapping unique comparable keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys a node may hold (>= 3).  A node splits when
+        it would exceed ``order`` keys and borrows/merges when it falls
+        below ``order // 2`` keys.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < _MIN_ORDER:
+            raise ValueError(f"order must be >= {_MIN_ORDER}, got {order}")
+        self._order = order
+        self._root = _Node()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key) -> bool:
+        leaf, idx = self._find_leaf(key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def __getitem__(self, key):
+        leaf, idx = self._find_leaf(key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        raise KeyNotFoundError(key)
+
+    def __setitem__(self, key, value) -> None:
+        self.insert(key, value)
+
+    def get(self, key, default=None):
+        """Value for ``key``, or ``default`` when absent."""
+        try:
+            return self[key]
+        except KeyNotFoundError:
+            return default
+
+    # ------------------------------------------------------------------
+    # Search helpers
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key) -> tuple[_Node, int]:
+        """Leaf that should contain ``key`` and the key's insertion point."""
+        node = self._root
+        while not node.is_leaf:
+            # Child i holds keys < keys[i]; keys equal to a separator go right.
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node, bisect.bisect_left(node.keys, key)
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key, value) -> None:
+        """Insert ``key -> value``, replacing the value of an existing key."""
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+            return
+
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self._size += 1
+
+        # Split upward while any node on the path overflows.
+        while len(node.keys) > self._order:
+            separator, sibling = self._split(node)
+            if not path:
+                root = _Node()
+                root.keys = [separator]
+                root.children = [node, sibling]
+                self._root = root
+                return
+            parent, child_idx = path.pop()
+            parent.keys.insert(child_idx, separator)
+            parent.children.insert(child_idx + 1, sibling)
+            node = parent
+
+    def _split(self, node: _Node) -> tuple[Any, _Node]:
+        """Split an overflowing node; return (separator key, new right node)."""
+        sibling = _Node()
+        mid = len(node.keys) // 2
+        if node.is_leaf:
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        return separator, sibling
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+
+        idx = bisect.bisect_left(node.keys, key)
+        if idx >= len(node.keys) or node.keys[idx] != key:
+            raise KeyNotFoundError(key)
+        node.keys.pop(idx)
+        node.values.pop(idx)
+        self._size -= 1
+        self._rebalance(node, path)
+
+    def _min_keys(self) -> int:
+        return self._order // 2
+
+    def _rebalance(self, node: _Node, path: list[tuple[_Node, int]]) -> None:
+        while len(node.keys) < self._min_keys():
+            if not path:
+                # The root may hold fewer keys; collapse it when it becomes
+                # an empty internal node.
+                if not node.is_leaf and not node.keys:
+                    self._root = node.children[0]
+                return
+            parent, child_idx = path.pop()
+            if self._borrow(parent, child_idx):
+                return
+            self._merge(parent, child_idx)
+            node = parent
+
+    def _borrow(self, parent: _Node, child_idx: int) -> bool:
+        """Try to borrow one entry from an adjacent sibling; True on success."""
+        node = parent.children[child_idx]
+        min_keys = self._min_keys()
+
+        if child_idx > 0:
+            left = parent.children[child_idx - 1]
+            if len(left.keys) > min_keys:
+                if node.is_leaf:
+                    node.keys.insert(0, left.keys.pop())
+                    node.values.insert(0, left.values.pop())
+                    parent.keys[child_idx - 1] = node.keys[0]
+                else:
+                    node.keys.insert(0, parent.keys[child_idx - 1])
+                    parent.keys[child_idx - 1] = left.keys.pop()
+                    node.children.insert(0, left.children.pop())
+                return True
+
+        if child_idx < len(parent.children) - 1:
+            right = parent.children[child_idx + 1]
+            if len(right.keys) > min_keys:
+                if node.is_leaf:
+                    node.keys.append(right.keys.pop(0))
+                    node.values.append(right.values.pop(0))
+                    parent.keys[child_idx] = right.keys[0]
+                else:
+                    node.keys.append(parent.keys[child_idx])
+                    parent.keys[child_idx] = right.keys.pop(0)
+                    node.children.append(right.children.pop(0))
+                return True
+
+        return False
+
+    def _merge(self, parent: _Node, child_idx: int) -> None:
+        """Merge the child at ``child_idx`` with a sibling (both at minimum)."""
+        if child_idx == len(parent.children) - 1:
+            child_idx -= 1  # merge the last child into its left sibling
+        left = parent.children[child_idx]
+        right = parent.children[child_idx + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[child_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(child_idx)
+        parent.children.pop(child_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Iteration and range queries
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in ascending key order."""
+        leaf: _Node | None = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator[Any]:
+        return (key for key, _ in self.items())
+
+    def values(self) -> Iterator[Any]:
+        return (value for _, value in self.items())
+
+    def range(
+        self,
+        low=None,
+        high=None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key <= high`` (bounds optional).
+
+        ``inclusive`` controls whether each bound is closed; pass
+        ``(True, False)`` for a half-open interval.  ``None`` bounds are
+        unbounded.  The scan walks the leaf chain, touching only the leaves
+        that can contain qualifying keys.
+        """
+        if low is None:
+            leaf: _Node | None = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf, idx = self._find_leaf(low)
+            if not inclusive[0]:
+                while (
+                    leaf is not None
+                    and idx < len(leaf.keys)
+                    and leaf.keys[idx] == low
+                ):
+                    idx += 1
+                    if idx >= len(leaf.keys):
+                        leaf = leaf.next_leaf
+                        idx = 0
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if key > high or (key == high and not inclusive[1]):
+                        return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Number of levels (a lone root leaf has height 1)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises AssertionError on breakage.
+
+        Intended for tests: checks key ordering within and across nodes,
+        fan-out limits, uniform leaf depth, leaf-chain completeness and the
+        size counter.
+        """
+        leaves: list[_Node] = []
+        depths: set[int] = set()
+
+        def visit(node: _Node, depth: int, lo, hi) -> None:
+            assert len(node.keys) <= self._order, "node overflow"
+            if node is not self._root:
+                assert len(node.keys) >= self._min_keys(), "node underflow"
+            assert node.keys == sorted(node.keys), "keys out of order"
+            for key in node.keys:
+                if lo is not None:
+                    assert key >= lo, "key below subtree bound"
+                if hi is not None:
+                    assert key < hi, "key above subtree bound"
+            if node.is_leaf:
+                assert len(node.keys) == len(node.values)
+                leaves.append(node)
+                depths.add(depth)
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lo, *node.keys, hi]
+                for child, (child_lo, child_hi) in zip(
+                    node.children, zip(bounds, bounds[1:])
+                ):
+                    visit(child, depth + 1, child_lo, child_hi)
+
+        visit(self._root, 0, None, None)
+        assert len(depths) <= 1, "leaves at different depths"
+        chained = []
+        leaf: _Node | None = self._leftmost_leaf()
+        while leaf is not None:
+            chained.append(leaf)
+            leaf = leaf.next_leaf
+        assert chained == leaves, "leaf chain does not match tree order"
+        assert sum(len(leaf.keys) for leaf in leaves) == self._size

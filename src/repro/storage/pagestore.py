@@ -1,0 +1,251 @@
+"""Disk-backed sequence storage with explicit I/O accounting.
+
+The paper's timing experiment (fig. 23) contrasts three configurations: a
+linear scan that reads every *uncompressed* sequence from disk, an index
+whose compressed features live on disk, and an index whose compressed
+features fit in memory.  Since absolute 2004-era disk timings are not
+reproducible, this module makes the dominant cost *measurable*: every
+sequence fetched from a :class:`SequencePageStore` is charged the number of
+pages it spans, and the store keeps running counters of read calls, pages
+touched and (an estimate of) random seeks.
+
+:class:`MemorySequenceStore` implements the same interface with zero I/O
+cost, so "index in memory" and "index on disk" are the same code path with
+a different store plugged in.
+
+File layout: a small header (magic, page size, sequence length), then each
+sequence serialised as consecutive float64 pages, aligned to page
+boundaries so that sequence ``i`` starts at a deterministic offset.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import KeyNotFoundError, StorageError
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["IOStats", "SequencePageStore", "MemorySequenceStore"]
+
+_MAGIC = b"RPRSEQ1\x00"
+_HEADER = struct.Struct("<8sIQ")  # magic, page_size, sequence_length
+
+
+@dataclass
+class IOStats:
+    """Running I/O counters for a sequence store."""
+
+    read_calls: int = 0
+    pages_read: int = 0
+    seeks: int = 0
+    _last_page: int | None = field(default=None, repr=False)
+
+    def charge(self, first_page: int, page_count: int) -> None:
+        """Record one read of ``page_count`` pages starting at ``first_page``."""
+        self.read_calls += 1
+        self.pages_read += page_count
+        if self._last_page is None or first_page != self._last_page:
+            self.seeks += 1
+        self._last_page = first_page + page_count
+
+    def reset(self) -> None:
+        self.read_calls = 0
+        self.pages_read = 0
+        self.seeks = 0
+        self._last_page = None
+
+
+class SequencePageStore:
+    """Append-only on-disk store of equal-length float64 sequences.
+
+    Parameters
+    ----------
+    path:
+        Backing file.  Created on first append; reopened read-write.
+    sequence_length:
+        Length of every stored sequence (fixed per store).
+    page_size:
+        Simulated disk page size in bytes (default 4096).
+    """
+
+    def __init__(self, path, sequence_length: int, page_size: int = 4096) -> None:
+        if sequence_length <= 0:
+            raise StorageError("sequence_length must be positive")
+        if page_size < 64:
+            raise StorageError("page_size must be at least 64 bytes")
+        self.path = os.fspath(path)
+        self.sequence_length = int(sequence_length)
+        self.page_size = int(page_size)
+        self.stats = IOStats()
+        bytes_per_sequence = self.sequence_length * 8
+        self._pages_per_sequence = -(-bytes_per_sequence // self.page_size)
+        self._count = 0
+        self._file = open(self.path, "w+b")
+        self._file.write(_HEADER.pack(_MAGIC, self.page_size, self.sequence_length))
+        self._data_offset = self._align(_HEADER.size)
+        self._file.write(b"\x00" * (self._data_offset - _HEADER.size))
+        self._file.flush()
+
+    @classmethod
+    def open(cls, path, page_size: int | None = None) -> "SequencePageStore":
+        """Reopen an existing store file, validating its header.
+
+        The sequence length and page size are read back from the header;
+        passing ``page_size`` asserts the expectation.  The sequence count
+        is recovered from the file size, so a store survives process
+        restarts.
+        """
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as probe:
+                header = probe.read(_HEADER.size)
+                file_size = os.path.getsize(path)
+        except OSError as exc:
+            raise StorageError(f"cannot open store file {path!r}: {exc}")
+        if len(header) < _HEADER.size:
+            raise StorageError(f"{path!r} is too short to be a sequence store")
+        magic, stored_page_size, sequence_length = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(
+                f"{path!r} is not a sequence store (bad magic {magic!r})"
+            )
+        if page_size is not None and page_size != stored_page_size:
+            raise StorageError(
+                f"store {path!r} uses page size {stored_page_size}, "
+                f"expected {page_size}"
+            )
+
+        store = cls.__new__(cls)
+        store.path = path
+        store.sequence_length = int(sequence_length)
+        store.page_size = int(stored_page_size)
+        store.stats = IOStats()
+        bytes_per_sequence = store.sequence_length * 8
+        store._pages_per_sequence = -(-bytes_per_sequence // store.page_size)
+        store._file = open(path, "r+b")
+        store._data_offset = store._align(_HEADER.size)
+        payload_bytes = max(file_size - store._data_offset, 0)
+        sequence_bytes = store._pages_per_sequence * store.page_size
+        store._count = payload_bytes // sequence_bytes
+        return store
+
+    def _align(self, offset: int) -> int:
+        return -(-offset // self.page_size) * self.page_size
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "SequencePageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Storage interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def pages_per_sequence(self) -> int:
+        """Pages charged for reading one sequence."""
+        return self._pages_per_sequence
+
+    def append(self, values) -> int:
+        """Store a sequence; returns its integer id (dense, starting at 0)."""
+        arr = as_float_array(values)
+        if arr.size != self.sequence_length:
+            raise StorageError(
+                f"store holds sequences of length {self.sequence_length}, "
+                f"got {arr.size}"
+            )
+        seq_id = self._count
+        offset = self._offset_of(seq_id)
+        self._file.seek(offset)
+        payload = arr.tobytes()
+        self._file.write(payload)
+        padding = self._pages_per_sequence * self.page_size - len(payload)
+        if padding:
+            self._file.write(b"\x00" * padding)
+        self._count += 1
+        return seq_id
+
+    def append_matrix(self, matrix: np.ndarray) -> list[int]:
+        """Store every row of a ``(count, sequence_length)`` matrix."""
+        return [self.append(row) for row in np.asarray(matrix, dtype=np.float64)]
+
+    def _offset_of(self, seq_id: int) -> int:
+        return (
+            self._data_offset
+            + seq_id * self._pages_per_sequence * self.page_size
+        )
+
+    def read(self, seq_id: int) -> np.ndarray:
+        """Fetch a sequence by id, charging its pages to :attr:`stats`."""
+        if not 0 <= seq_id < self._count:
+            raise KeyNotFoundError(seq_id)
+        offset = self._offset_of(seq_id)
+        first_page = offset // self.page_size
+        self.stats.charge(first_page, self._pages_per_sequence)
+        self._file.seek(offset)
+        payload = self._file.read(self.sequence_length * 8)
+        return np.frombuffer(payload, dtype=np.float64).copy()
+
+
+class MemorySequenceStore:
+    """Drop-in replacement for :class:`SequencePageStore` held in RAM.
+
+    Reads are free: :attr:`stats` counts calls but charges zero pages, which
+    models the paper's "compressed features in memory" configuration.
+    """
+
+    def __init__(self, sequence_length: int) -> None:
+        if sequence_length <= 0:
+            raise StorageError("sequence_length must be positive")
+        self.sequence_length = int(sequence_length)
+        self.stats = IOStats()
+        self._rows: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def pages_per_sequence(self) -> int:
+        return 0
+
+    def append(self, values) -> int:
+        arr = as_float_array(values)
+        if arr.size != self.sequence_length:
+            raise StorageError(
+                f"store holds sequences of length {self.sequence_length}, "
+                f"got {arr.size}"
+            )
+        self._rows.append(arr.copy())
+        return len(self._rows) - 1
+
+    def append_matrix(self, matrix: np.ndarray) -> list[int]:
+        return [self.append(row) for row in np.asarray(matrix, dtype=np.float64)]
+
+    def read(self, seq_id: int) -> np.ndarray:
+        if not 0 <= seq_id < len(self._rows):
+            raise KeyNotFoundError(seq_id)
+        self.stats.read_calls += 1
+        return self._rows[seq_id]
+
+    def close(self) -> None:
+        """No-op, for interface parity with :class:`SequencePageStore`."""
+
+    def __enter__(self) -> "MemorySequenceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

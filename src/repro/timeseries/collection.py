@@ -1,0 +1,177 @@
+"""A collection of equally shaped time series — the "query database".
+
+The paper's experiments run against databases of up to :math:`2^{15}`
+sequences, all of the same length and covering the same date span.
+:class:`TimeSeriesCollection` enforces that shape discipline, provides
+name-based and positional access, and can expose the whole database as a
+single ``(num_series, length)`` matrix so downstream code (compression,
+linear scans, index construction) can work with vectorised numpy kernels.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["TimeSeriesCollection"]
+
+
+class TimeSeriesCollection:
+    """An ordered, name-indexed set of equal-length :class:`TimeSeries`.
+
+    Series are kept in insertion order; each series must have a unique name,
+    the same length, and the same start date as the first series added.
+    """
+
+    def __init__(self, series: Iterable[TimeSeries] = ()) -> None:
+        self._series: dict[str, TimeSeries] = {}
+        self._order: list[str] = []
+        self._length: int | None = None
+        self._start: _dt.date | None = None
+        for item in series:
+            self.add(item)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, series: TimeSeries) -> None:
+        """Add a series, enforcing unique names and a uniform shape."""
+        if not series.name:
+            raise SeriesMismatchError("collection members must be named")
+        if series.name in self._series:
+            raise SeriesMismatchError(f"duplicate series name: {series.name!r}")
+        if self._length is None:
+            self._length = len(series)
+            self._start = series.start
+        elif len(series) != self._length:
+            raise SeriesMismatchError(
+                f"series {series.name!r} has length {len(series)}, "
+                f"collection requires {self._length}"
+            )
+        elif series.start != self._start:
+            raise SeriesMismatchError(
+                f"series {series.name!r} starts {series.start.isoformat()}, "
+                f"collection requires {self._start.isoformat()}"
+            )
+        self._series[series.name] = series
+        self._order.append(series.name)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return (self._series[name] for name in self._order)
+
+    def __getitem__(self, key: str | int) -> TimeSeries:
+        if isinstance(key, str):
+            try:
+                return self._series[key]
+            except KeyError:
+                raise UnknownQueryError(key) from None
+        return self._series[self._order[key]]
+
+    @property
+    def names(self) -> Sequence[str]:
+        """Series names in insertion order."""
+        return tuple(self._order)
+
+    @property
+    def series_length(self) -> int:
+        if self._length is None:
+            raise SeriesMismatchError("collection is empty")
+        return self._length
+
+    @property
+    def start(self) -> _dt.date:
+        if self._start is None:
+            raise SeriesMismatchError("collection is empty")
+        return self._start
+
+    def position_of(self, name: str) -> int:
+        """Insertion position of a series name."""
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise UnknownQueryError(name) from None
+
+    # ------------------------------------------------------------------
+    # Bulk views / transforms
+    # ------------------------------------------------------------------
+    def as_matrix(self) -> np.ndarray:
+        """All series stacked into a ``(len(self), series_length)`` matrix."""
+        if not self._order:
+            raise SeriesMismatchError("collection is empty")
+        return np.stack([self._series[name].values for name in self._order])
+
+    def standardize(self) -> "TimeSeriesCollection":
+        """New collection with every member z-normalised."""
+        return TimeSeriesCollection(s.standardize() for s in self)
+
+    def subset(self, names: Iterable[str]) -> "TimeSeriesCollection":
+        """New collection restricted to ``names`` (in the given order)."""
+        return TimeSeriesCollection(self[name] for name in names)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        names: Sequence[str] | None = None,
+        start: _dt.date = _dt.date(2000, 1, 1),
+    ) -> "TimeSeriesCollection":
+        """Build a collection from a ``(num_series, length)`` matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise SeriesMismatchError(
+                f"expected a 2-D matrix, got shape {matrix.shape}"
+            )
+        if names is None:
+            width = len(str(max(matrix.shape[0] - 1, 1)))
+            names = [f"series-{i:0{width}d}" for i in range(matrix.shape[0])]
+        if len(names) != matrix.shape[0]:
+            raise SeriesMismatchError(
+                f"{matrix.shape[0]} rows but {len(names)} names"
+            )
+        return cls(
+            TimeSeries(row, name=name, start=start)
+            for row, name in zip(matrix, names)
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise the collection to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            matrix=self.as_matrix(),
+            names=np.array(self._order, dtype=str),
+            start=np.array([self.start.isoformat()], dtype=str),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TimeSeriesCollection":
+        """Load a collection previously written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as payload:
+            start = _dt.date.fromisoformat(str(payload["start"][0]))
+            return cls.from_matrix(
+                payload["matrix"], names=payload["names"].tolist(), start=start
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._order:
+            return "TimeSeriesCollection(empty)"
+        return (
+            f"TimeSeriesCollection({len(self)} series of length "
+            f"{self._length}, start {self._start.isoformat()})"
+        )

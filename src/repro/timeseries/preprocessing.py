@@ -1,0 +1,113 @@
+"""Elementary time-series preprocessing used throughout the paper.
+
+Two operations appear over and over in Vlachos et al. (SIGMOD 2004):
+
+* **Standardisation** ("subtract mean, divide by std", sections 6.3 and 7):
+  every sequence is z-normalised before compression, indexing and burst
+  feature extraction so that queries with wildly different absolute demand
+  become comparable.
+* **Moving averages** (section 6.1): the burst detector smooths each series
+  with a moving average of length *w* before thresholding.
+
+These are provided here as plain :mod:`numpy` functions operating on
+1-D arrays; :class:`repro.timeseries.series.TimeSeries` exposes convenience
+wrappers around them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SeriesLengthError
+
+__all__ = ["as_float_array", "zscore", "moving_average"]
+
+
+def as_float_array(values) -> np.ndarray:
+    """Coerce ``values`` to a 1-D contiguous ``float64`` array.
+
+    Raises
+    ------
+    SeriesLengthError
+        If the input is empty or not one-dimensional.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise SeriesLengthError(
+            f"expected a 1-D sequence, got array of shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise SeriesLengthError("expected a non-empty sequence")
+    if not np.all(np.isfinite(arr)):
+        raise SeriesLengthError("sequence contains NaN or infinite values")
+    return arr
+
+
+def zscore(values, ddof: int = 0) -> np.ndarray:
+    """Standardise a sequence: subtract the mean, divide by the std.
+
+    A constant sequence has zero standard deviation; in that case the
+    centred (all-zero) sequence is returned rather than dividing by zero.
+    This matches the behaviour needed by the paper: a constant query has no
+    shape, so its standardised form carries no energy.
+
+    Parameters
+    ----------
+    values:
+        The raw sequence.
+    ddof:
+        Delta degrees of freedom forwarded to :func:`numpy.std`. The paper
+        does not specify; the population std (``ddof=0``) is the common
+        choice in the time-series indexing literature.
+    """
+    arr = as_float_array(values)
+    centred = arr - arr.mean()
+    std = arr.std(ddof=ddof)
+    if std == 0.0:
+        return centred
+    return centred / std
+
+
+def moving_average(values, window: int, mode: str = "trailing") -> np.ndarray:
+    """Moving average :math:`MA_w` of a sequence (section 6.1).
+
+    Parameters
+    ----------
+    values:
+        The raw sequence ``t = (t_1, ..., t_n)``.
+    window:
+        The averaging window *w*.  Must satisfy ``1 <= w <= n``.
+    mode:
+        ``"trailing"`` averages the *w* most recent points; the first
+        ``w - 1`` outputs average only the points seen so far (a growing
+        prefix window), so the result has the same length as the input and
+        no look-ahead.  ``"centered"`` centres the window on each point,
+        truncating it at the boundaries.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same length as ``values``.
+    """
+    arr = as_float_array(values)
+    n = arr.size
+    if not 1 <= window <= n:
+        raise SeriesLengthError(
+            f"moving-average window must be in [1, {n}], got {window}"
+        )
+    if mode not in ("trailing", "centered"):
+        raise ValueError(f"unknown moving-average mode: {mode!r}")
+
+    # Prefix sums give every window sum in O(n) without accumulating the
+    # float error of a running add/subtract loop.
+    prefix = np.concatenate(([0.0], np.cumsum(arr)))
+    idx = np.arange(n)
+    if mode == "trailing":
+        lo = np.maximum(idx - window + 1, 0)
+        hi = idx + 1
+    else:
+        half_left = (window - 1) // 2
+        half_right = window - 1 - half_left
+        lo = np.maximum(idx - half_left, 0)
+        hi = np.minimum(idx + half_right + 1, n)
+    return (prefix[hi] - prefix[lo]) / (hi - lo)

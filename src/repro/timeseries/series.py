@@ -1,0 +1,155 @@
+"""The :class:`TimeSeries` container.
+
+The paper builds "a time series for each query word or phrase where the
+elements of the time series are the number of times that a query is issued
+on a day".  :class:`TimeSeries` models exactly that object: a named, daily
+sampled sequence anchored at a calendar date.  The calendar anchoring is
+what lets the burst machinery report human-interpretable results such as
+"the burst for *halloween* covers October and November".
+
+The container is immutable: every transformation returns a new instance.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries.preprocessing import as_float_array, moving_average, zscore
+
+__all__ = ["TimeSeries"]
+
+_EPOCH = _dt.date(2000, 1, 1)
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A named daily time series.
+
+    Parameters
+    ----------
+    values:
+        The observations, one per day.  Coerced to a read-only
+        ``float64`` array.
+    name:
+        The query string this series counts (e.g. ``"cinema"``).
+    start:
+        Calendar date of ``values[0]``.  Defaults to 2000-01-01, the first
+        day covered by the paper's dataset.
+    """
+
+    values: np.ndarray
+    name: str = ""
+    start: _dt.date = field(default=_EPOCH)
+
+    def __post_init__(self) -> None:
+        arr = as_float_array(self.values)
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is None and not copy:
+            return self.values
+        return np.array(self.values, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Calendar helpers
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> _dt.date:
+        """Calendar date of the last observation."""
+        return self.start + _dt.timedelta(days=len(self) - 1)
+
+    def date_at(self, index: int) -> _dt.date:
+        """Calendar date of ``values[index]`` (negative indexes allowed)."""
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"index {index} out of range for {n}-day series")
+        return self.start + _dt.timedelta(days=index)
+
+    def index_of(self, date: _dt.date) -> int:
+        """Array index of a calendar date.
+
+        Raises
+        ------
+        SeriesMismatchError
+            If the date falls outside the series' span.
+        """
+        offset = (date - self.start).days
+        if not 0 <= offset < len(self):
+            raise SeriesMismatchError(
+                f"{date.isoformat()} is outside the series span "
+                f"[{self.start.isoformat()}, {self.end.isoformat()}]"
+            )
+        return offset
+
+    def slice_dates(self, first: _dt.date, last: _dt.date) -> "TimeSeries":
+        """Sub-series covering ``first`` .. ``last`` inclusive."""
+        lo = self.index_of(first)
+        hi = self.index_of(last)
+        if hi < lo:
+            raise SeriesMismatchError("slice end date precedes start date")
+        return replace(self, values=self.values[lo : hi + 1], start=first)
+
+    # ------------------------------------------------------------------
+    # Statistics and transforms
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std())
+
+    def average_power(self) -> float:
+        """Average signal power :math:`\\frac{1}{n}\\sum_i x_i^2` (section 5.1)."""
+        return float(np.mean(self.values**2))
+
+    def standardize(self) -> "TimeSeries":
+        """Z-normalised copy (subtract mean, divide by std; section 6.3)."""
+        return replace(self, values=zscore(self.values))
+
+    def is_standardized(self, tolerance: float = 1e-9) -> bool:
+        """True if the series already has ~zero mean and unit (or zero) std."""
+        if abs(self.mean) > tolerance:
+            return False
+        return abs(self.std - 1.0) <= tolerance or self.std <= tolerance
+
+    def moving_average(self, window: int, mode: str = "trailing") -> "TimeSeries":
+        """Smoothed copy using :func:`repro.timeseries.preprocessing.moving_average`."""
+        return replace(self, values=moving_average(self.values, window, mode))
+
+    def with_name(self, name: str) -> "TimeSeries":
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance(self, other: "TimeSeries") -> float:
+        """Euclidean distance to another series of the same length."""
+        if len(other) != len(self):
+            raise SeriesMismatchError(
+                f"cannot compare series of lengths {len(self)} and {len(other)}"
+            )
+        return float(np.linalg.norm(self.values - other.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimeSeries(name={self.name!r}, n={len(self)}, "
+            f"start={self.start.isoformat()})"
+        )

@@ -1,0 +1,6 @@
+"""Terminal tooling: ASCII plotting and the S2 interactive explorer."""
+
+from repro.tools.plotting import burst_chart, line_chart, sparkline
+from repro.tools.s2 import S2Shell, build_workspace
+
+__all__ = ["sparkline", "line_chart", "burst_chart", "S2Shell", "build_workspace"]

@@ -1,0 +1,134 @@
+"""Terminal plotting for examples and the S2 tool.
+
+The original S2 tool is a C# GUI; this reproduction is terminal-first, so
+the figures are drawn with ASCII/Unicode: sparklines for one-glance demand
+curves, multi-row line charts with month labels for the figure-style
+plots, and burst overlays marking detected burst spans.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.timeseries.preprocessing import as_float_array
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["sparkline", "line_chart", "burst_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average-pool a sequence down to ``width`` columns."""
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    return np.array(
+        [values[lo:hi].mean() for lo, hi in zip(edges, edges[1:])]
+    )
+
+
+def sparkline(values, width: int = 72) -> str:
+    """A one-line block-character rendering of a sequence."""
+    arr = _resample(as_float_array(values), width)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _BLOCKS[1] * arr.size
+    levels = ((arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def _month_axis(start: _dt.date, days: int, width: int) -> str:
+    """A label row marking calendar time under a ``width``-column chart.
+
+    The label density adapts to the chart resolution: monthly labels for
+    a year on a wide chart, quarterly when months get cramped, and
+    year-only labels for multi-year spans.
+    """
+    columns_per_month = width / max(days / 30.44, 1.0)
+    if columns_per_month >= 3.5:
+        label_months = range(1, 13)
+        year_labels = False
+    elif columns_per_month >= 1.2:
+        label_months = (1, 4, 7, 10)
+        year_labels = False
+    else:
+        label_months = (1,)
+        year_labels = True
+
+    axis = [" "] * width
+    date = start
+    end = start + _dt.timedelta(days=days - 1)
+    while date <= end:
+        if date.month in label_months:
+            column = int((date - start).days / days * width)
+            label = str(date.year) if year_labels else date.strftime("%b")
+            if all(
+                column + i < width and axis[column + i] == " "
+                for i in range(len(label))
+            ):
+                for i, ch in enumerate(label):
+                    axis[column + i] = ch
+        # advance to the 1st of the next month
+        year, month = (
+            (date.year + 1, 1) if date.month == 12 else (date.year, date.month + 1)
+        )
+        date = _dt.date(year, month, 1)
+    return "".join(axis)
+
+
+def line_chart(
+    series,
+    width: int = 72,
+    height: int = 10,
+    title: str | None = None,
+) -> str:
+    """A multi-row character plot; adds a month axis for TimeSeries input."""
+    if isinstance(series, TimeSeries):
+        values = series.values
+        start: _dt.date | None = series.start
+        days = len(series)
+        title = title if title is not None else f"Query: {series.name}"
+    else:
+        values = as_float_array(series)
+        start = None
+        days = values.size
+
+    arr = _resample(np.asarray(values, dtype=np.float64), width)
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo or 1.0
+    rows = np.clip(
+        ((arr - lo) / span * (height - 1)).round().astype(int), 0, height - 1
+    )
+    grid = [[" "] * arr.size for _ in range(height)]
+    for column, row in enumerate(rows):
+        grid[height - 1 - row][column] = "█"
+        for fill in range(row):
+            if grid[height - 1 - fill][column] == " ":
+                grid[height - 1 - fill][column] = "·"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in grid)
+    if start is not None:
+        lines.append(_month_axis(start, days, arr.size))
+    return "\n".join(lines)
+
+
+def burst_chart(series: TimeSeries, mask, width: int = 72) -> str:
+    """A sparkline with a second row marking the detected burst spans."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size != len(series):
+        raise ValueError(
+            f"mask of length {mask.size} for a {len(series)}-day series"
+        )
+    spark = sparkline(series.values, width)
+    marks = _resample(mask.astype(float), min(width, len(series)))
+    overlay = "".join("^" if level > 0.2 else " " for level in marks)
+    axis = _month_axis(series.start, len(series), len(spark))
+    return "\n".join(
+        [f"Query: {series.name}", spark, overlay.ljust(len(spark)), axis]
+    )

@@ -1,0 +1,5 @@
+"""Haar wavelets: an alternative orthonormal basis for the same machinery."""
+
+from repro.wavelets.haar import haar_spectrum, haar_transform, inverse_haar_transform
+
+__all__ = ["haar_transform", "inverse_haar_transform", "haar_spectrum"]

@@ -1,0 +1,82 @@
+"""Orthonormal Haar wavelet decomposition.
+
+The paper claims its algorithms "can be adapted to any class of orthogonal
+decompositions (such as wavelets, PCA, etc.) with minimal or no
+adjustments".  This module substantiates the claim: :func:`haar_spectrum`
+packs the orthonormal Haar transform into the same
+:class:`repro.spectral.Spectrum` container the Fourier path uses (real
+coefficients, unit weights), after which *every* compressor, bound and the
+VP-tree work unchanged — exercised by the wavelet ablation benchmark.
+
+The transform is the classic pyramid: at each level, pairs ``(a, b)``
+become averages ``(a + b) / sqrt(2)`` and details ``(a - b) / sqrt(2)``.
+With the :math:`1/\\sqrt{2}` normalisation the transform matrix is
+orthonormal, so energy and Euclidean distances are preserved exactly
+(Parseval again), which is all the bound machinery needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SeriesLengthError
+from repro.spectral.dft import Spectrum
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["haar_transform", "inverse_haar_transform", "haar_spectrum"]
+
+
+def _check_power_of_two(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise SeriesLengthError(
+            f"the Haar transform needs a power-of-two length, got {n}"
+        )
+
+
+def haar_transform(values) -> np.ndarray:
+    """Orthonormal Haar coefficients of a power-of-two-length sequence.
+
+    Layout: ``[overall average, detail level 0, detail level 1 (2), ...]``
+    — coefficient 0 is the scaled mean (the DC analogue), followed by the
+    detail coefficients coarsest-first.
+    """
+    arr = as_float_array(values)
+    _check_power_of_two(arr.size)
+    approx = arr.copy()
+    details: list[np.ndarray] = []
+    while approx.size > 1:
+        pairs = approx.reshape(-1, 2)
+        details.append((pairs[:, 0] - pairs[:, 1]) / np.sqrt(2.0))
+        approx = (pairs[:, 0] + pairs[:, 1]) / np.sqrt(2.0)
+    # details were collected finest-first; emit coarsest-first after DC.
+    return np.concatenate([approx, *details[::-1]])
+
+
+def inverse_haar_transform(coefficients) -> np.ndarray:
+    """Invert :func:`haar_transform` exactly."""
+    coeffs = as_float_array(coefficients)
+    _check_power_of_two(coeffs.size)
+    approx = coeffs[:1].copy()
+    offset = 1
+    while approx.size < coeffs.size:
+        detail = coeffs[offset : offset + approx.size]
+        offset += approx.size
+        expanded = np.empty(approx.size * 2)
+        expanded[0::2] = (approx + detail) / np.sqrt(2.0)
+        expanded[1::2] = (approx - detail) / np.sqrt(2.0)
+        approx = expanded
+    return approx
+
+
+def haar_spectrum(values) -> Spectrum:
+    """A Haar-basis :class:`Spectrum`, interchangeable with the Fourier one.
+
+    Coefficients are real (stored as complex with zero imaginary part) and
+    every weight is 1, so the weighted-distance bookkeeping shared with
+    the Fourier path degenerates to the plain Euclidean case.
+    """
+    arr = as_float_array(values)
+    coefficients = haar_transform(arr).astype(np.complex128)
+    return Spectrum(
+        coefficients, np.ones(arr.size), arr.size, basis="haar"
+    )

@@ -1,0 +1,173 @@
+"""Tests for the published BestMinError algorithm, including its
+documented soundness gap.
+
+The paper presents BestMinError (fig. 9) as a lower/upper bound pair.  Our
+reproduction found that the published combination is *not* a valid bound
+in adversarial corner cases: subtracting ``minPower^2`` from ``T.nused``
+for every case-1 coefficient can over-credit energy that ``T`` never
+spent.  This file pins down both behaviours:
+
+* a hand-constructed counterexample where LB > true distance;
+* statistical validation that on realistic (periodic / noisy / random
+  walk) data the bounds hold essentially always, which is why the paper's
+  experiments were unaffected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    best_error_bounds,
+    best_min_bounds,
+    best_min_error_bounds,
+    best_min_error_safe_bounds,
+    bounds_for,
+)
+from repro.compression import BestMinErrorCompressor, SpectralSketch
+from repro.spectral import Spectrum, half_weights
+from repro.timeseries import zscore
+
+
+def _make_spectrum(coeffs, n):
+    """A Spectrum with explicitly chosen half-spectrum coefficients."""
+    return Spectrum(np.asarray(coeffs, dtype=complex), half_weights(n), n)
+
+
+class TestCounterexample:
+    def test_published_lower_bound_can_exceed_true_distance(self):
+        """The documented corner case: LB_BestMinError > D(Q, T).
+
+        Construction (half-spectrum indexes 1..3 of an 8-point signal, all
+        weight 2):  position 1 is stored and identical in Q and T;
+        positions 2 and 3 are omitted.  T2 = 0.9 (just below minPower = 1),
+        Q2 = 1.001 (case 1), and Q3 = T3 = 0.6 (case 2, perfectly aligned).
+        True squared distance = 2 * (1.001 - 0.9)^2 ≈ 0.0204, but the
+        algorithm books T.nused = T.err - 2*minPower^2 -> max(0, ...) small
+        and charges (sqrt(Q.nused) - sqrt(T.nused))^2 for position 3 even
+        though T matches Q there exactly.
+        """
+        n = 8
+        q = _make_spectrum([0.0, 5.0, 1.001, 0.6, 0.0], n)
+        t = _make_spectrum([0.0, 5.0, 0.9, 0.6, 0.0], n)
+        true_distance = q.distance(t)
+
+        weights = half_weights(n)
+        sketch = SpectralSketch(
+            n=n,
+            positions=np.array([1]),
+            coefficients=np.array([5.0 + 0.0j]),
+            weights=weights[[1]],
+            error=float(weights[2] * 0.9**2 + weights[3] * 0.6**2),
+            min_power=1.0,
+            method="best_min_error",
+        )
+        pair = best_min_error_bounds(q, sketch)
+        assert pair.lower > true_distance + 1e-6, (
+            "expected the published bound to violate soundness here; "
+            "if this fails the counterexample needs updating"
+        )
+        # The sound envelope must still bracket the distance.
+        safe = best_min_error_safe_bounds(q, sketch)
+        assert safe.lower <= true_distance + 1e-9
+        assert true_distance <= safe.upper + 1e-9
+
+    def test_ingredients_are_sound_on_the_counterexample(self):
+        n = 8
+        q = _make_spectrum([0.0, 5.0, 1.001, 0.6, 0.0], n)
+        weights = half_weights(n)
+        sketch = SpectralSketch(
+            n=n,
+            positions=np.array([1]),
+            coefficients=np.array([5.0 + 0.0j]),
+            weights=weights[[1]],
+            error=float(weights[2] * 0.9**2 + weights[3] * 0.6**2),
+            min_power=1.0,
+            method="best_min_error",
+        )
+        t = _make_spectrum([0.0, 5.0, 0.9, 0.6, 0.0], n)
+        true_distance = q.distance(t)
+        for fn in (best_min_bounds, best_error_bounds):
+            pair = fn(q, sketch)
+            assert pair.lower <= true_distance + 1e-9
+            assert true_distance <= pair.upper + 1e-9
+
+
+class TestRealisticData:
+    def _pairs(self, count=300, n=128):
+        rng = np.random.default_rng(7)
+        t = np.arange(n)
+        for i in range(count):
+            kind = i % 3
+            if kind == 0:
+                x, y = rng.normal(size=(2, n))
+            elif kind == 1:
+                x, y = np.cumsum(rng.normal(size=(2, n)), axis=1)
+            else:
+                x = np.sin(2 * np.pi * t / 7) + 0.3 * rng.normal(size=n)
+                y = np.sin(2 * np.pi * t / 7 + rng.uniform(0, 3)) + 0.3 * rng.normal(size=n)
+            yield zscore(x), zscore(y)
+
+    def test_bounds_hold_statistically(self):
+        """On realistic data the published bounds (mostly) behave like bounds.
+
+        Measured profile of the soundness gap: zero violations on white
+        noise and on periodic data (the paper's regime — which is why the
+        original experiments were unaffected), a minority of violations on
+        random walks, all of them under a few percent relative error.
+        """
+        violations = {0: 0, 1: 0, 2: 0}  # noise / random walk / periodic
+        worst_relative = 0.0
+        compressor = BestMinErrorCompressor(8)
+        for i, (x, y) in enumerate(self._pairs()):
+            query = Spectrum.from_series(x)
+            sketch = compressor.compress(Spectrum.from_series(y))
+            pair = best_min_error_bounds(query, sketch)
+            true_distance = float(np.linalg.norm(x - y))
+            overshoot = max(
+                pair.lower - true_distance, true_distance - pair.upper
+            )
+            if overshoot > 1e-9:
+                violations[i % 3] += 1
+                worst_relative = max(worst_relative, overshoot / true_distance)
+        assert violations[2] == 0, "periodic data must be violation-free"
+        assert violations[0] <= 2, "white noise should be (nearly) clean"
+        assert violations[1] <= 25, "random-walk violations must stay rare"
+        assert worst_relative < 0.1
+
+    def test_tighter_than_ingredients_on_average(self):
+        """The whole point of BestMinError: a tighter LB than either part."""
+        sums = {"combined": 0.0, "min": 0.0, "error": 0.0}
+        compressor = BestMinErrorCompressor(8)
+        for x, y in self._pairs(count=120):
+            query = Spectrum.from_series(x)
+            sketch = compressor.compress(Spectrum.from_series(y))
+            sums["combined"] += best_min_error_bounds(query, sketch).lower
+            sums["min"] += best_min_bounds(query, sketch).lower
+            sums["error"] += best_error_bounds(query, sketch).lower
+        assert sums["combined"] >= sums["min"]
+        assert sums["combined"] >= sums["error"]
+
+    def test_safe_envelope_never_looser_than_both_ingredients(self):
+        compressor = BestMinErrorCompressor(8)
+        for x, y in self._pairs(count=60):
+            query = Spectrum.from_series(x)
+            sketch = compressor.compress(Spectrum.from_series(y))
+            safe = best_min_error_safe_bounds(query, sketch)
+            by_min = best_min_bounds(query, sketch)
+            by_error = best_error_bounds(query, sketch)
+            assert safe.lower == pytest.approx(
+                max(by_min.lower, by_error.lower)
+            )
+            assert safe.upper == pytest.approx(
+                min(by_min.upper, by_error.upper)
+            )
+
+    def test_registry_dispatches_by_sketch_method(self):
+        x = zscore(np.sin(2 * np.pi * np.arange(64) / 7))
+        y = zscore(np.cos(2 * np.pi * np.arange(64) / 9))
+        query = Spectrum.from_series(x)
+        sketch = BestMinErrorCompressor(5).compress(Spectrum.from_series(y))
+        via_registry = bounds_for(query, sketch)
+        direct = best_min_error_bounds(query, sketch)
+        assert via_registry.lower == pytest.approx(direct.lower)
+        assert via_registry.upper == pytest.approx(direct.upper)

@@ -1,0 +1,89 @@
+"""Tests for the shared bound machinery (partition / BoundPair)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import BoundPair, partition
+from repro.compression import BestErrorCompressor, GeminiCompressor
+from repro.exceptions import SeriesMismatchError
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+
+
+def random_pair(seed, n=48):
+    rng = np.random.default_rng(seed)
+    return zscore(rng.normal(size=n)), zscore(np.cumsum(rng.normal(size=n)))
+
+
+class TestPartition:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_exact_plus_omitted_equals_full_distance(self, seed, k):
+        """The partition identity: D^2 = exact + omitted parts."""
+        x, y = random_pair(seed)
+        query = Spectrum.from_series(x)
+        target = Spectrum.from_series(y)
+        sketch = BestErrorCompressor(k).compress(target)
+        part = partition(query, sketch)
+
+        omitted_mask = np.ones(len(target), dtype=bool)
+        omitted_mask[sketch.positions] = False
+        omitted_sq = float(
+            np.dot(
+                target.weights[omitted_mask],
+                np.abs(
+                    query.coefficients[omitted_mask]
+                    - target.coefficients[omitted_mask]
+                )
+                ** 2,
+            )
+        )
+        true_sq = float(np.linalg.norm(x - y)) ** 2
+        assert part.exact_sq + omitted_sq == pytest.approx(true_sq, rel=1e-9)
+
+    def test_omitted_energy_is_query_energy_outside_sketch(self):
+        x, y = random_pair(7)
+        query = Spectrum.from_series(x)
+        sketch = GeminiCompressor(5).compress(Spectrum.from_series(y))
+        part = partition(query, sketch)
+        stored_energy = float(
+            np.dot(
+                query.weights[sketch.positions],
+                np.abs(query.coefficients[sketch.positions]) ** 2,
+            )
+        )
+        assert part.omitted_energy + stored_energy == pytest.approx(
+            query.energy(), rel=1e-9
+        )
+
+    def test_incompatible_query_rejected(self):
+        x, y = random_pair(8)
+        sketch = GeminiCompressor(5).compress(Spectrum.from_series(y))
+        short = Spectrum.from_series(x[:24])
+        with pytest.raises(SeriesMismatchError):
+            partition(short, sketch)
+
+
+class TestBoundPair:
+    def test_defaults(self):
+        pair = BoundPair(1.5)
+        assert pair.upper == float("inf")
+        assert pair.contains(2.0)
+        assert pair.contains(1e12)
+
+    def test_tolerance(self):
+        pair = BoundPair(1.0, 2.0)
+        assert pair.contains(1.0 - 1e-12)
+        assert pair.contains(2.0 + 1e-12)
+        assert not pair.contains(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundPair(-0.1)
+        with pytest.raises(ValueError):
+            BoundPair(1.0, -1.0)

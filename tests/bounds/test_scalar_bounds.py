@@ -1,0 +1,166 @@
+"""Soundness and tightness tests for the scalar bound algorithms.
+
+The load-bearing invariant of the whole paper is ``LB <= D(Q, T) <= UB``.
+It is property-tested here for every provably sound method on arbitrary
+random series; the published BestMinError combination is tested separately
+(see test_best_min_error.py) because it is *not* sound in corner cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import BoundPair, bounds_for
+from repro.compression import (
+    AdaptiveEnergyCompressor,
+    BestErrorCompressor,
+    BestMinCompressor,
+    BestMinErrorCompressor,
+    GeminiCompressor,
+    WangCompressor,
+)
+from repro.exceptions import CompressionError
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+
+SOUND_COMPRESSORS = [
+    ("gemini", lambda k: GeminiCompressor(k)),
+    ("wang", lambda k: WangCompressor(k)),
+    ("best_min", lambda k: BestMinCompressor(k)),
+    ("best_error", lambda k: BestErrorCompressor(k)),
+]
+
+
+def random_pair(seed, n=64):
+    rng = np.random.default_rng(seed)
+    kind = seed % 3
+    if kind == 0:  # white noise
+        x, y = rng.normal(size=(2, n))
+    elif kind == 1:  # random walks
+        x, y = np.cumsum(rng.normal(size=(2, n)), axis=1)
+    else:  # periodic mixtures
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * t / 7) + 0.5 * rng.normal(size=n)
+        y = np.sin(2 * np.pi * t / 12 + 1.0) + 0.5 * rng.normal(size=n)
+    return zscore(x), zscore(y)
+
+
+class TestSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_sound_methods_bracket_true_distance(self, seed, k):
+        x, y = random_pair(seed)
+        query = Spectrum.from_series(x)
+        target = Spectrum.from_series(y)
+        true_distance = float(np.linalg.norm(x - y))
+        for name, factory in SOUND_COMPRESSORS:
+            sketch = factory(k).compress(target)
+            pair = bounds_for(query, sketch)
+            assert pair.lower <= true_distance + 1e-7, name
+            assert true_distance <= pair.upper + 1e-7, name
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_safe_envelope_brackets_true_distance(self, seed):
+        x, y = random_pair(seed)
+        query = Spectrum.from_series(x)
+        sketch = BestMinErrorCompressor(6).compress(Spectrum.from_series(y))
+        pair = bounds_for(query, sketch, method="best_min_error_safe")
+        true_distance = float(np.linalg.norm(x - y))
+        assert pair.lower <= true_distance + 1e-7
+        assert true_distance <= pair.upper + 1e-7
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_adaptive_sketches_bracket_true_distance(self, seed):
+        x, y = random_pair(seed)
+        query = Spectrum.from_series(x)
+        sketch = AdaptiveEnergyCompressor(0.8).compress(Spectrum.from_series(y))
+        pair = bounds_for(query, sketch, method="best_min_error_safe")
+        true_distance = float(np.linalg.norm(x - y))
+        assert pair.lower <= true_distance + 1e-7
+        assert true_distance <= pair.upper + 1e-7
+
+    def test_identical_series_bounds(self):
+        x, _ = random_pair(3)
+        query = Spectrum.from_series(x)
+        sketch = BestErrorCompressor(8).compress(query)
+        pair = bounds_for(query, sketch)
+        assert pair.lower <= 1e-9
+        # UB cannot certify zero: it still pays 2*sqrt(err) in the omitted
+        # subspace, but must stay finite and small-ish.
+        assert pair.upper < np.linalg.norm(x) * 2
+
+
+class TestExactRecovery:
+    def test_full_sketch_gives_exact_distance(self):
+        """With every coefficient stored, LB == UB == D."""
+        x, y = random_pair(11, n=32)
+        query = Spectrum.from_series(x)
+        target = Spectrum.from_series(y)
+        k = len(target) - 1  # everything except DC (which is 0)
+        sketch = BestErrorCompressor(k).compress(target)
+        pair = bounds_for(query, sketch)
+        true_distance = float(np.linalg.norm(x - y))
+        assert pair.lower == pytest.approx(true_distance, abs=1e-7)
+        assert pair.upper == pytest.approx(true_distance, abs=1e-7)
+
+
+class TestTightnessOrdering:
+    def test_best_error_beats_wang_on_periodic_data(self):
+        """Average over many pairs: best coefficients tighten the LB."""
+        lb_wang, lb_best = 0.0, 0.0
+        for seed in range(40):
+            rng = np.random.default_rng(seed + 500)
+            t = np.arange(128)
+            x = zscore(np.sin(2 * np.pi * t / 7) + 0.3 * rng.normal(size=128))
+            y = zscore(
+                np.sin(2 * np.pi * t / 7 + rng.uniform(0, 2))
+                + 0.3 * rng.normal(size=128)
+            )
+            query = Spectrum.from_series(x)
+            target = Spectrum.from_series(y)
+            lb_wang += bounds_for(query, WangCompressor(5).compress(target)).lower
+            lb_best += bounds_for(
+                query, BestErrorCompressor(4).compress(target)
+            ).lower
+        assert lb_best > lb_wang
+
+    def test_gemini_never_beats_full_distance(self):
+        x, y = random_pair(21)
+        query = Spectrum.from_series(x)
+        sketch = GeminiCompressor(5).compress(Spectrum.from_series(y))
+        pair = bounds_for(query, sketch)
+        assert pair.upper == float("inf")
+
+
+class TestMethodValidation:
+    def test_wrong_sketch_for_method(self):
+        x, y = random_pair(31)
+        query = Spectrum.from_series(x)
+        gemini_sketch = GeminiCompressor(5).compress(Spectrum.from_series(y))
+        with pytest.raises(CompressionError):
+            bounds_for(query, gemini_sketch, method="best_min")
+        with pytest.raises(CompressionError):
+            bounds_for(query, gemini_sketch, method="wang")
+
+    def test_unknown_method(self):
+        x, y = random_pair(32)
+        query = Spectrum.from_series(x)
+        sketch = WangCompressor(5).compress(Spectrum.from_series(y))
+        with pytest.raises(CompressionError):
+            bounds_for(query, sketch, method="nope")
+
+    def test_bound_pair_validation(self):
+        with pytest.raises(ValueError):
+            BoundPair(-1.0, 2.0)
+
+    def test_bound_pair_contains(self):
+        pair = BoundPair(1.0, 3.0)
+        assert pair.contains(2.0)
+        assert pair.contains(1.0)
+        assert not pair.contains(3.5)

@@ -1,0 +1,100 @@
+"""Tests for burst compaction and the Burst triplet."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bursts import Burst, BurstDetector, compact_bursts, expand_bursts
+from repro.bursts.detection import BurstAnnotation
+from repro.exceptions import SeriesMismatchError
+
+
+def annotation_from_mask(mask):
+    mask = np.asarray(mask, dtype=bool)
+    return BurstAnnotation(
+        mask=mask, smoothed=np.zeros(mask.size), cutoff=0.0, window=1
+    )
+
+
+class TestBurst:
+    def test_length_is_inclusive(self):
+        assert len(Burst(3, 5, 1.0)) == 3
+        assert len(Burst(4, 4, 1.0)) == 1
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Burst(5, 3, 1.0)
+
+    def test_calendar_projection(self):
+        burst = Burst(10, 12, 2.0)
+        start = dt.date(2002, 1, 1)
+        assert burst.start_date(start) == dt.date(2002, 1, 11)
+        assert burst.end_date(start) == dt.date(2002, 1, 13)
+
+    def test_ordering(self):
+        assert Burst(1, 2, 0.0) < Burst(3, 4, 0.0)
+
+
+class TestCompaction:
+    def test_two_regions(self):
+        values = np.arange(10.0)
+        mask = [False, True, True, False, False, True, True, True, False, False]
+        bursts = compact_bursts(values, annotation_from_mask(mask))
+        assert bursts == [
+            Burst(1, 2, np.mean([1.0, 2.0])),
+            Burst(5, 7, np.mean([5.0, 6.0, 7.0])),
+        ]
+
+    def test_empty_mask(self):
+        assert compact_bursts(np.zeros(5), annotation_from_mask([False] * 5)) == []
+
+    def test_full_mask(self):
+        values = np.array([2.0, 4.0, 6.0])
+        bursts = compact_bursts(values, annotation_from_mask([True] * 3))
+        assert bursts == [Burst(0, 2, 4.0)]
+
+    def test_boundary_runs(self):
+        values = np.arange(6.0)
+        mask = [True, True, False, False, True, True]
+        bursts = compact_bursts(values, annotation_from_mask(mask))
+        assert bursts[0].start == 0
+        assert bursts[-1].end == 5
+
+    def test_average_uses_raw_values_not_ma(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50)
+        values[20:30] += 10.0
+        annotation = BurstDetector(window=5).detect(values)
+        bursts = compact_bursts(values, annotation)
+        assert bursts, "detector should find the planted burst"
+        biggest = max(bursts, key=len)
+        span = values[biggest.start : biggest.end + 1]
+        assert biggest.average == pytest.approx(span.mean())
+
+    def test_length_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            compact_bursts(np.zeros(4), annotation_from_mask([True] * 5))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_roundtrip_mask(self, mask):
+        """compact -> expand reproduces the mask exactly."""
+        values = np.arange(float(len(mask)))
+        bursts = compact_bursts(values, annotation_from_mask(mask))
+        rebuilt = expand_bursts(bursts, len(mask))
+        np.testing.assert_array_equal(rebuilt, np.asarray(mask, dtype=bool))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_runs_are_maximal_and_disjoint(self, mask):
+        values = np.arange(float(len(mask)))
+        bursts = compact_bursts(values, annotation_from_mask(mask))
+        for earlier, later in zip(bursts, bursts[1:]):
+            assert later.start > earlier.end + 1  # separated by a gap
+
+    def test_expand_validates_length(self):
+        with pytest.raises(SeriesMismatchError):
+            expand_bursts([Burst(0, 10, 1.0)], 5)

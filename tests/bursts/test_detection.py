@@ -1,0 +1,77 @@
+"""Tests for moving-average burst detection."""
+
+import numpy as np
+import pytest
+
+from repro.bursts import BurstDetector
+from repro.timeseries import TimeSeries, zscore
+
+
+def square_burst(n=365, start=250, width=40, height=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=0.5, size=n)
+    x[start : start + width] += height
+    return zscore(x)
+
+
+class TestDetector:
+    def test_finds_planted_burst(self):
+        x = square_burst()
+        annotation = BurstDetector(window=30).detect(x)
+        positions = annotation.burst_positions
+        assert positions.size > 0
+        assert positions.min() >= 240
+        assert positions.max() <= 305  # trailing MA lags by up to a window
+
+    def test_no_burst_in_flat_noise(self):
+        rng = np.random.default_rng(1)
+        x = zscore(rng.normal(size=365))
+        annotation = BurstDetector(window=30, threshold_sigmas=2.0).detect(x)
+        assert annotation.burst_fraction < 0.05
+
+    def test_cutoff_formula(self):
+        x = square_burst()
+        detector = BurstDetector(window=10, threshold_sigmas=1.5)
+        annotation = detector.detect(x)
+        expected = annotation.smoothed.mean() + 1.5 * annotation.smoothed.std()
+        assert annotation.cutoff == pytest.approx(expected)
+        np.testing.assert_array_equal(
+            annotation.mask, annotation.smoothed > annotation.cutoff
+        )
+
+    def test_short_window_catches_short_bursts(self):
+        x = square_burst(width=6, height=8.0)
+        long_term = BurstDetector.long_term().detect(x)
+        short_term = BurstDetector.short_term().detect(x)
+        assert short_term.window == 7
+        assert long_term.window == 30
+        assert short_term.mask.sum() >= 3
+
+    def test_higher_threshold_finds_fewer_bursts(self):
+        x = square_burst()
+        loose = BurstDetector(window=14, threshold_sigmas=1.0).detect(x)
+        strict = BurstDetector(window=14, threshold_sigmas=2.5).detect(x)
+        assert strict.mask.sum() <= loose.mask.sum()
+
+    def test_window_longer_than_series_clamped(self):
+        x = zscore(np.r_[np.zeros(10), np.ones(5) * 10])
+        annotation = BurstDetector(window=100).detect(x)
+        assert annotation.window == 15
+
+    def test_accepts_time_series(self):
+        series = TimeSeries(square_burst(), name="halloween")
+        annotation = BurstDetector.long_term().detect(series)
+        assert annotation.burst_positions.size > 0
+
+    def test_annotation_read_only(self):
+        annotation = BurstDetector(window=5).detect(square_burst())
+        with pytest.raises(ValueError):
+            annotation.mask[0] = True
+        with pytest.raises(ValueError):
+            annotation.smoothed[0] = 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstDetector(window=0)
+        with pytest.raises(ValueError):
+            BurstDetector(threshold_sigmas=0.0)

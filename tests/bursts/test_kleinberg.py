@@ -1,0 +1,119 @@
+"""Tests for the Kleinberg burst-automaton baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bursts import KleinbergBurst, KleinbergDetector
+
+
+def bursty_counts(n=200, start=120, width=20, base=50.0, boost=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rates = np.full(n, base)
+    rates[start : start + width] *= boost
+    return rng.poisson(rates).astype(float)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KleinbergDetector(scaling=1.0)
+        with pytest.raises(ValueError):
+            KleinbergDetector(gamma=0.0)
+        with pytest.raises(ValueError):
+            KleinbergDetector(states=1)
+
+
+class TestTwoState:
+    def test_finds_planted_burst(self):
+        counts = bursty_counts()
+        bursts = KleinbergDetector().detect(counts)
+        assert len(bursts) == 1
+        burst = bursts[0]
+        assert 115 <= burst.start <= 125
+        assert 135 <= burst.end <= 145
+        assert burst.level == 1
+
+    def test_flat_stream_has_almost_no_bursts(self):
+        rng = np.random.default_rng(1)
+        counts = rng.poisson(50.0, size=300).astype(float)
+        # With Kleinberg's default gamma a lucky day can flicker into the
+        # burst state; anything beyond a couple of isolated days would be
+        # a real false-positive problem.
+        bursts = KleinbergDetector().detect(counts)
+        assert sum(len(b) for b in bursts) <= 2
+        # A stricter transition cost removes even those.
+        assert KleinbergDetector(gamma=3.0).detect(counts) == []
+
+    def test_state_sequence_shape(self):
+        counts = bursty_counts()
+        states = KleinbergDetector().state_sequence(counts)
+        assert states.shape == (200,)
+        assert set(np.unique(states)) <= {0, 1}
+
+    def test_higher_gamma_is_more_conservative(self):
+        counts = bursty_counts(boost=2.0, width=6, seed=3)
+        eager = KleinbergDetector(gamma=0.5).detect(counts)
+        strict = KleinbergDetector(gamma=20.0).detect(counts)
+        eager_days = sum(len(b) for b in eager)
+        strict_days = sum(len(b) for b in strict)
+        assert strict_days <= eager_days
+
+    def test_two_separated_bursts(self):
+        counts = bursty_counts(n=300, start=50, width=15, seed=4)
+        counts[200:215] *= 4.0
+        bursts = KleinbergDetector().detect(counts)
+        assert len(bursts) == 2
+        assert bursts[0].end < bursts[1].start
+
+    def test_burst_at_stream_end(self):
+        counts = bursty_counts(n=150, start=130, width=20, seed=5)
+        bursts = KleinbergDetector().detect(counts)
+        assert bursts
+        assert bursts[-1].end == 149
+
+
+class TestHierarchical:
+    def test_stronger_burst_reaches_higher_state(self):
+        rng = np.random.default_rng(6)
+        rates = np.full(300, 40.0)
+        rates[100:120] *= 2.2   # moderate burst (may fragment)
+        rates[200:220] *= 9.0   # extreme burst
+        counts = rng.poisson(rates).astype(float)
+        detector = KleinbergDetector(states=4)
+        bursts = detector.detect(counts)
+        moderate = [b for b in bursts if b.end < 150]
+        extreme = [b for b in bursts if b.start >= 150]
+        assert moderate and extreme
+        assert max(b.level for b in extreme) > max(b.level for b in moderate)
+        # The extreme burst is caught as one clean run.
+        assert len(extreme) == 1
+        assert 195 <= extreme[0].start <= 205
+        assert 215 <= extreme[0].end <= 225
+
+    def test_burst_dataclass(self):
+        burst = KleinbergBurst(10, 14, 2)
+        assert len(burst) == 5
+        assert burst < KleinbergBurst(20, 21, 1)
+
+
+class TestAgreementWithMovingAverage:
+    def test_both_flag_the_halloween_burst(self):
+        """The two detectors agree on the obvious seasonal burst."""
+        from repro.bursts import BurstDetector, compact_bursts
+        from repro.datagen import QueryLogGenerator
+
+        series = QueryLogGenerator(seed=0).series("halloween")
+        kleinberg = KleinbergDetector().detect(series.values)
+        standardized = series.standardize()
+        annotation = BurstDetector.long_term().detect(standardized)
+        ma_bursts = compact_bursts(standardized, annotation)
+
+        assert kleinberg and ma_bursts
+        k_days = set()
+        for burst in kleinberg:
+            k_days.update(range(burst.start, burst.end + 1))
+        ma_days = set()
+        for burst in ma_bursts:
+            ma_days.update(range(burst.start, burst.end + 1))
+        overlap = len(k_days & ma_days) / min(len(k_days), len(ma_days))
+        assert overlap > 0.5

@@ -1,0 +1,181 @@
+"""Tests for the DBMS-backed query-by-burst engine."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bursts import Burst, BurstDatabase, BurstDetector, burst_similarity
+from repro.exceptions import UnknownQueryError
+from repro.timeseries import TimeSeries, TimeSeriesCollection
+
+
+def bursty_series(name, centers, n=365, height=8.0, width=12, seed=0):
+    rng = np.random.default_rng(seed + sum(centers))
+    values = rng.normal(scale=0.4, size=n) + 10.0
+    for center in centers:
+        lo = max(center - width // 2, 0)
+        values[lo : center + width // 2] += height
+    return TimeSeries(values, name=name, start=dt.date(2002, 1, 1))
+
+
+@pytest.fixture
+def database():
+    db = BurstDatabase(detectors=[BurstDetector(window=14)])
+    db.add(bursty_series("spring-a", [100], seed=1))
+    db.add(bursty_series("spring-b", [104], seed=2))
+    db.add(bursty_series("autumn", [280], seed=3))
+    db.add(bursty_series("double", [100, 280], seed=4))
+    return db
+
+
+class TestLoading:
+    def test_add_returns_row_count(self):
+        db = BurstDatabase(detectors=[BurstDetector(window=14)])
+        inserted = db.add(bursty_series("x", [100]))
+        assert inserted >= 1
+        assert len(db.table) == inserted
+
+    def test_names_and_contains(self, database):
+        assert set(database.names) == {"spring-a", "spring-b", "autumn", "double"}
+        assert "spring-a" in database
+        assert "nope" not in database
+
+    def test_duplicate_rejected(self, database):
+        with pytest.raises(UnknownQueryError):
+            database.add(bursty_series("spring-a", [100]))
+
+    def test_unnamed_rejected(self, database):
+        with pytest.raises(UnknownQueryError):
+            database.add(TimeSeries(np.ones(365)))
+
+    def test_add_collection(self):
+        db = BurstDatabase(detectors=[BurstDetector(window=14)])
+        coll = TimeSeriesCollection(
+            [bursty_series("a", [50]), bursty_series("b", [300])]
+        )
+        db.add_collection(coll)
+        assert len(db) == 2
+
+    def test_bursts_of(self, database):
+        bursts = database.bursts_of("spring-a", window=14)
+        assert bursts
+        assert all(isinstance(b, Burst) for b in bursts)
+        with pytest.raises(UnknownQueryError):
+            database.bursts_of("nope")
+
+
+class TestQuery:
+    def test_by_name_excludes_self(self, database):
+        matches = database.query("spring-a")
+        names = [m.name for m in matches]
+        assert "spring-a" not in names
+        assert names[0] in ("spring-b", "double")
+
+    def test_by_series(self, database):
+        query = bursty_series("fresh", [102], seed=9)
+        matches = database.query(query)
+        assert matches
+        assert matches[0].name in ("spring-a", "spring-b", "double")
+
+    def test_disjoint_burst_not_matched(self, database):
+        query = bursty_series("fresh", [180], seed=10)
+        names = [m.name for m in database.query(query)]
+        assert "autumn" not in names or not names
+
+    def test_ranking_is_descending(self, database):
+        matches = database.query(bursty_series("fresh", [100, 280], seed=11))
+        scores = [m.similarity for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_limits_results(self, database):
+        matches = database.query(bursty_series("fresh", [100, 280], seed=12), top=1)
+        assert len(matches) == 1
+
+    def test_matches_naive_all_pairs(self, database):
+        """The indexed plan must agree with brute-force BSim ranking."""
+        query = bursty_series("fresh", [102, 285], seed=13)
+        via_index = {m.name: m.similarity for m in database.query(query, top=10)}
+        query_bursts = database._features(query)[14]
+        naive = {}
+        for name in database.names:
+            score = burst_similarity(query_bursts, database.bursts_of(name, 14))
+            if score > 0:
+                naive[name] = score
+        assert set(via_index) == set(naive)
+        for name, score in naive.items():
+            assert via_index[name] == pytest.approx(score)
+
+    def test_burstless_query_returns_nothing(self, database):
+        rng = np.random.default_rng(5)
+        flat = TimeSeries(
+            rng.normal(scale=0.01, size=365) + 10.0,
+            name="flat",
+            start=dt.date(2002, 1, 1),
+        )
+        detector = BurstDetector(window=14, threshold_sigmas=2.0)
+        strict_db = BurstDatabase(detectors=[detector])
+        strict_db.add(bursty_series("x", [100]))
+        # A flat query may produce zero bursts -> empty result, not an error.
+        assert isinstance(strict_db.query(flat), list)
+
+    def test_unknown_window_rejected(self, database):
+        with pytest.raises(ValueError):
+            database.query("spring-a", window=99)
+
+    def test_multi_window_database(self):
+        db = BurstDatabase()  # default long- + short-term detectors
+        db.add(bursty_series("wide", [180], width=40, height=6.0))
+        db.add(bursty_series("narrow", [182], width=6, height=10.0))
+        long_matches = db.query("wide", window=30)
+        short_matches = db.query("wide", window=7)
+        assert isinstance(long_matches, list)
+        assert isinstance(short_matches, list)
+
+    def test_standardize_flag(self):
+        db = BurstDatabase(
+            detectors=[BurstDetector(window=14)], standardize=False
+        )
+        db.add(bursty_series("raw", [100]))
+        bursts = db.bursts_of("raw")
+        # Without standardisation the averages stay on the raw scale (~18).
+        assert max(b.average for b in bursts) > 5.0
+
+    def test_requires_detectors(self):
+        with pytest.raises(ValueError):
+            BurstDatabase(detectors=[])
+
+
+class TestRemoveAndReplace:
+    def test_remove_clears_rows_and_results(self, database):
+        before_rows = len(database.table)
+        removed = database.remove("spring-b")
+        assert removed >= 1
+        assert len(database.table) == before_rows - removed
+        assert "spring-b" not in database
+        names = [m.name for m in database.query("spring-a")]
+        assert "spring-b" not in names
+
+    def test_remove_unknown_raises(self, database):
+        with pytest.raises(UnknownQueryError):
+            database.remove("nope")
+
+    def test_removed_name_can_be_readded(self, database):
+        database.remove("autumn")
+        database.add(bursty_series("autumn", [280], seed=3))
+        assert "autumn" in database
+
+    def test_replace_updates_features(self, database):
+        original = database.bursts_of("double")
+        database.replace(bursty_series("double", [50], seed=20))
+        updated = database.bursts_of("double")
+        assert updated != original
+        # Query near the old second burst no longer matches 'double'.
+        probe = bursty_series("probe", [280], seed=21)
+        names = [m.name for m in database.query(probe)]
+        assert "double" not in names
+
+    def test_replace_unknown_is_add(self):
+        db = BurstDatabase(detectors=[BurstDetector(window=14)])
+        assert db.replace(bursty_series("fresh", [100])) >= 1
+        assert "fresh" in db

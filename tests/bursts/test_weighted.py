@@ -1,0 +1,121 @@
+"""Tests for weighted Euclidean matching and its relation to BSim."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bursts import (
+    Burst,
+    BurstDatabase,
+    BurstDetector,
+    burst_weight_vector,
+    rank_by_weighted_euclidean,
+    weighted_euclidean,
+)
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries import TimeSeries
+
+
+class TestWeightVector:
+    def test_emphasis_on_burst_spans(self):
+        weights = burst_weight_vector([Burst(3, 5, 1.0)], 10, emphasis=5.0)
+        np.testing.assert_array_equal(
+            weights, [1, 1, 1, 5, 5, 5, 1, 1, 1, 1]
+        )
+
+    def test_zero_baseline(self):
+        weights = burst_weight_vector(
+            [Burst(0, 1, 1.0)], 4, emphasis=2.0, baseline=0.0
+        )
+        np.testing.assert_array_equal(weights, [2, 2, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_weight_vector([], 4, emphasis=0.0)
+        with pytest.raises(ValueError):
+            burst_weight_vector([], 4, baseline=-1.0)
+        with pytest.raises(SeriesMismatchError):
+            burst_weight_vector([Burst(0, 10, 1.0)], 5)
+
+
+class TestWeightedEuclidean:
+    def test_uniform_weights_match_plain(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(2, 32))
+        assert weighted_euclidean(x, y, np.ones(32)) == pytest.approx(
+            np.linalg.norm(x - y)
+        )
+
+    def test_weights_scale_contributions(self):
+        x = np.array([0.0, 0.0])
+        y = np.array([1.0, 1.0])
+        assert weighted_euclidean(x, y, [4.0, 0.0]) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            weighted_euclidean([1.0], [1.0, 2.0], [1.0, 1.0])
+
+
+class TestRanking:
+    def test_matches_loop(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(30, 16))
+        query = rng.normal(size=16)
+        weights = rng.uniform(0.5, 2.0, size=16)
+        got = rank_by_weighted_euclidean(query, matrix, weights, top=5)
+        manual = sorted(
+            (weighted_euclidean(query, row, weights), i)
+            for i, row in enumerate(matrix)
+        )[:5]
+        assert [row for row, _ in got] == [i for _, i in manual]
+        for (_, d_got), (d_want, _) in zip(got, manual):
+            assert d_got == pytest.approx(d_want)
+
+    def test_shape_validation(self):
+        with pytest.raises(SeriesMismatchError):
+            rank_by_weighted_euclidean(
+                np.zeros(4), np.zeros((3, 5)), np.zeros(4)
+            )
+
+
+class TestAgainstQueryByBurst:
+    def test_bsim_approximates_weighted_euclidean(self):
+        """The paper's framing: burst triplets stand in for weighted
+        Euclidean matching focused on the bursty portion."""
+        rng = np.random.default_rng(2)
+        n = 365
+
+        def bursty(name, center, height, seed):
+            local = np.random.default_rng(seed)
+            values = local.normal(scale=0.4, size=n) + 10.0
+            values[center - 8 : center + 8] += height
+            return TimeSeries(values, name=name, start=dt.date(2002, 1, 1))
+
+        members = (
+            [bursty(f"spring-{i}", 100 + i, 8.0, i) for i in range(6)]
+            + [bursty(f"autumn-{i}", 280 + i, 8.0, 10 + i) for i in range(6)]
+        )
+        db = BurstDatabase(detectors=[BurstDetector(window=14)])
+        for member in members:
+            db.add(member)
+
+        query = bursty("query", 103, 8.0, 99)
+        bsim_top = {m.name for m in db.query(query, top=6)}
+
+        # The weighted-Euclidean reference with weights on the query burst.
+        standardized = {m.name: m.standardize().values for m in members}
+        query_std = query.standardize().values
+        query_bursts = db._features(query)[14]
+        weights = burst_weight_vector(query_bursts, n, emphasis=6.0, baseline=0.2)
+        matrix = np.stack([standardized[m.name] for m in members])
+        weighted_top = {
+            members[row].name
+            for row, _ in rank_by_weighted_euclidean(
+                query_std, matrix, weights, top=6
+            )
+        }
+        overlap = len(bsim_top & weighted_top)
+        assert overlap >= 4, (bsim_top, weighted_top)
+        # Both must put the spring family on top.
+        assert all(name.startswith("spring") for name in weighted_top)

@@ -1,0 +1,72 @@
+"""Tests for the Table-1 storage budgeting."""
+
+import pytest
+
+from repro.compression import StorageBudget
+from repro.exceptions import CompressionError
+
+
+class TestAccounting:
+    def test_paper_configurations(self):
+        # The paper's three figure configurations: c = 8, 16, 32.
+        for c, best in [(8, 7), (16, 14), (32, 28)]:
+            budget = StorageBudget(c)
+            assert budget.first_k == c
+            assert budget.best_k == best
+            assert budget.doubles == 2 * c + 1
+
+    def test_best_k_formula_matches_paper(self):
+        # floor(c / 1.125) == floor(16c / 18)
+        for c in range(2, 200):
+            assert StorageBudget(c).best_k == int(c / 1.125)
+
+    def test_label(self):
+        assert StorageBudget(16).label() == "2*(16)+1 doubles"
+
+    def test_k_for(self):
+        budget = StorageBudget(8)
+        assert budget.k_for("gemini") == 8
+        assert budget.k_for("wang") == 8
+        assert budget.k_for("best_min") == 7
+        assert budget.k_for("best_error") == 7
+        assert budget.k_for("best_min_error") == 7
+
+    def test_unknown_method(self):
+        with pytest.raises(CompressionError):
+            StorageBudget(8).k_for("nope")
+        with pytest.raises(CompressionError):
+            StorageBudget(8).compressor("nope")
+
+    def test_too_small_budget(self):
+        with pytest.raises(CompressionError):
+            StorageBudget(1)
+
+
+class TestCompressorFactory:
+    def test_equal_storage_in_doubles(self):
+        """All five methods must cost at most the budget, and nearly all of it."""
+        import numpy as np
+
+        from repro.spectral import Spectrum
+        from repro.timeseries import zscore
+
+        rng = np.random.default_rng(0)
+        spectrum = Spectrum.from_series(zscore(rng.normal(size=256)))
+        budget = StorageBudget(16)
+        for method, compressor in budget.compressors().items():
+            sketch = compressor.compress(spectrum)
+            assert sketch.storage_doubles() <= budget.doubles + 1e-9, method
+            assert sketch.storage_doubles() >= budget.doubles - 3, method
+
+    def test_methods_tagged_correctly(self):
+        budget = StorageBudget(8)
+        compressors = budget.compressors()
+        assert set(compressors) == {
+            "gemini",
+            "wang",
+            "best_min",
+            "best_error",
+            "best_min_error",
+        }
+        for method, compressor in compressors.items():
+            assert compressor.method == method

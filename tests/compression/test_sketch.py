@@ -1,0 +1,200 @@
+"""Tests for SpectralSketch and the compressors."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    AdaptiveEnergyCompressor,
+    BestErrorCompressor,
+    BestKCompressor,
+    BestMinCompressor,
+    BestMinErrorCompressor,
+    FirstKCompressor,
+    GeminiCompressor,
+    SpectralSketch,
+    WangCompressor,
+)
+from repro.exceptions import CompressionError, SeriesMismatchError
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+
+
+def periodic(n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    x = (
+        2.5 * np.sin(2 * np.pi * t / 7)
+        + 1.0 * np.sin(2 * np.pi * t / 16 + 0.4)
+        + rng.normal(scale=0.25, size=n)
+    )
+    return zscore(x)
+
+
+@pytest.fixture
+def spectrum():
+    return Spectrum.from_series(periodic())
+
+
+class TestFirstK:
+    def test_positions_are_lowest_frequencies(self, spectrum):
+        sketch = FirstKCompressor(5).compress(spectrum)
+        np.testing.assert_array_equal(sketch.positions, [1, 2, 3, 4, 5])
+        assert sketch.error is None
+        assert sketch.min_power is None
+
+    def test_gemini_appends_middle(self, spectrum):
+        sketch = GeminiCompressor(5).compress(spectrum)
+        assert sketch.positions[-1] == len(spectrum) - 1
+        assert len(sketch) == 6
+        assert sketch.method == "gemini"
+
+    def test_wang_stores_error(self, spectrum):
+        sketch = WangCompressor(5).compress(spectrum)
+        assert sketch.error is not None
+        assert len(sketch) == 5
+        assert sketch.method == "wang"
+
+    def test_error_is_omitted_energy(self, spectrum):
+        sketch = WangCompressor(5).compress(spectrum)
+        assert sketch.stored_energy() + sketch.error == pytest.approx(
+            spectrum.energy() - spectrum.powers[0]  # DC is ~0 when z-normed
+        , rel=1e-9, abs=1e-9)
+
+    def test_k_too_large(self, spectrum):
+        with pytest.raises(CompressionError):
+            FirstKCompressor(1000).compress(spectrum)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(CompressionError):
+            FirstKCompressor(0)
+
+    def test_error_and_middle_exclusive(self):
+        with pytest.raises(CompressionError):
+            FirstKCompressor(3, store_error=True, store_middle=True)
+
+    def test_compress_series_shortcut(self):
+        x = periodic()
+        direct = WangCompressor(4).compress(Spectrum.from_series(x))
+        shortcut = WangCompressor(4).compress_series(x)
+        np.testing.assert_array_equal(direct.positions, shortcut.positions)
+
+
+class TestBestK:
+    def test_minproperty(self, spectrum):
+        sketch = BestErrorCompressor(6).compress(spectrum)
+        omitted = np.setdiff1d(np.arange(len(spectrum)), sketch.positions)
+        assert spectrum.magnitudes[omitted].max() <= sketch.min_power + 1e-12
+
+    def test_best_min_pads_with_middle(self, spectrum):
+        sketch = BestMinCompressor(6).compress(spectrum)
+        assert len(spectrum) - 1 in sketch.positions
+        # The padding middle coefficient must not weaken minPower.
+        best_only = BestErrorCompressor(6).compress(spectrum)
+        assert sketch.min_power == pytest.approx(best_only.min_power)
+
+    def test_methods_tagged(self, spectrum):
+        assert BestMinCompressor(4).compress(spectrum).method == "best_min"
+        assert BestErrorCompressor(4).compress(spectrum).method == "best_error"
+        assert (
+            BestMinErrorCompressor(4).compress(spectrum).method
+            == "best_min_error"
+        )
+
+    def test_best_selection_captures_most_energy(self, spectrum):
+        best = BestErrorCompressor(4).compress(spectrum)
+        first = WangCompressor(4).compress(spectrum)
+        assert best.stored_energy() >= first.stored_energy()
+        assert best.error <= first.error
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(CompressionError):
+            BestKCompressor(0)
+
+    def test_k_too_large(self, spectrum):
+        with pytest.raises(CompressionError):
+            BestKCompressor(1000).compress(spectrum)
+
+
+class TestAdaptive:
+    def test_reaches_energy_target(self, spectrum):
+        for fraction in (0.5, 0.9, 0.99):
+            sketch = AdaptiveEnergyCompressor(fraction).compress(spectrum)
+            non_dc = spectrum.energy() - spectrum.powers[0]
+            assert sketch.stored_energy() >= fraction * non_dc - 1e-9
+
+    def test_is_minimal(self, spectrum):
+        sketch = AdaptiveEnergyCompressor(0.9).compress(spectrum)
+        # Dropping the weakest retained coefficient must fall below target.
+        non_dc = spectrum.energy() - spectrum.powers[0]
+        weakest = float(
+            (sketch.weights * np.abs(sketch.coefficients) ** 2).min()
+        )
+        assert sketch.stored_energy() - weakest < 0.9 * non_dc
+
+    def test_periodic_signal_needs_few_coefficients(self, spectrum):
+        sketch = AdaptiveEnergyCompressor(0.8).compress(spectrum)
+        assert len(sketch) <= 6  # two tones dominate
+
+    def test_max_k_cap(self, spectrum):
+        sketch = AdaptiveEnergyCompressor(0.999, max_k=3).compress(spectrum)
+        assert len(sketch) == 3
+
+    def test_minproperty_holds(self, spectrum):
+        sketch = AdaptiveEnergyCompressor(0.9).compress(spectrum)
+        omitted = np.setdiff1d(np.arange(len(spectrum)), sketch.positions)
+        assert spectrum.magnitudes[omitted].max() <= sketch.min_power + 1e-12
+
+    def test_fraction_validation(self):
+        with pytest.raises(CompressionError):
+            AdaptiveEnergyCompressor(0.0)
+        with pytest.raises(CompressionError):
+            AdaptiveEnergyCompressor(1.5)
+        with pytest.raises(CompressionError):
+            AdaptiveEnergyCompressor(0.5, max_k=0)
+
+    def test_flat_zero_signal(self):
+        spectrum = Spectrum.from_series(np.zeros(16) + 0.0)
+        sketch = AdaptiveEnergyCompressor(0.9).compress(spectrum)
+        assert len(sketch) == 1  # degenerate: one (zero) coefficient
+
+
+class TestSketchObject:
+    def test_reconstruct_roundtrip_energy(self, spectrum):
+        sketch = BestErrorCompressor(8).compress(spectrum)
+        approx = sketch.reconstruct()
+        original = spectrum.to_series()
+        err = np.linalg.norm(original - approx)
+        assert err**2 == pytest.approx(
+            sketch.error + spectrum.powers[0], rel=1e-6, abs=1e-9
+        )
+
+    def test_storage_doubles(self, spectrum):
+        gemini = GeminiCompressor(8).compress(spectrum)
+        wang = WangCompressor(8).compress(spectrum)
+        best = BestMinErrorCompressor(7).compress(spectrum)
+        assert wang.storage_doubles() == pytest.approx(17.0)
+        # gemini: 8 complex coefficients + the real middle coefficient
+        assert gemini.storage_doubles() == pytest.approx(17.0)
+        assert best.storage_doubles() == pytest.approx(7 * 2.25 + 1)
+
+    def test_check_query_rejects_other_length(self, spectrum):
+        sketch = WangCompressor(3).compress(spectrum)
+        other = Spectrum.from_series(np.ones(64))
+        with pytest.raises(SeriesMismatchError):
+            sketch.check_query(other)
+
+    def test_validation(self):
+        with pytest.raises(CompressionError):
+            SpectralSketch(
+                n=8,
+                positions=np.array([2, 1]),  # unsorted
+                coefficients=np.zeros(2, dtype=complex),
+                weights=np.ones(2),
+            )
+        with pytest.raises(CompressionError):
+            SpectralSketch(
+                n=8,
+                positions=np.array([1, 2]),
+                coefficients=np.zeros(3, dtype=complex),  # misaligned
+                weights=np.ones(2),
+            )

@@ -1,0 +1,57 @@
+"""Tests for the calendar helpers."""
+
+import datetime as dt
+
+import pytest
+
+from repro.datagen import (
+    easter_date,
+    mothers_day,
+    nth_weekday_of_month,
+    super_bowl_sunday,
+    thanksgiving,
+)
+
+
+class TestEaster:
+    def test_paper_years(self):
+        """The three springs of fig. 15."""
+        assert easter_date(2000) == dt.date(2000, 4, 23)
+        assert easter_date(2001) == dt.date(2001, 4, 15)
+        assert easter_date(2002) == dt.date(2002, 3, 31)
+
+    def test_more_known_dates(self):
+        assert easter_date(1999) == dt.date(1999, 4, 4)
+        assert easter_date(2004) == dt.date(2004, 4, 11)
+        assert easter_date(2024) == dt.date(2024, 3, 31)
+
+    def test_always_a_sunday_in_spring(self):
+        for year in range(1990, 2030):
+            date = easter_date(year)
+            assert date.weekday() == 6
+            assert (3, 22) <= (date.month, date.day) <= (4, 25)
+
+
+class TestNthWeekday:
+    def test_basic(self):
+        # November 2002: Fridays were 1, 8, 15, 22, 29.
+        assert nth_weekday_of_month(2002, 11, 4, 1) == dt.date(2002, 11, 1)
+        assert nth_weekday_of_month(2002, 11, 4, 5) == dt.date(2002, 11, 29)
+
+    def test_out_of_month(self):
+        with pytest.raises(ValueError):
+            nth_weekday_of_month(2002, 2, 4, 5)  # no 5th Friday in Feb 2002
+        with pytest.raises(ValueError):
+            nth_weekday_of_month(2002, 2, 4, 0)
+
+    def test_derived_holidays(self):
+        assert mothers_day(2002) == dt.date(2002, 5, 12)
+        assert thanksgiving(2002) == dt.date(2002, 11, 28)
+        assert thanksgiving(2001) == dt.date(2001, 11, 22)
+
+    def test_super_bowl_is_a_january_sunday(self):
+        for year in (2000, 2001, 2002):
+            date = super_bowl_sunday(year)
+            assert date.weekday() == 6
+            assert date.month == 1
+            assert date.day >= 25

@@ -1,0 +1,98 @@
+"""Catalog-wide property tests: every profile must behave as tagged.
+
+These guard future catalog edits: a profile tagged ``weekly`` must show a
+significant ~7-day period, ``annual``/``burst`` profiles must produce a
+detectable long-term burst, ``news`` profiles must spike once, and so on.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bursts import BurstDetector, compact_bursts
+from repro.datagen import CATALOG, QueryLogGenerator, catalog_names, daily_rates
+from repro.datagen.components import DayGrid
+from repro.periods import detect_periods
+
+
+@pytest.fixture(scope="module")
+def year():
+    return QueryLogGenerator(seed=5, start=dt.date(2002, 1, 1), days=365)
+
+
+@pytest.fixture(scope="module")
+def series_by_name(year):
+    return {name: year.series(name) for name in CATALOG}
+
+
+class TestEveryProfile:
+    def test_all_generate_valid_series(self, series_by_name):
+        for name, series in series_by_name.items():
+            assert len(series) == 365, name
+            assert np.all(series.values >= 0), name
+            assert series.values.sum() > 0, name
+
+    def test_rates_have_headroom(self, year):
+        """No profile's modulation may pin the rate at zero for long."""
+        grid = DayGrid(dt.date(2002, 1, 1), 365)
+        rng = np.random.default_rng(0)
+        for name, profile in CATALOG.items():
+            rates = daily_rates(profile, grid, rng)
+            assert (rates > 0).mean() > 0.5, name
+
+    def test_descriptions_and_tags_present(self):
+        for name, profile in CATALOG.items():
+            assert profile.description, name
+            assert profile.tags, name
+
+
+class TestTagContracts:
+    def test_weekly_profiles_have_weekly_period(self, series_by_name):
+        for name in catalog_names("weekly"):
+            result = detect_periods(series_by_name[name].standardize())
+            periods = [p.period for p in result]
+            assert any(abs(p - 7.0) < 0.3 or abs(p - 3.5) < 0.2 for p in periods), (
+                name,
+                periods,
+            )
+
+    def test_monthly_profiles_have_lunar_period(self, series_by_name):
+        for name in catalog_names("monthly"):
+            result = detect_periods(series_by_name[name].standardize())
+            assert any(25 < p.period < 35 for p in result), name
+
+    def test_burst_profiles_burst(self, series_by_name):
+        detector = BurstDetector.long_term()
+        for name in catalog_names("burst"):
+            standardized = series_by_name[name].standardize()
+            bursts = compact_bursts(standardized, detector.detect(standardized))
+            assert bursts, name
+
+    def test_news_profiles_spike_once(self):
+        """One-off events dominate — on a window containing the event
+        (most of the catalog's news events happen in 2000-2001, outside
+        the single-year 2002 fixture)."""
+        gen = QueryLogGenerator(seed=5, start=dt.date(2000, 1, 1), days=1096)
+        for name in catalog_names("news"):
+            values = gen.series(name).values
+            peak = values.max()
+            median = np.median(values)
+            assert peak > 2.5 * median, name
+
+    def test_background_profiles_do_not_burst_hard(self, series_by_name):
+        detector = BurstDetector.long_term(2.0)
+        for name in catalog_names("background"):
+            standardized = series_by_name[name].standardize()
+            annotation = detector.detect(standardized)
+            assert annotation.burst_fraction < 0.35, name
+
+
+class TestCrossYearConsistency:
+    def test_annual_profiles_repeat_across_years(self):
+        gen = QueryLogGenerator(seed=5, start=dt.date(2000, 1, 1), days=1096)
+        detector = BurstDetector.long_term()
+        for name in ("halloween", "christmas", "thanksgiving"):
+            series = gen.series(name).standardize()
+            bursts = compact_bursts(series, detector.detect(series))
+            assert len(bursts) == 3, (name, bursts)

@@ -1,0 +1,132 @@
+"""Tests for demand components and the day grid."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.datagen import DayGrid
+from repro.datagen import components as comp
+
+
+@pytest.fixture
+def grid():
+    return DayGrid(dt.date(2002, 1, 1), 365)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDayGrid:
+    def test_weekday_alignment(self, grid):
+        # 2002-01-01 was a Tuesday (weekday 1).
+        assert grid.weekday[0] == 1
+        assert grid.weekday[4] == 5  # Saturday Jan 5
+        assert grid.dates[0] == dt.date(2002, 1, 1)
+
+    def test_years(self):
+        grid = DayGrid(dt.date(2000, 1, 1), 1096)
+        assert list(grid.years) == [2000, 2001, 2002]
+
+    def test_offset_of(self, grid):
+        assert grid.offset_of(dt.date(2002, 3, 1)) == 59
+        assert grid.offset_of(dt.date(2001, 12, 31)) == -1  # may be outside
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DayGrid(dt.date(2002, 1, 1), 0)
+
+
+class TestPeriodicComponents:
+    def test_weekly_hits_requested_days(self, grid, rng):
+        out = comp.weekly(2.0, (5,))(grid, rng)
+        saturdays = grid.weekday == 5
+        assert np.all(out[saturdays] == 2.0)
+        assert np.all(out[~saturdays] == 0.0)
+
+    def test_weekly_has_7_day_period(self, grid, rng):
+        out = comp.weekly(1.0, (4, 5))(grid, rng)
+        np.testing.assert_array_equal(out[:358], out[7:])
+
+    def test_monthly_peak_spacing(self, grid, rng):
+        out = comp.monthly(1.0, phase=0.0)(grid, rng)
+        peaks = [
+            i
+            for i in range(1, 364)
+            if out[i] >= out[i - 1] and out[i] >= out[i + 1] and out[i] > 0.5
+        ]
+        gaps = np.diff(peaks)
+        assert 28 <= gaps.mean() <= 31
+
+    def test_seasonal_yearly_repetition(self, rng):
+        grid = DayGrid(dt.date(2000, 1, 1), 1096)
+        out = comp.seasonal(1.0, peak_day_of_year=150, width=20)(grid, rng)
+        first_peak = np.argmax(out[:366])
+        second_peak = 366 + np.argmax(out[366:731])
+        assert abs((second_peak - first_peak) - 365) <= 1
+
+
+class TestEventComponents:
+    def test_annual_ramp_peaks_on_the_day(self, grid, rng):
+        out = comp.annual_ramp((10, 31), 3.0, rise=20, fall=3)(grid, rng)
+        halloween = grid.offset_of(dt.date(2002, 10, 31))
+        assert np.argmax(out) == halloween
+
+    def test_annual_ramp_is_asymmetric(self, grid, rng):
+        out = comp.annual_ramp((10, 31), 3.0, rise=20, fall=3)(grid, rng)
+        peak = int(np.argmax(out))
+        assert out[peak - 10] > out[peak + 10]  # slow rise, fast fall
+
+    def test_annual_ramp_moving_feast(self, rng):
+        from repro.datagen import easter_date
+
+        grid = DayGrid(dt.date(2000, 1, 1), 1096)
+        out = comp.annual_ramp(easter_date, 3.0, rise=20, fall=3)(grid, rng)
+        for year in (2000, 2001, 2002):
+            peak_day = grid.offset_of(easter_date(year))
+            window = out[max(peak_day - 3, 0) : peak_day + 4]
+            assert window.max() > 2.5
+
+    def test_annual_spike_width(self, grid, rng):
+        out = comp.annual_spike((8, 16), 4.0, width=1.5)(grid, rng)
+        anniversary = grid.offset_of(dt.date(2002, 8, 16))
+        assert out[anniversary] == pytest.approx(4.0, rel=1e-6)
+        assert out[anniversary - 10] < 0.01
+
+    def test_one_off_decay(self, grid, rng):
+        event = dt.date(2002, 6, 1)
+        out = comp.one_off(event, 10.0, rise=1.0, fall=5.0)(grid, rng)
+        peak = grid.offset_of(event)
+        assert np.argmax(out) == peak
+        assert out[peak - 3] < out[peak + 3]  # sharp onset, slower decay
+
+
+class TestBackgroundComponents:
+    def test_linear_trend_endpoints(self, grid, rng):
+        out = comp.linear_trend(2.0)(grid, rng)
+        assert out[0] == 0.0
+        assert out[-1] == pytest.approx(2.0)
+
+    def test_linear_trend_single_day(self, rng):
+        out = comp.linear_trend(2.0)(DayGrid(dt.date(2002, 1, 1), 1), rng)
+        assert out.tolist() == [0.0]
+
+    def test_white_noise_statistics(self, grid):
+        out = comp.white_noise(0.2)(grid, np.random.default_rng(1))
+        assert abs(out.mean()) < 0.05
+        assert 0.15 < out.std() < 0.25
+
+    def test_random_walk_is_cumulative(self):
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        grid = DayGrid(dt.date(2002, 1, 1), 100)
+        walk = comp.random_walk(0.1)(grid, rng_a)
+        steps = rng_b.normal(0.0, 0.1, size=100)
+        np.testing.assert_allclose(walk, np.cumsum(steps))
+
+    def test_stochastic_components_reproducible_with_seed(self, grid):
+        a = comp.white_noise(0.1)(grid, np.random.default_rng(3))
+        b = comp.white_noise(0.1)(grid, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,187 @@
+"""Tests for the catalog, event pipeline and QueryLogGenerator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CATALOG,
+    DayGrid,
+    LogAggregator,
+    QueryLogGenerator,
+    catalog_names,
+    daily_rates,
+    iter_log_records,
+    profile,
+    sample_daily_counts,
+)
+from repro.exceptions import SeriesLengthError, SeriesMismatchError, UnknownQueryError
+
+
+class TestCatalog:
+    def test_paper_exemplars_present(self):
+        for name in (
+            "cinema",
+            "easter",
+            "elvis",
+            "halloween",
+            "full moon",
+            "nordstrom",
+            "flowers",
+            "christmas",
+            "dudley moore",
+            "world trade center",
+            "hurricane",
+            "athens 2004",
+            "bank",
+            "president",
+        ):
+            assert name in CATALOG, name
+
+    def test_catalog_size(self):
+        assert len(CATALOG) >= 30
+
+    def test_profile_lookup(self):
+        assert profile("cinema").base_rate > 0
+        with pytest.raises(UnknownQueryError):
+            profile("nonexistent query")
+
+    def test_tag_filter(self):
+        weekly = catalog_names("weekly")
+        assert "cinema" in weekly
+        assert "easter" not in weekly
+        assert len(catalog_names()) == len(CATALOG)
+
+
+class TestEventPipeline:
+    @pytest.fixture
+    def grid(self):
+        return DayGrid(dt.date(2002, 1, 1), 60)
+
+    def test_rates_nonnegative(self, grid):
+        rng = np.random.default_rng(0)
+        for name in CATALOG:
+            rates = daily_rates(profile(name), grid, rng)
+            assert np.all(rates >= 0), name
+
+    def test_counts_are_integers(self, grid):
+        rng = np.random.default_rng(1)
+        counts = sample_daily_counts(profile("cinema"), grid, rng)
+        assert np.all(counts == np.round(counts))
+        assert np.all(counts >= 0)
+
+    def test_poisson_mean_tracks_rate(self):
+        grid = DayGrid(dt.date(2002, 1, 1), 365)
+        rng = np.random.default_rng(2)
+        flat = profile("email")
+        rates = daily_rates(flat, grid, np.random.default_rng(2))
+        counts = sample_daily_counts(flat, grid, rng)
+        assert counts.mean() == pytest.approx(rates.mean(), rel=0.1)
+
+    def test_log_roundtrip(self, grid):
+        """counts -> records -> aggregator -> counts, exactly."""
+        rng = np.random.default_rng(3)
+        small = profile("gingerbread men")
+        counts = sample_daily_counts(small, grid, rng)
+        aggregator = LogAggregator(grid)
+        aggregator.consume(iter_log_records(counts, grid, "gingerbread men"))
+        series = aggregator.series("gingerbread men")
+        np.testing.assert_array_equal(series.values, counts)
+        assert aggregator.records_seen == counts.sum()
+        assert series.start == grid.start
+
+    def test_aggregator_rejects_out_of_window(self, grid):
+        from repro.datagen import LogRecord
+
+        aggregator = LogAggregator(grid)
+        with pytest.raises(SeriesMismatchError):
+            aggregator.consume([LogRecord(dt.date(1999, 1, 1), "x")])
+
+    def test_aggregator_unknown_series(self, grid):
+        with pytest.raises(SeriesMismatchError):
+            LogAggregator(grid).series("never seen")
+
+    def test_record_count_mismatch(self, grid):
+        with pytest.raises(SeriesMismatchError):
+            list(iter_log_records(np.zeros(5), grid, "x"))
+
+
+class TestGenerator:
+    def test_deterministic_per_seed_and_name(self):
+        a = QueryLogGenerator(seed=5).series("cinema")
+        b = QueryLogGenerator(seed=5).series("cinema")
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = QueryLogGenerator(seed=5).series("cinema")
+        b = QueryLogGenerator(seed=6).series("cinema")
+        assert not np.array_equal(a.values, b.values)
+
+    def test_order_independence(self):
+        gen_a = QueryLogGenerator(seed=7)
+        gen_b = QueryLogGenerator(seed=7)
+        first_then_second = (gen_a.series("cinema"), gen_a.series("easter"))
+        second_then_first = (gen_b.series("easter"), gen_b.series("cinema"))
+        np.testing.assert_array_equal(
+            first_then_second[0].values, second_then_first[1].values
+        )
+
+    def test_series_metadata(self):
+        gen = QueryLogGenerator(seed=0, start=dt.date(2002, 1, 1), days=365)
+        series = gen.series("elvis")
+        assert series.name == "elvis"
+        assert series.start == dt.date(2002, 1, 1)
+        assert len(series) == 365
+
+    def test_collection(self):
+        gen = QueryLogGenerator(seed=0)
+        coll = gen.collection(["cinema", "easter"])
+        assert coll.names == ("cinema", "easter")
+
+    def test_catalog_collection_covers_catalog(self):
+        coll = QueryLogGenerator(seed=0).catalog_collection()
+        assert set(coll.names) == set(CATALOG)
+
+    def test_synthetic_database_shape(self):
+        gen = QueryLogGenerator(seed=1, days=128)
+        db = gen.synthetic_database(50)
+        assert len(db) == 50
+        assert db.series_length == 128
+        assert len(set(db.names)) == 50
+
+    def test_synthetic_database_with_catalog(self):
+        gen = QueryLogGenerator(seed=1, days=64)
+        db = gen.synthetic_database(len(CATALOG) + 10, include_catalog=True)
+        assert "cinema" in db
+        assert len(db) == len(CATALOG) + 10
+
+    def test_queries_disjoint_from_database(self):
+        gen = QueryLogGenerator(seed=1, days=64)
+        db = gen.synthetic_database(20)
+        queries = gen.queries_outside_database(5)
+        assert not set(queries.names) & set(db.names)
+
+    def test_mixture_validation(self):
+        gen = QueryLogGenerator(seed=1, days=64)
+        with pytest.raises(ValueError):
+            gen.synthetic_database(5, mixture={"bogus": 1.0})
+
+    def test_count_validation(self):
+        gen = QueryLogGenerator(seed=1, days=64)
+        with pytest.raises(SeriesLengthError):
+            gen.synthetic_database(0)
+        with pytest.raises(SeriesLengthError):
+            QueryLogGenerator(days=0)
+
+    def test_database_is_mostly_periodic(self):
+        """The mixture leans periodic, echoing the paper's data."""
+        from repro.periods import detect_periods
+        from repro.timeseries import zscore
+
+        gen = QueryLogGenerator(seed=3, days=365)
+        db = gen.synthetic_database(60)
+        periodic = sum(
+            1 for s in db if len(detect_periods(zscore(s.values))) > 0
+        )
+        assert periodic >= 15

@@ -1,0 +1,155 @@
+"""Tests for the DTW lower bounds and the cascaded search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtw import (
+    DTWSearch,
+    WarpingEnvelope,
+    dtw_distance,
+    lb_keogh,
+    lb_kim,
+)
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries import zscore
+
+
+def make_db(count=60, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    rows = []
+    for i in range(count):
+        period = [7, 9, 16, 32][i % 4]
+        rows.append(
+            zscore(
+                np.sin(2 * np.pi * t / period + rng.uniform(0, 6))
+                + 0.4 * rng.normal(size=n)
+            )
+        )
+    return np.array(rows)
+
+
+class TestEnvelope:
+    def test_contains_the_sequence(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        env = WarpingEnvelope.of(x, band=5)
+        assert np.all(env.lower <= x)
+        assert np.all(x <= env.upper)
+
+    def test_band_zero_is_the_sequence(self):
+        x = np.arange(10.0)
+        env = WarpingEnvelope.of(x, band=0)
+        np.testing.assert_array_equal(env.upper, x)
+        np.testing.assert_array_equal(env.lower, x)
+
+    def test_wider_band_widens_envelope(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        narrow = WarpingEnvelope.of(x, band=2)
+        wide = WarpingEnvelope.of(x, band=10)
+        assert np.all(wide.upper >= narrow.upper)
+        assert np.all(wide.lower <= narrow.lower)
+
+    def test_read_only(self):
+        env = WarpingEnvelope.of(np.arange(5.0), band=1)
+        with pytest.raises(ValueError):
+            env.upper[0] = 0.0
+
+
+class TestLowerBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000), st.integers(1, 6))
+    def test_bounds_below_dtw(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(2, 40))
+        true = dtw_distance(a, b, band=radius)
+        assert lb_kim(a, b) <= true + 1e-9
+        envelope = WarpingEnvelope.of(b, band=radius)
+        assert lb_keogh(a, envelope) <= true + 1e-9
+
+    def test_keogh_tight_for_identical(self):
+        x = np.sin(np.arange(30.0))
+        assert lb_keogh(x, WarpingEnvelope.of(x, band=3)) == 0.0
+
+    def test_keogh_positive_for_distant(self):
+        a = np.zeros(20)
+        b = np.ones(20) * 5
+        assert lb_keogh(a, WarpingEnvelope.of(b, band=2)) > 0.0
+
+    def test_shape_checks(self):
+        with pytest.raises(SeriesMismatchError):
+            lb_kim([1.0], [1.0, 2.0])
+        with pytest.raises(SeriesMismatchError):
+            lb_keogh(np.zeros(5), WarpingEnvelope.of(np.zeros(6), band=1))
+
+
+class TestDTWSearch:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return make_db()
+
+    @pytest.fixture(scope="class")
+    def search(self, matrix):
+        return DTWSearch(matrix, band=4)
+
+    def test_matches_brute_force(self, matrix, search):
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            query = zscore(rng.normal(size=64))
+            hits, _ = search.search(query, k=3)
+            truth = sorted(
+                dtw_distance(query, row, band=4) for row in matrix
+            )[:3]
+            np.testing.assert_allclose(
+                [h.distance for h in hits], truth, atol=1e-9
+            )
+
+    def test_query_in_database(self, matrix, search):
+        hits, _ = search.search(matrix[7], k=1)
+        assert hits[0].seq_id == 7
+        assert hits[0].distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_cascade_prunes(self, matrix, search):
+        _, stats = search.search(matrix[3], k=1)
+        assert stats.dtw_computations < len(matrix)
+        assert stats.dtw_fraction < 1.0
+        pruned = (
+            stats.pruned_by_keogh + stats.pruned_by_kim + stats.dtw_computations
+        )
+        assert pruned == len(matrix)
+
+    def test_names(self, matrix):
+        names = [f"q{i}" for i in range(len(matrix))]
+        search = DTWSearch(matrix, band=4, names=names)
+        hits, _ = search.search(matrix[2], k=1)
+        assert hits[0].name == "q2"
+
+    def test_validation(self, matrix, search):
+        with pytest.raises(SeriesMismatchError):
+            DTWSearch(np.zeros(5))
+        with pytest.raises(SeriesMismatchError):
+            DTWSearch(matrix, names=["x"])
+        with pytest.raises(SeriesMismatchError):
+            search.search(np.zeros(10), k=1)
+        with pytest.raises(ValueError):
+            search.search(matrix[0], k=0)
+
+    def test_fractional_band(self, matrix):
+        search = DTWSearch(matrix, band=0.1)
+        assert search.band == 6  # 10% of 64
+        hits, _ = search.search(matrix[0], k=1)
+        assert hits[0].seq_id == 0
+
+    def test_dtw_beats_euclidean_on_shifted_queries(self, matrix):
+        """The reason to pay for DTW: phase-shifted twins match."""
+        t = np.arange(64)
+        base = zscore(np.sin(2 * np.pi * t / 16))
+        shifted = zscore(np.sin(2 * np.pi * (t - 3) / 16))
+        db = np.vstack([matrix, base])
+        search = DTWSearch(db, band=6)
+        hits, _ = search.search(shifted, k=1)
+        assert hits[0].seq_id == len(db) - 1
+        assert hits[0].distance < np.linalg.norm(shifted - base) * 0.5

@@ -1,0 +1,119 @@
+"""Tests for the banded DTW distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dtw import dtw_distance, resolve_band
+from repro.exceptions import SeriesMismatchError
+
+signals = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=48),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+def reference_dtw(a, b, radius):
+    """Unoptimised O(n^2) DP used as ground truth."""
+    n = len(a)
+    dp = np.full((n + 1, n + 1), np.inf)
+    dp[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(max(1, i - radius), min(n, i + radius) + 1):
+            cost = (a[i - 1] - b[j - 1]) ** 2
+            dp[i, j] = cost + min(dp[i - 1, j - 1], dp[i - 1, j], dp[i, j - 1])
+    return float(np.sqrt(dp[n, n]))
+
+
+class TestResolveBand:
+    def test_none_is_unconstrained(self):
+        assert resolve_band(100, None) == 100
+
+    def test_fraction(self):
+        assert resolve_band(100, 0.1) == 10
+        assert resolve_band(100, 1.0) == 100
+        assert resolve_band(10, 0.01) == 1  # floor of 1
+
+    def test_absolute(self):
+        assert resolve_band(100, 5) == 5
+        assert resolve_band(100, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolve_band(100, -1)
+        with pytest.raises(ValueError):
+            resolve_band(100, 1.5)
+        with pytest.raises(ValueError):
+            resolve_band(100, 0.0)
+
+
+class TestDtwDistance:
+    def test_identical_sequences(self):
+        x = np.sin(np.arange(32.0))
+        assert dtw_distance(x, x, band=4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_band_zero_is_euclidean(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 40))
+        assert dtw_distance(a, b, band=0) == pytest.approx(
+            np.linalg.norm(a - b)
+        )
+
+    def test_warping_absorbs_shift(self):
+        t = np.arange(64)
+        a = np.sin(2 * np.pi * t / 16)
+        b = np.sin(2 * np.pi * (t - 2) / 16)
+        assert dtw_distance(a, b, band=4) < 0.6 * np.linalg.norm(a - b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(signals, st.integers(min_value=0, max_value=8))
+    def test_matches_reference_dp(self, a, radius):
+        rng = np.random.default_rng(int(abs(a).sum() * 997) % 2**31)
+        b = rng.normal(size=a.size)
+        got = dtw_distance(a, b, band=radius)
+        want = (
+            np.linalg.norm(a - b)
+            if radius == 0
+            else reference_dtw(a, b, radius)
+        )
+        assert got == pytest.approx(want, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(signals)
+    def test_never_exceeds_euclidean(self, a):
+        rng = np.random.default_rng(int(abs(a).sum() * 31) % 2**31)
+        b = rng.normal(size=a.size)
+        for band in (1, 3, None):
+            assert dtw_distance(a, b, band=band) <= np.linalg.norm(a - b) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(signals, st.integers(min_value=1, max_value=6))
+    def test_wider_band_never_increases_distance(self, a, radius):
+        rng = np.random.default_rng(int(abs(a).sum() * 13) % 2**31)
+        b = rng.normal(size=a.size)
+        narrow = dtw_distance(a, b, band=radius)
+        wide = dtw_distance(a, b, band=radius + 2)
+        assert wide <= narrow + 1e-9
+
+    def test_early_abandon(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(2, 64))
+        exact = dtw_distance(a, b, band=4)
+        assert dtw_distance(a, b, band=4, cutoff=exact / 2) == float("inf")
+        assert dtw_distance(a, b, band=4, cutoff=exact * 2) == pytest.approx(
+            exact
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            dtw_distance([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(2, 30))
+        assert dtw_distance(a, b, band=5) == pytest.approx(
+            dtw_distance(b, a, band=5)
+        )

@@ -1,0 +1,43 @@
+"""Tests for report formatting."""
+
+from repro.evaluation import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_floats(self):
+        assert format_float(1.23456) == "1.23"
+        assert format_float(1.23456, digits=4) == "1.2346"
+
+    def test_special_values(self):
+        assert format_float(None) == "-"
+        assert format_float(float("nan")) == "-"
+        assert format_float(float("inf")) == "inf"
+
+    def test_passthrough(self):
+        assert format_float("abc") == "abc"
+        assert format_float(7) == "7"
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ("name", "value"),
+            [("a", 1.0), ("long-name", 123.456)],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        # All data lines equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table and "b" in table
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(("h",), [("a-very-long-cell",)])
+        header_line = table.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-cell")

@@ -1,0 +1,79 @@
+"""Tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import SeriesMismatchError
+from repro.index import distances_to_query, euclidean, euclidean_early_abandon
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            euclidean([1.0], [1.0, 2.0])
+
+
+class TestEarlyAbandon:
+    def test_below_cutoff_returns_exact(self):
+        a = np.zeros(100)
+        b = np.ones(100)
+        assert euclidean_early_abandon(a, b, cutoff=100.0) == pytest.approx(10.0)
+
+    def test_above_cutoff_returns_inf(self):
+        a = np.zeros(100)
+        b = np.ones(100)
+        assert euclidean_early_abandon(a, b, cutoff=5.0) == float("inf")
+
+    def test_equal_cutoff_is_abandoned(self):
+        a = np.zeros(4)
+        b = np.ones(4)
+        assert euclidean_early_abandon(a, b, cutoff=2.0) == float("inf")
+
+    def test_infinite_cutoff_is_plain_distance(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 300))
+        got = euclidean_early_abandon(a, b, cutoff=float("inf"))
+        assert got == pytest.approx(euclidean(a, b))
+
+    @given(vectors, st.floats(min_value=0.01, max_value=500))
+    def test_consistent_with_exact(self, a, cutoff):
+        rng = np.random.default_rng(int(abs(a).sum() * 1000) % 2**31)
+        b = rng.normal(size=a.size)
+        exact = euclidean(a, b)
+        abandoned = euclidean_early_abandon(a, b, cutoff, chunk=7)
+        if exact < cutoff - 1e-9:
+            assert abandoned == pytest.approx(exact)
+        elif exact > cutoff + 1e-9:
+            assert abandoned == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            euclidean_early_abandon([1.0], [1.0, 2.0], 10.0)
+
+
+class TestDistancesToQuery:
+    def test_matches_rowwise(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(20, 32))
+        query = rng.normal(size=32)
+        got = distances_to_query(matrix, query)
+        want = [euclidean(row, query) for row in matrix]
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_shape_checks(self):
+        with pytest.raises(SeriesMismatchError):
+            distances_to_query(np.zeros((3, 4)), np.zeros(5))
+        with pytest.raises(SeriesMismatchError):
+            distances_to_query(np.zeros(4), np.zeros(4))

@@ -1,0 +1,108 @@
+"""Tests for the linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesMismatchError
+from repro.index import LinearScanIndex, distances_to_query
+from repro.storage import MemorySequenceStore, SequencePageStore
+from repro.timeseries import zscore
+
+
+def make_db(count=50, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    rows = []
+    for i in range(count):
+        period = [7, 12, 30][i % 3]
+        rows.append(
+            zscore(
+                np.sin(2 * np.pi * t / period + rng.uniform(0, 6))
+                + 0.4 * rng.normal(size=n)
+            )
+        )
+    return np.array(rows)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return make_db()
+
+
+class TestSearch:
+    def test_1nn_matches_brute_force(self, matrix):
+        index = LinearScanIndex(matrix)
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            query = zscore(rng.normal(size=64))
+            neighbors, stats = index.search(query, k=1)
+            truth = distances_to_query(matrix, query)
+            assert neighbors[0].distance == pytest.approx(truth.min())
+            assert stats.full_retrievals == len(matrix)
+
+    def test_knn_matches_brute_force(self, matrix):
+        index = LinearScanIndex(matrix)
+        rng = np.random.default_rng(10)
+        query = zscore(rng.normal(size=64))
+        neighbors, _ = index.search(query, k=5)
+        truth = np.sort(distances_to_query(matrix, query))[:5]
+        got = [n.distance for n in neighbors]
+        np.testing.assert_allclose(got, truth, atol=1e-9)
+        assert got == sorted(got)
+
+    def test_query_in_database_found_at_zero(self, matrix):
+        index = LinearScanIndex(matrix)
+        neighbors, _ = index.search(matrix[7], k=1)
+        assert neighbors[0].seq_id == 7
+        assert neighbors[0].distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_names_attached(self, matrix):
+        names = [f"query-{i}" for i in range(len(matrix))]
+        index = LinearScanIndex(matrix, names=names)
+        neighbors, _ = index.search(matrix[3], k=1)
+        assert neighbors[0].name == "query-3"
+
+    def test_k_validation(self, matrix):
+        index = LinearScanIndex(matrix)
+        with pytest.raises(ValueError):
+            index.search(matrix[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(matrix[0], k=len(matrix) + 1)
+
+    def test_query_length_validation(self, matrix):
+        index = LinearScanIndex(matrix)
+        with pytest.raises(SeriesMismatchError):
+            index.search(np.zeros(10), k=1)
+
+    def test_names_validation(self, matrix):
+        with pytest.raises(SeriesMismatchError):
+            LinearScanIndex(matrix, names=["too", "few"])
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(SeriesMismatchError):
+            LinearScanIndex(np.zeros(10))
+
+
+class TestStoreIntegration:
+    def test_scan_charges_io(self, matrix, tmp_path):
+        store = SequencePageStore(tmp_path / "db.dat", matrix.shape[1])
+        index = LinearScanIndex(matrix, store=store)
+        assert len(store) == len(matrix)
+        index.search(matrix[0], k=1)
+        assert store.stats.read_calls == len(matrix)
+        assert store.stats.pages_read >= len(matrix)
+
+    def test_memory_store_results_identical(self, matrix):
+        plain = LinearScanIndex(matrix)
+        stored = LinearScanIndex(matrix, store=MemorySequenceStore(matrix.shape[1]))
+        rng = np.random.default_rng(4)
+        query = zscore(rng.normal(size=64))
+        a, _ = plain.search(query, k=3)
+        b, _ = stored.search(query, k=3)
+        assert [n.seq_id for n in a] == [n.seq_id for n in b]
+
+    def test_prefilled_store_reused(self, matrix):
+        store = MemorySequenceStore(matrix.shape[1])
+        store.append_matrix(matrix)
+        index = LinearScanIndex(matrix, store=store)
+        assert len(store) == len(matrix)  # not appended twice

@@ -1,0 +1,116 @@
+"""Tests for the M-tree baseline index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SeriesMismatchError
+from repro.index import distances_to_query
+from repro.index.mtree import MTreeIndex
+from repro.timeseries import zscore
+
+
+def make_db(count=100, n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    rows = [
+        zscore(
+            np.sin(2 * np.pi * t / [6, 8, 12, 16][i % 4] + rng.uniform(0, 6))
+            + 0.4 * rng.normal(size=n)
+        )
+        for i in range(count)
+    ]
+    return np.array(rows)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return make_db()
+
+
+@pytest.fixture(scope="module")
+def index(matrix):
+    return MTreeIndex(matrix, capacity=8)
+
+
+class TestStructure:
+    def test_invariants(self, index):
+        index.check_invariants()
+
+    def test_invariants_various_capacities(self, matrix):
+        for capacity in (4, 5, 16, 64):
+            MTreeIndex(matrix, capacity=capacity).check_invariants()
+
+    def test_capacity_validation(self, matrix):
+        with pytest.raises(ValueError):
+            MTreeIndex(matrix, capacity=3)
+
+    def test_matrix_validation(self):
+        with pytest.raises(SeriesMismatchError):
+            MTreeIndex(np.zeros(5))
+        with pytest.raises(SeriesMismatchError):
+            MTreeIndex(np.zeros((3, 4)), names=["x"])
+
+
+class TestSearch:
+    def test_1nn_matches_brute_force(self, matrix, index):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            query = zscore(rng.normal(size=48))
+            hits, _ = index.search(query, k=1)
+            truth = float(distances_to_query(matrix, query).min())
+            assert hits[0].distance == pytest.approx(truth, abs=1e-9)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_knn_matches_brute_force(self, matrix, index, k):
+        rng = np.random.default_rng(4)
+        query = zscore(rng.normal(size=48))
+        hits, _ = index.search(query, k=k)
+        truth = np.sort(distances_to_query(matrix, query))[:k]
+        np.testing.assert_allclose([h.distance for h in hits], truth, atol=1e-9)
+
+    def test_query_in_database(self, matrix, index):
+        hits, _ = index.search(matrix[31], k=1)
+        assert hits[0].seq_id == 31
+        assert hits[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_property_exactness(self, seed):
+        matrix = make_db(count=40, n=24, seed=seed)
+        index = MTreeIndex(matrix, capacity=5)
+        rng = np.random.default_rng(seed + 1)
+        query = zscore(rng.normal(size=24))
+        hits, _ = index.search(query, k=3)
+        truth = np.sort(distances_to_query(matrix, query))[:3]
+        np.testing.assert_allclose([h.distance for h in hits], truth, atol=1e-9)
+
+    def test_prunes_some_distances(self, matrix, index):
+        """On clusterable data the search must beat the trivial scan."""
+        totals = []
+        for row in matrix[:10]:
+            _, stats = index.search(row, k=1)
+            totals.append(stats.distance_computations)
+        assert np.mean(totals) < len(matrix)
+
+    def test_parent_filter_fires(self, matrix, index):
+        fired = 0
+        for row in matrix[:10]:
+            _, stats = index.search(row, k=1)
+            fired += stats.parent_filter_hits
+        assert fired > 0
+
+    def test_names(self, matrix):
+        names = [f"q{i}" for i in range(len(matrix))]
+        index = MTreeIndex(matrix, capacity=8, names=names)
+        hits, _ = index.search(matrix[5], k=1)
+        assert hits[0].name == "q5"
+
+    def test_query_validation(self, index, matrix):
+        with pytest.raises(SeriesMismatchError):
+            index.search(np.zeros(5), k=1)
+        with pytest.raises(ValueError):
+            index.search(matrix[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(matrix[0], k=len(matrix) + 1)

@@ -1,0 +1,42 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.index import Neighbor, SearchStats
+
+
+class TestNeighbor:
+    def test_ordering_by_distance(self):
+        near = Neighbor(1.0, 5, "a")
+        far = Neighbor(2.0, 1, "b")
+        assert near < far
+        assert sorted([far, near])[0] is near
+
+    def test_name_does_not_affect_equality(self):
+        a = Neighbor(1.0, 5, "x")
+        b = Neighbor(1.0, 5, "y")
+        assert a == b
+
+    def test_frozen(self):
+        neighbor = Neighbor(1.0, 5)
+        with pytest.raises(AttributeError):
+            neighbor.distance = 2.0
+
+
+class TestSearchStats:
+    def test_defaults_zero(self):
+        stats = SearchStats()
+        assert stats.full_retrievals == 0
+        assert stats.bound_computations == 0
+        assert stats.nodes_visited == 0
+        assert stats.subtrees_pruned == 0
+
+    def test_fraction_examined(self):
+        stats = SearchStats(full_retrievals=10)
+        assert stats.fraction_examined(100) == pytest.approx(0.1)
+
+    def test_fraction_examined_validates(self):
+        with pytest.raises(ValueError):
+            SearchStats().fraction_examined(0)
+        with pytest.raises(ValueError):
+            SearchStats().fraction_examined(-5)

@@ -1,0 +1,156 @@
+"""Tests for the R-tree and the GEMINI feature-space baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SeriesMismatchError
+from repro.index import SearchStats, distances_to_query
+from repro.index.rtree import GeminiRTreeIndex, RTree, gemini_features
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+
+
+def make_points(count=200, dims=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, dims))
+
+
+class TestRTree:
+    def test_insert_and_invariants(self):
+        points = make_points()
+        tree = RTree(dimensions=4, capacity=8)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        assert len(tree) == len(points)
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("capacity", [4, 6, 16, 50])
+    def test_invariants_across_capacities(self, capacity):
+        points = make_points(count=120, seed=capacity)
+        tree = RTree(dimensions=4, capacity=capacity)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        tree.check_invariants()
+
+    def test_nearest_iter_is_sorted_and_complete(self):
+        points = make_points(count=60)
+        tree = RTree(dimensions=4, capacity=6)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        query = np.zeros(4)
+        results = list(tree.nearest_iter(query))
+        distances = [d for d, _ in results]
+        assert distances == sorted(distances)
+        assert sorted(row for _, row in results) == list(range(60))
+        truth = np.sort(np.linalg.norm(points, axis=1))
+        np.testing.assert_allclose(distances, truth, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_property_first_neighbor_exact(self, seed):
+        points = make_points(count=40, dims=3, seed=seed)
+        tree = RTree(dimensions=3, capacity=5)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.normal(size=3)
+        distance, row = next(iter(tree.nearest_iter(query)))
+        truth = np.linalg.norm(points - query, axis=1)
+        assert distance == pytest.approx(truth.min(), abs=1e-9)
+        assert truth[row] == pytest.approx(truth.min(), abs=1e-9)
+
+    def test_empty_tree_yields_nothing(self):
+        tree = RTree(dimensions=2)
+        assert list(tree.nearest_iter(np.zeros(2))) == []
+
+    def test_stats_counted(self):
+        points = make_points(count=50)
+        tree = RTree(dimensions=4, capacity=5)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        stats = SearchStats()
+        next(iter(tree.nearest_iter(np.zeros(4), stats)))
+        assert stats.nodes_visited >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTree(dimensions=0)
+        with pytest.raises(ValueError):
+            RTree(dimensions=2, capacity=3)
+        tree = RTree(dimensions=2)
+        with pytest.raises(SeriesMismatchError):
+            tree.insert(np.zeros(3), 0)
+        with pytest.raises(SeriesMismatchError):
+            list(tree.nearest_iter(np.zeros(3)))
+
+
+class TestGeminiFeatures:
+    def test_lower_bounding_property(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            x, y = zscore(rng.normal(size=64)), zscore(rng.normal(size=64))
+            feature_distance = np.linalg.norm(
+                gemini_features(x, 6) - gemini_features(y, 6)
+            )
+            assert feature_distance <= np.linalg.norm(x - y) + 1e-9
+
+    def test_accepts_spectrum(self):
+        x = zscore(np.sin(np.arange(32.0)))
+        via_values = gemini_features(x, 4)
+        via_spectrum = gemini_features(Spectrum.from_series(x), 4)
+        np.testing.assert_allclose(via_values, via_spectrum)
+
+    def test_dimensionality(self):
+        x = np.sin(np.arange(64.0))
+        assert gemini_features(x, 8).size == 16
+
+
+class TestGeminiRTreeIndex:
+    def make_db(self, count=120, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(n)
+        return np.array(
+            [
+                zscore(
+                    np.sin(2 * np.pi * t / [8, 16][i % 2] + rng.uniform(0, 6))
+                    + 0.5 * rng.normal(size=n)
+                )
+                for i in range(count)
+            ]
+        )
+
+    def test_exactness(self):
+        matrix = self.make_db()
+        index = GeminiRTreeIndex(matrix, k=8)
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            query = zscore(rng.normal(size=64))
+            hits, _ = index.search(query, k=3)
+            truth = np.sort(distances_to_query(matrix, query))[:3]
+            np.testing.assert_allclose(
+                [h.distance for h in hits], truth, atol=1e-9
+            )
+
+    def test_verification_is_partial(self):
+        matrix = self.make_db()
+        index = GeminiRTreeIndex(matrix, k=8)
+        _, stats = index.search(matrix[0], k=1)
+        assert stats.full_retrievals < len(matrix)
+        assert stats.bound_computations >= stats.full_retrievals
+
+    def test_names_and_validation(self):
+        matrix = self.make_db(count=30)
+        names = [f"q{i}" for i in range(30)]
+        index = GeminiRTreeIndex(matrix, names=names)
+        hits, _ = index.search(matrix[4], k=1)
+        assert hits[0].name == "q4"
+        with pytest.raises(SeriesMismatchError):
+            index.search(np.zeros(5), k=1)
+        with pytest.raises(ValueError):
+            index.search(matrix[0], k=0)
+        with pytest.raises(SeriesMismatchError):
+            GeminiRTreeIndex(np.zeros(5))
+        with pytest.raises(SeriesMismatchError):
+            GeminiRTreeIndex(matrix, names=["x"])

@@ -1,0 +1,169 @@
+"""Tests for dynamic insertion and lazy deletion in the VP-tree."""
+
+import numpy as np
+import pytest
+
+from repro.compression import BestMinErrorCompressor
+from repro.exceptions import SeriesMismatchError
+from repro.index import VPTreeIndex, distances_to_query
+from repro.timeseries import zscore
+
+
+def make_db(count=80, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    rows = [
+        zscore(
+            np.sin(2 * np.pi * t / [7, 12, 30][i % 3] + rng.uniform(0, 6))
+            + 0.4 * rng.normal(size=n)
+        )
+        for i in range(count)
+    ]
+    return np.array(rows)
+
+
+@pytest.fixture
+def setup():
+    matrix = make_db()
+    index = VPTreeIndex(
+        matrix,
+        compressor=BestMinErrorCompressor(10),
+        leaf_size=4,
+        seed=1,
+    )
+    return matrix, index
+
+
+class TestInsert:
+    def test_inserted_point_is_found(self, setup):
+        matrix, index = setup
+        rng = np.random.default_rng(5)
+        new = zscore(rng.normal(size=64))
+        seq_id = index.insert(new)
+        assert seq_id == len(matrix)
+        assert len(index) == len(matrix) + 1
+        hits, _ = index.search(new, k=1)
+        assert hits[0].seq_id == seq_id
+        assert hits[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_exactness_after_many_inserts(self, setup):
+        matrix, index = setup
+        rng = np.random.default_rng(6)
+        extra = make_db(count=60, seed=7)
+        for row in extra:
+            index.insert(row)
+        full = np.vstack([matrix, extra])
+        for _ in range(5):
+            query = zscore(rng.normal(size=64))
+            hits, _ = index.search(query, k=3)
+            truth = np.sort(distances_to_query(full, query))[:3]
+            np.testing.assert_allclose(
+                [h.distance for h in hits], truth, atol=1e-9
+            )
+
+    def test_leaf_rebuild_keeps_results_exact(self):
+        """Force many inserts into the same region to trigger rebuilds."""
+        matrix = make_db(count=40)
+        index = VPTreeIndex(
+            matrix, compressor=BestMinErrorCompressor(10), leaf_size=2, seed=2
+        )
+        rng = np.random.default_rng(8)
+        clones = [
+            zscore(matrix[3] + rng.normal(scale=0.01, size=64))
+            for _ in range(30)
+        ]
+        for clone in clones:
+            index.insert(clone)
+        full = np.vstack([matrix, clones])
+        hits, _ = index.search(matrix[3], k=5)
+        truth = np.sort(distances_to_query(full, matrix[3]))[:5]
+        np.testing.assert_allclose([h.distance for h in hits], truth, atol=1e-9)
+
+    def test_insert_with_name(self):
+        matrix = make_db(count=20)
+        names = [f"q{i}" for i in range(20)]
+        index = VPTreeIndex(matrix, names=names, seed=3)
+        rng = np.random.default_rng(9)
+        new = zscore(rng.normal(size=64))
+        seq_id = index.insert(new, name="fresh")
+        hits, _ = index.search(new, k=1)
+        assert hits[0].seq_id == seq_id
+        assert hits[0].name == "fresh"
+
+    def test_insert_length_checked(self, setup):
+        _, index = setup
+        with pytest.raises(SeriesMismatchError):
+            index.insert(np.zeros(10))
+
+
+class TestRemove:
+    def test_removed_point_never_returned(self, setup):
+        matrix, index = setup
+        victim = 7
+        index.remove(victim)
+        assert len(index) == len(matrix) - 1
+        hits, _ = index.search(matrix[victim], k=3)
+        assert all(h.seq_id != victim for h in hits)
+
+    def test_exactness_after_removals(self, setup):
+        matrix, index = setup
+        removed = {3, 11, 40, 41}
+        for victim in removed:
+            index.remove(victim)
+        live = np.array([i for i in range(len(matrix)) if i not in removed])
+        rng = np.random.default_rng(10)
+        for _ in range(5):
+            query = zscore(rng.normal(size=64))
+            hits, _ = index.search(query, k=2)
+            truth = np.sort(distances_to_query(matrix[live], query))[:2]
+            np.testing.assert_allclose(
+                [h.distance for h in hits], truth, atol=1e-9
+            )
+            assert not {h.seq_id for h in hits} & removed
+
+    def test_removed_vantage_still_routes(self):
+        """Deleting an internal vantage point must not break the tree."""
+        matrix = make_db(count=50)
+        index = VPTreeIndex(matrix, leaf_size=4, seed=4)
+        # The root vantage is whatever the heuristic picked; remove a
+        # spread of ids to hit internal nodes with high probability.
+        for victim in range(0, 50, 5):
+            index.remove(victim)
+        query = matrix[1]
+        hits, _ = index.search(query, k=1)
+        live = np.array([i for i in range(50) if i % 5 != 0])
+        truth = float(distances_to_query(matrix[live], query).min())
+        assert hits[0].distance == pytest.approx(truth, abs=1e-9)
+
+    def test_double_remove_rejected(self, setup):
+        _, index = setup
+        index.remove(0)
+        with pytest.raises(SeriesMismatchError):
+            index.remove(0)
+        with pytest.raises(SeriesMismatchError):
+            index.remove(9999)
+
+
+class TestMixedWorkload:
+    def test_interleaved_inserts_and_removes(self):
+        matrix = make_db(count=30)
+        index = VPTreeIndex(
+            matrix, compressor=BestMinErrorCompressor(10), leaf_size=3, seed=5
+        )
+        rng = np.random.default_rng(11)
+        reference = {i: matrix[i] for i in range(30)}
+        next_rows = make_db(count=25, seed=12)
+        for step, row in enumerate(next_rows):
+            seq_id = index.insert(row)
+            reference[seq_id] = row
+            if step % 3 == 0:
+                victim = sorted(reference)[step % len(reference)]
+                index.remove(victim)
+                del reference[victim]
+        live_ids = sorted(reference)
+        live = np.stack([reference[i] for i in live_ids])
+        assert len(index) == len(reference)
+        query = zscore(rng.normal(size=64))
+        hits, _ = index.search(query, k=4)
+        truth = np.sort(distances_to_query(live, query))[:4]
+        np.testing.assert_allclose([h.distance for h in hits], truth, atol=1e-9)

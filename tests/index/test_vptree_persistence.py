@@ -1,0 +1,127 @@
+"""Tests for saving and loading a VP-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.compression import BestMinErrorCompressor
+from repro.exceptions import SeriesMismatchError
+from repro.index import VPTreeIndex, distances_to_query
+from repro.storage import SequencePageStore
+from repro.timeseries import zscore
+
+
+def make_db(count=80, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.array(
+        [
+            zscore(
+                np.sin(2 * np.pi * t / [7, 12, 30][i % 3] + rng.uniform(0, 6))
+                + 0.4 * rng.normal(size=n)
+            )
+            for i in range(count)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return make_db()
+
+
+class TestSaveLoad:
+    def test_roundtrip_answers_identical(self, matrix, tmp_path):
+        names = [f"q{i}" for i in range(len(matrix))]
+        index = VPTreeIndex(
+            matrix,
+            compressor=BestMinErrorCompressor(10),
+            names=names,
+            leaf_size=5,
+            seed=1,
+        )
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+
+        assert len(loaded) == len(index)
+        assert loaded.bound_method == index.bound_method
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            query = zscore(rng.normal(size=64))
+            a, _ = index.search(query, k=3)
+            b, _ = loaded.search(query, k=3)
+            assert [h.seq_id for h in a] == [h.seq_id for h in b]
+            assert [h.name for h in a] == [h.name for h in b]
+            np.testing.assert_allclose(
+                [h.distance for h in a], [h.distance for h in b], atol=1e-12
+            )
+
+    def test_loaded_index_is_exact(self, matrix, tmp_path):
+        index = VPTreeIndex(matrix, leaf_size=4, seed=3)
+        path = tmp_path / "exact.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+        rng = np.random.default_rng(4)
+        query = zscore(rng.normal(size=64))
+        hits, _ = loaded.search(query, k=1)
+        truth = float(distances_to_query(matrix, query).min())
+        assert hits[0].distance == pytest.approx(truth, abs=1e-9)
+
+    def test_tombstones_survive(self, matrix, tmp_path):
+        index = VPTreeIndex(matrix, seed=5)
+        index.remove(7)
+        path = tmp_path / "tomb.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+        assert len(loaded) == len(matrix) - 1
+        hits, _ = loaded.search(matrix[7], k=3)
+        assert all(h.seq_id != 7 for h in hits)
+
+    def test_disk_store_reopened(self, matrix, tmp_path):
+        store = SequencePageStore(tmp_path / "rows.dat", matrix.shape[1])
+        index = VPTreeIndex(matrix, store=store, seed=6)
+        path = tmp_path / "disk.npz"
+        index.save(path)
+        store.close()
+        loaded = VPTreeIndex.load(path)
+        hits, stats = loaded.search(matrix[11], k=1)
+        assert hits[0].seq_id == 11
+        assert loaded.store.stats.read_calls == stats.full_retrievals
+
+    def test_range_search_after_load(self, matrix, tmp_path):
+        index = VPTreeIndex(matrix, seed=7)
+        path = tmp_path / "range.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+        query = matrix[0]
+        truth = distances_to_query(matrix, query)
+        radius = float(np.median(truth))
+        hits, _ = loaded.range_search(query, radius)
+        assert {h.seq_id for h in hits} == set(
+            np.flatnonzero(truth <= radius).tolist()
+        )
+
+    def test_loaded_index_rejects_inserts(self, matrix, tmp_path):
+        index = VPTreeIndex(matrix, seed=8)
+        path = tmp_path / "ro.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+        with pytest.raises(SeriesMismatchError):
+            loaded.insert(matrix[0])
+
+    def test_save_after_inserts(self, matrix, tmp_path):
+        index = VPTreeIndex(
+            matrix, compressor=BestMinErrorCompressor(10), leaf_size=4, seed=9
+        )
+        rng = np.random.default_rng(10)
+        extra = [zscore(rng.normal(size=64)) for _ in range(10)]
+        for row in extra:
+            index.insert(row)
+        path = tmp_path / "grown.npz"
+        index.save(path)
+        loaded = VPTreeIndex.load(path)
+        full = np.vstack([matrix, extra])
+        query = zscore(rng.normal(size=64))
+        hits, _ = loaded.search(query, k=2)
+        truth = np.sort(distances_to_query(full, query))[:2]
+        np.testing.assert_allclose([h.distance for h in hits], truth, atol=1e-9)

@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import (
+    BurstDatabase,
+    LinearScanIndex,
+    QueryLogGenerator,
+    StorageBudget,
+    VPTreeIndex,
+    detect_periods,
+)
+from repro.bursts import burst_similarity
+from repro.datagen import DayGrid, LogAggregator, iter_log_records, profile, sample_daily_counts
+from repro.index import distances_to_query
+from repro.storage import SequencePageStore
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return QueryLogGenerator(seed=99, days=365)
+
+
+@pytest.fixture(scope="module")
+def database(generator):
+    return generator.synthetic_database(256, include_catalog=True)
+
+
+class TestGenerateCompressIndexSearch:
+    def test_full_pipeline_matches_brute_force(self, database, tmp_path_factory):
+        """generate -> standardise -> compress -> index -> search == scan."""
+        matrix = database.standardize().as_matrix()
+        names = list(database.names)
+        store = SequencePageStore(
+            tmp_path_factory.mktemp("e2e") / "seq.dat", matrix.shape[1]
+        )
+        index = VPTreeIndex(
+            matrix,
+            compressor=StorageBudget(16).compressor("best_min_error"),
+            names=names,
+            store=store,
+            seed=1,
+        )
+        scan = LinearScanIndex(matrix, names=names)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            query = matrix[rng.integers(0, len(matrix))] + rng.normal(
+                scale=0.05, size=matrix.shape[1]
+            )
+            tree_hits, tree_stats = index.search(query, k=3)
+            scan_hits, _ = scan.search(query, k=3)
+            assert [n.seq_id for n in tree_hits] == [n.seq_id for n in scan_hits]
+            assert tree_stats.full_retrievals <= len(matrix)
+        store.close()
+
+    def test_catalog_members_find_their_family(self, database):
+        """'cinema' and 'movie listings' share the weekend shape."""
+        matrix = database.standardize().as_matrix()
+        names = list(database.names)
+        index = VPTreeIndex(matrix, names=names, seed=2)
+        cinema_row = names.index("cinema")
+        hits, _ = index.search(matrix[cinema_row], k=4)
+        hit_names = [h.name for h in hits]
+        assert hit_names[0] == "cinema"
+        assert any(
+            name in hit_names for name in ("movie listings", "restaurants")
+        )
+
+
+class TestLogsToKnowledge:
+    def test_raw_records_to_periods_and_bursts(self):
+        """The substrate chain: records -> aggregate -> detect."""
+        grid = DayGrid(dt.date(2002, 1, 1), 365)
+        rng = np.random.default_rng(4)
+        aggregator = LogAggregator(grid)
+        for name in ("cinema", "halloween"):
+            counts = sample_daily_counts(profile(name), grid, rng)
+            aggregator.consume(iter_log_records(counts, grid, name))
+
+        cinema = aggregator.series("cinema").standardize()
+        result = detect_periods(cinema)
+        assert result.periods[0].period == pytest.approx(7.0, abs=0.1)
+
+        db = BurstDatabase()
+        db.add(aggregator.series("halloween"))
+        bursts = db.bursts_of("halloween", window=30)
+        assert bursts
+        start = bursts[0].start_date(dt.date(2002, 1, 1))
+        assert start.month in (9, 10)
+
+
+class TestQueryByBurstConsistency:
+    def test_dbms_path_equals_direct_bsim(self, database):
+        """The relational plan and a direct BSim loop rank identically."""
+        db = BurstDatabase()
+        db.add_collection(database.subset(database.names[:64]))
+        query_name = db.names[0]
+        window = db.detectors[0].window
+        via_plan = {
+            m.name: m.similarity for m in db.query(query_name, top=100)
+        }
+        query_bursts = db.bursts_of(query_name, window)
+        direct = {}
+        for name in db.names:
+            if name == query_name:
+                continue
+            score = burst_similarity(query_bursts, db.bursts_of(name, window))
+            if score > 0:
+                direct[name] = score
+        assert set(via_plan) == set(direct)
+        for name, score in direct.items():
+            assert via_plan[name] == pytest.approx(score)
+
+
+class TestDeterminism:
+    def test_whole_stack_is_seeded(self, generator):
+        """Same seeds -> same data -> same index answers, bit for bit."""
+        other = QueryLogGenerator(seed=99, days=365)
+        a = generator.synthetic_database(32).standardize().as_matrix()
+        b = other.synthetic_database(32).standardize().as_matrix()
+        np.testing.assert_array_equal(a, b)
+
+        index_a = VPTreeIndex(a, seed=7)
+        index_b = VPTreeIndex(b, seed=7)
+        query = a[5]
+        hits_a, _ = index_a.search(query, k=3)
+        hits_b, _ = index_b.search(query, k=3)
+        assert [h.seq_id for h in hits_a] == [h.seq_id for h in hits_b]
+
+    def test_exactness_across_bound_methods(self, database):
+        """All sound configurations agree with the ground truth."""
+        matrix = database.standardize().as_matrix()[:128]
+        rng = np.random.default_rng(8)
+        query = matrix[rng.integers(0, len(matrix))] * 0.9
+        truth = float(distances_to_query(matrix, query).min())
+        for method in ("best_min_error_safe", "best_min", "best_error"):
+            compressor = StorageBudget(16).compressor(
+                "best_min_error" if "error" in method else "best_min"
+            )
+            index = VPTreeIndex(
+                matrix, compressor=compressor, bound_method=method, seed=9
+            )
+            hits, _ = index.search(query, k=1)
+            assert hits[0].distance == pytest.approx(truth, abs=1e-9), method

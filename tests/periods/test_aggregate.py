@@ -1,0 +1,83 @@
+"""Tests for shared-period detection over sequence sets."""
+
+import numpy as np
+import pytest
+
+from repro.periods import PeriodDetector, shared_periods
+from repro.timeseries import TimeSeries, zscore
+
+
+def weekly(n=365, phase=0.0, noise=0.3, seed=0, name=""):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    x = zscore(np.sin(2 * np.pi * t / 7 + phase) + noise * rng.normal(size=n))
+    return TimeSeries(x, name=name or f"weekly-{seed}")
+
+
+def monthly(n=365, seed=0, name=""):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    x = zscore(
+        np.sin(2 * np.pi * t / 30.4) + 0.3 * rng.normal(size=n)
+    )
+    return TimeSeries(x, name=name or f"monthly-{seed}")
+
+
+def noise(n=365, seed=0, name=""):
+    rng = np.random.default_rng(seed)
+    return TimeSeries(zscore(rng.normal(size=n)), name=name or f"noise-{seed}")
+
+
+class TestSharedPeriods:
+    def test_weekly_cluster(self):
+        group = [weekly(seed=i, phase=i) for i in range(5)]
+        found = shared_periods(group)
+        assert found, "five weekly series must share a period"
+        top = found[0]
+        assert top.support == 5
+        assert top.period == pytest.approx(7.0, abs=0.2)
+        assert len(top.members) == 5
+
+    def test_mixed_set_ranked_by_support(self):
+        group = [weekly(seed=i) for i in range(4)] + [monthly(seed=9)]
+        found = shared_periods(group)
+        assert found[0].period == pytest.approx(7.0, abs=0.2)
+        assert found[0].support == 4
+        monthly_bins = [sp for sp in found if 25 < sp.period < 35]
+        assert monthly_bins and monthly_bins[0].support == 1
+
+    def test_min_support_filters(self):
+        group = [weekly(seed=i) for i in range(3)] + [monthly(seed=9)]
+        found = shared_periods(group, min_support=2)
+        assert all(sp.support >= 2 for sp in found)
+        assert any(abs(sp.period - 7.0) < 0.2 for sp in found)
+
+    def test_pure_noise_set_is_empty(self):
+        group = [noise(seed=i) for i in range(4)]
+        assert shared_periods(group) == []
+
+    def test_accepts_raw_arrays(self):
+        group = [weekly(seed=i).values for i in range(2)]
+        found = shared_periods(group)
+        assert found[0].members == ("#0", "#1")
+
+    def test_custom_detector(self):
+        group = [weekly(seed=i, noise=0.8) for i in range(3)]
+        permissive = shared_periods(group, PeriodDetector(confidence=0.99))
+        strict = shared_periods(group, PeriodDetector(confidence=0.999999))
+        assert len(permissive) >= len(strict)
+
+    def test_knn_usecase(self):
+        """The paper's motivating scenario: summarise a k-NN result set."""
+        from repro import QueryLogGenerator, VPTreeIndex
+
+        gen = QueryLogGenerator(seed=4)
+        collection = gen.catalog_collection().standardize()
+        index = VPTreeIndex(
+            collection.as_matrix(), names=list(collection.names), seed=4
+        )
+        hits, _ = index.search(collection["cinema"].values, k=4)
+        members = [collection[h.name] for h in hits]
+        found = shared_periods(members)
+        assert found[0].period == pytest.approx(7.0, abs=0.2)
+        assert found[0].support >= 2

@@ -1,0 +1,173 @@
+"""Tests for the significant-period detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SeriesLengthError
+from repro.periods import PeriodDetector, detect_periods, exponential_fit
+from repro.timeseries import TimeSeries, zscore
+
+
+def tone(n, period, amplitude=1.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return zscore(
+        amplitude * np.sin(2 * np.pi * t / period) + noise * rng.normal(size=n)
+    )
+
+
+class TestThreshold:
+    def test_formula(self):
+        detector = PeriodDetector(confidence=0.9999)
+        # T_p = -mu * ln(1e-4)
+        assert detector.threshold(0.02) == pytest.approx(
+            -0.02 * np.log(1e-4)
+        )
+        assert detector.threshold(0.02) == pytest.approx(0.1842, abs=1e-3)
+
+    def test_paper_example(self):
+        """Section 5.1's worked example quotes T_p ~= 0.0184 for mu = 0.002.
+
+        (The paper's text says 'average signal power 0.02' but the quoted
+        threshold 0.0184 corresponds to mu = 0.002; we pin the formula,
+        not the typo.)
+        """
+        detector = PeriodDetector(confidence=0.9999)
+        assert detector.threshold(0.002) == pytest.approx(0.0184, abs=2e-4)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            PeriodDetector(confidence=0.0)
+        with pytest.raises(ValueError):
+            PeriodDetector(confidence=1.0)
+        with pytest.raises(ValueError):
+            PeriodDetector(min_index=0)
+
+
+class TestDetection:
+    def test_single_tone(self):
+        result = detect_periods(tone(256, 8))
+        assert len(result) >= 1
+        assert result.periods[0].period == pytest.approx(8.0, rel=0.05)
+
+    def test_two_tones_ordered_by_power(self):
+        n = 512
+        t = np.arange(n)
+        x = zscore(
+            3.0 * np.sin(2 * np.pi * t / 8) + 1.5 * np.sin(2 * np.pi * t / 32)
+        )
+        result = detect_periods(x)
+        periods = [p.period for p in result.top(2)]
+        assert periods[0] == pytest.approx(8.0, rel=0.05)
+        assert periods[1] == pytest.approx(32.0, rel=0.05)
+
+    def test_weekly_tone_on_year_grid(self):
+        """The paper's flagship case: a 7-day period on 365 samples."""
+        result = detect_periods(tone(365, 7, noise=0.3))
+        assert result.periods[0].period == pytest.approx(7.0, abs=0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_no_false_alarms_on_white_noise(self, seed):
+        """Gaussian noise must (essentially) never trigger at 1-1e-4."""
+        rng = np.random.default_rng(seed)
+        result = detect_periods(zscore(rng.normal(size=365)))
+        # With 182 bins and p = 1e-4 the expected false-alarm count is
+        # ~0.018; allow at most one to keep the test deterministic-ish.
+        assert len(result) <= 1
+
+    def test_detected_period_fields_consistent(self):
+        result = detect_periods(tone(256, 8))
+        for p in result:
+            assert p.period == pytest.approx(256 / p.index)
+            assert p.frequency == pytest.approx(p.index / 256)
+            assert p.power > result.threshold
+
+    def test_accepts_time_series(self):
+        series = TimeSeries(tone(128, 8), name="t")
+        assert len(PeriodDetector().detect(series)) >= 1
+
+    def test_max_period_filter(self):
+        x = tone(256, 128, amplitude=2.0)
+        unfiltered = detect_periods(x)
+        assert any(p.period > 64 for p in unfiltered)
+        filtered = PeriodDetector(max_period=64).detect(x)
+        assert all(p.period <= 64 for p in filtered)
+
+    def test_min_index_skips_long_periods(self):
+        x = tone(256, 128, amplitude=2.0)
+        detector = PeriodDetector(min_index=8)
+        assert all(p.index >= 8 for p in detector.detect(x))
+
+    def test_too_short_sequence(self):
+        with pytest.raises(SeriesLengthError):
+            detect_periods([1.0, 2.0])
+
+    def test_top_clamps(self):
+        result = detect_periods(tone(64, 8))
+        assert len(result.top(100)) == len(result)
+
+
+class TestInterpolation:
+    def test_off_grid_tone_recovered(self):
+        """A 29.53-day tone on a 512-sample grid lands between bins."""
+        n = 512
+        t = np.arange(n)
+        x = zscore(np.sin(2 * np.pi * t / 29.53))
+        raw = PeriodDetector().detect(x).periods[0].period
+        fine = PeriodDetector(interpolate=True).detect(x).periods[0].period
+        assert abs(fine - 29.53) < abs(raw - 29.53)
+        assert fine == pytest.approx(29.53, abs=0.35)
+
+    def test_on_grid_tone_unchanged(self):
+        x = tone(256, 8)  # exactly bin 32
+        raw = PeriodDetector().detect(x).periods[0].period
+        fine = PeriodDetector(interpolate=True).detect(x).periods[0].period
+        assert fine == pytest.approx(raw, abs=0.05)
+
+    def test_interpolated_frequency_consistent(self):
+        x = zscore(np.sin(2 * np.pi * np.arange(512) / 29.53))
+        found = PeriodDetector(interpolate=True).detect(x).periods[0]
+        assert found.period == pytest.approx(1.0 / found.frequency)
+
+    def test_boundary_bins_not_interpolated(self):
+        # Nyquist-adjacent content: index at the spectrum edge stays raw.
+        x = zscore(np.sin(np.pi * np.arange(64)))  # degenerate fast tone
+        result = PeriodDetector(interpolate=True).detect(
+            zscore(np.cos(np.pi * np.arange(64)) + 0.01 * x)
+        )
+        for p in result:
+            assert np.isfinite(p.period)
+
+
+class TestExponentialFit:
+    def test_noise_fits_exponential(self):
+        rng = np.random.default_rng(1)
+        rates, pvalues = [], []
+        for _ in range(5):
+            rate, pvalue = exponential_fit(zscore(rng.normal(size=512)))
+            rates.append(rate)
+            pvalues.append(pvalue)
+        # At least most of the runs must look exponential.
+        assert sum(p > 0.01 for p in pvalues) >= 4
+
+    def test_periodic_data_fails_the_fit(self):
+        rate, pvalue = exponential_fit(tone(512, 8, amplitude=4.0, noise=0.1))
+        assert pvalue < 1e-4
+
+    def test_rate_is_inverse_mean_power(self):
+        rng = np.random.default_rng(2)
+        x = zscore(rng.normal(size=256))
+        from repro.spectral import periodogram
+
+        mean_power = periodogram(x).power[1:].mean()
+        rate, _ = exponential_fit(x)
+        assert rate == pytest.approx(1.0 / mean_power)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(SeriesLengthError):
+            exponential_fit(np.zeros(64))
+        with pytest.raises(SeriesLengthError):
+            exponential_fit([1.0, 2.0, 3.0, 4.0])

@@ -1,0 +1,109 @@
+"""Tests for the normalised DFT and the weighted half-spectrum."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import SeriesMismatchError
+from repro.spectral import Spectrum, dft, half_spectrum, half_weights, idft
+
+signals = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=96),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestDft:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=64)
+        np.testing.assert_allclose(idft(dft(x)), x, atol=1e-10)
+
+    @given(signals)
+    def test_parseval_full_spectrum(self, x):
+        coeffs = dft(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(coeffs) ** 2), np.sum(x**2), atol=1e-6, rtol=1e-9
+        )
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        coeffs = dft(x)
+        assert coeffs[0] == pytest.approx(x.sum() / np.sqrt(4))
+
+    def test_conjugate_symmetry(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=16)
+        coeffs = dft(x)
+        for k in range(1, 8):
+            assert coeffs[16 - k] == pytest.approx(np.conj(coeffs[k]))
+
+
+class TestHalfWeights:
+    def test_even_length(self):
+        w = half_weights(8)
+        np.testing.assert_allclose(w, [1, 2, 2, 2, 1])
+
+    def test_odd_length(self):
+        w = half_weights(7)
+        np.testing.assert_allclose(w, [1, 2, 2, 2])
+
+    @given(st.integers(min_value=2, max_value=512))
+    def test_weights_sum_to_n(self, n):
+        assert half_weights(n).sum() == n
+
+
+class TestSpectrum:
+    @given(signals)
+    def test_energy_matches_time_domain(self, x):
+        spectrum = Spectrum.from_series(x)
+        np.testing.assert_allclose(
+            spectrum.energy(), np.sum(x**2), atol=1e-6, rtol=1e-9
+        )
+
+    @given(signals, st.randoms(use_true_random=False))
+    def test_distance_matches_time_domain(self, x, rand):
+        rng = np.random.default_rng(rand.randint(0, 2**31))
+        y = rng.normal(size=x.size)
+        a = Spectrum.from_series(x)
+        b = Spectrum.from_series(y)
+        np.testing.assert_allclose(
+            a.distance(b), np.linalg.norm(x - y), atol=1e-6, rtol=1e-9
+        )
+
+    def test_half_spectrum_matches_full(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=32)
+        np.testing.assert_allclose(half_spectrum(x), dft(x)[:17], atol=1e-10)
+
+    def test_to_series_roundtrip(self):
+        rng = np.random.default_rng(4)
+        for n in (31, 32):
+            x = rng.normal(size=n)
+            spectrum = Spectrum.from_series(x)
+            np.testing.assert_allclose(spectrum.to_series(), x, atol=1e-10)
+
+    def test_to_series_requires_fourier_basis(self):
+        spec = Spectrum(np.zeros(3), np.ones(3), 3, basis="haar")
+        with pytest.raises(SeriesMismatchError):
+            spec.to_series()
+
+    def test_incompatible_distance_raises(self):
+        a = Spectrum.from_series(np.zeros(8) + 1.0)
+        b = Spectrum.from_series(np.zeros(10) + 1.0)
+        with pytest.raises(SeriesMismatchError):
+            a.distance(b)
+
+    def test_shape_validation(self):
+        with pytest.raises(SeriesMismatchError):
+            Spectrum(np.zeros(3), np.ones(4), 6)
+
+    def test_powers_use_weights(self):
+        x = np.array([1.0, -1.0, 1.0, -1.0])  # pure Nyquist signal
+        spectrum = Spectrum.from_series(x)
+        powers = spectrum.powers
+        assert powers[-1] == pytest.approx(4.0)  # all energy at Nyquist
+        assert powers[:-1] == pytest.approx(np.zeros(2), abs=1e-12)

@@ -1,0 +1,76 @@
+"""Tests for the periodogram / PSD estimator."""
+
+import numpy as np
+import pytest
+
+from repro.spectral import Spectrum, periodogram
+
+
+def sinusoid(n, period, amplitude=1.0, phase=0.0):
+    t = np.arange(n)
+    return amplitude * np.sin(2 * np.pi * t / period + phase)
+
+
+class TestPeriodogram:
+    def test_length_is_half_spectrum(self):
+        p = periodogram(np.zeros(64) + 1.0)
+        assert len(p) == 33
+
+    def test_pure_tone_peaks_at_right_bin(self):
+        n = 128
+        x = sinusoid(n, period=8)  # frequency bin k = n / 8 = 16
+        p = periodogram(x)
+        assert p.top_indexes(1)[0] == 16
+
+    def test_period_of(self):
+        p = periodogram(np.ones(100))
+        assert p.period_of(4) == pytest.approx(25.0)
+        assert p.period_of(0) == float("inf")
+
+    def test_periods_array(self):
+        p = periodogram(np.ones(10))
+        assert p.periods[0] == np.inf
+        assert p.periods[2] == pytest.approx(5.0)
+
+    def test_frequencies(self):
+        p = periodogram(np.ones(10))
+        np.testing.assert_allclose(p.frequencies, np.arange(6) / 10)
+
+    def test_top_indexes_ordering(self):
+        n = 256
+        x = sinusoid(n, 8, amplitude=3.0) + sinusoid(n, 16, amplitude=1.0)
+        p = periodogram(x)
+        top = p.top_indexes(2)
+        assert list(top) == [32, 16]
+
+    def test_top_indexes_skip_dc(self):
+        x = np.ones(64) * 100.0  # all energy at DC
+        p = periodogram(x)
+        assert 0 not in p.top_indexes(3)
+        assert p.top_indexes(3, skip_dc=False)[0] == 0
+
+    def test_top_indexes_clamped_to_available(self):
+        p = periodogram(np.ones(8))
+        assert p.top_indexes(100).size == 4  # bins 1..4
+
+    def test_accepts_spectrum(self):
+        x = sinusoid(64, 4)
+        direct = periodogram(x)
+        via_spectrum = periodogram(Spectrum.from_series(x))
+        np.testing.assert_allclose(direct.power, via_spectrum.power)
+
+    def test_power_is_read_only(self):
+        p = periodogram(np.ones(16))
+        with pytest.raises(ValueError):
+            p.power[0] = 1.0
+
+    def test_energy_relation_for_zero_mean_signal(self):
+        # For a zero-mean even-length signal, weighted half powers sum to
+        # the total energy; the periodogram itself is unweighted.
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=64)
+        x -= x.mean()
+        p = periodogram(x)
+        weights = np.full(len(p), 2.0)
+        weights[0] = weights[-1] = 1.0
+        assert np.dot(weights, p.power) == pytest.approx(np.sum(x**2))

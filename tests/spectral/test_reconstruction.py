@@ -1,0 +1,119 @@
+"""Tests for coefficient-subset reconstruction (the Figure 5 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.spectral import (
+    Spectrum,
+    best_indexes,
+    first_indexes,
+    reconstruct,
+    reconstruction_error,
+)
+
+signals = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=4, max_value=96),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+def periodic_signal(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    x = (
+        3.0 * np.sin(2 * np.pi * t / 7)
+        + 1.5 * np.sin(2 * np.pi * t / 30)
+        + rng.normal(scale=0.3, size=n)
+    )
+    return x - x.mean()
+
+
+class TestIndexSelection:
+    def test_first_indexes(self):
+        spectrum = Spectrum.from_series(np.ones(16))
+        np.testing.assert_array_equal(first_indexes(spectrum, 3), [1, 2, 3])
+        np.testing.assert_array_equal(
+            first_indexes(spectrum, 3, skip_dc=False), [0, 1, 2]
+        )
+
+    def test_first_indexes_clamped(self):
+        spectrum = Spectrum.from_series(np.ones(8))
+        assert first_indexes(spectrum, 100).tolist() == [1, 2, 3, 4]
+
+    def test_best_indexes_finds_dominant_bins(self):
+        x = periodic_signal()
+        spectrum = Spectrum.from_series(x)
+        best = best_indexes(spectrum, 2)
+        # periods 7 and 30 on n=256 -> bins round(256/7)=37 (or 36) and
+        # round(256/30)=9 (or 8): check the known strongest bins are found.
+        assert len(best) == 2
+        mags = spectrum.magnitudes
+        weakest_best = mags[best].min()
+        others = np.delete(mags[1:], best - 1)
+        assert weakest_best >= others.max()
+
+    def test_best_indexes_sorted_and_unique(self):
+        x = periodic_signal(seed=3)
+        spectrum = Spectrum.from_series(x)
+        best = best_indexes(spectrum, 10)
+        assert list(best) == sorted(set(best.tolist()))
+
+    def test_best_indexes_tie_break_prefers_low_frequency(self):
+        # Flat-magnitude spectrum: an impulse has equal energy everywhere.
+        x = np.zeros(16)
+        x[0] = 1.0
+        spectrum = Spectrum.from_series(x)
+        np.testing.assert_array_equal(best_indexes(spectrum, 3), [1, 2, 3])
+
+    def test_zero_k(self):
+        spectrum = Spectrum.from_series(np.ones(8))
+        assert best_indexes(spectrum, 0).size == 0
+        assert first_indexes(spectrum, 0).size == 0
+
+
+class TestReconstruction:
+    def test_all_indexes_reconstruct_exactly(self):
+        x = periodic_signal()
+        spectrum = Spectrum.from_series(x)
+        full = np.arange(len(spectrum))
+        np.testing.assert_allclose(reconstruct(x, full), x, atol=1e-9)
+        assert reconstruction_error(x, full) == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_indexes_gives_zero_signal(self):
+        x = periodic_signal()
+        out = reconstruct(x, np.arange(0))
+        np.testing.assert_allclose(out, np.zeros_like(x), atol=1e-12)
+
+    def test_best_beats_first_on_periodic_data(self):
+        """The core of Figure 5: 4 best coefficients beat 5 first ones."""
+        x = periodic_signal()
+        spectrum = Spectrum.from_series(x)
+        err_first = reconstruction_error(x, first_indexes(spectrum, 5))
+        err_best = reconstruction_error(x, best_indexes(spectrum, 4))
+        assert err_best < err_first
+
+    @given(signals, st.integers(min_value=0, max_value=8))
+    def test_error_equals_omitted_energy(self, x, k):
+        """Parseval: reconstruction error**2 == energy of omitted coefficients."""
+        x = x - x.mean()
+        spectrum = Spectrum.from_series(x)
+        k = min(k, len(spectrum) - 1)
+        kept = best_indexes(spectrum, k)
+        omitted = np.setdiff1d(np.arange(len(spectrum)), kept)
+        omitted_energy = float(spectrum.powers[omitted].sum())
+        err = reconstruction_error(x, kept)
+        np.testing.assert_allclose(err**2, omitted_energy, atol=1e-6)
+
+    @given(signals)
+    def test_error_decreases_with_more_best_coefficients(self, x):
+        spectrum = Spectrum.from_series(x)
+        errors = [
+            reconstruction_error(x, best_indexes(spectrum, k))
+            for k in range(0, len(spectrum) + 1, max(1, len(spectrum) // 4))
+        ]
+        for earlier, later in zip(errors, errors[1:]):
+            assert later <= earlier + 1e-7

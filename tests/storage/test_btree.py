@@ -1,0 +1,212 @@
+"""Unit and property tests for the B+tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import KeyNotFoundError
+from repro.storage import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert list(tree.items()) == []
+        assert tree.get(5) is None
+        assert tree.get(5, "d") == "d"
+
+    def test_insert_and_lookup(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i * 10)
+        assert len(tree) == 100
+        for i in range(100):
+            assert tree[i] == i * 10
+        with pytest.raises(KeyNotFoundError):
+            tree[100]
+
+    def test_setitem_alias(self):
+        tree = BPlusTree()
+        tree[3] = "x"
+        assert tree[3] == "x"
+
+    def test_insert_replaces_existing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree[1] == "b"
+        assert len(tree) == 1
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_items_sorted_after_random_inserts(self):
+        import random
+
+        rng = random.Random(0)
+        keys = rng.sample(range(10_000), 500)
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, -key)
+        assert list(tree.keys()) == sorted(keys)
+        assert list(tree.values()) == [-k for k in sorted(keys)]
+        tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for i in range(1000):
+            tree.insert(i, i)
+        assert tree.height() <= 8
+
+
+class TestDelete:
+    def test_delete_missing_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(1)
+
+    def test_delete_everything_both_directions(self):
+        for order, direction in [(4, 1), (4, -1), (7, 1), (7, -1)]:
+            tree = BPlusTree(order=order)
+            keys = list(range(300))
+            for key in keys:
+                tree.insert(key, key)
+            for key in keys[::direction]:
+                tree.delete(key)
+                tree.check_invariants()
+            assert len(tree) == 0
+            assert list(tree.items()) == []
+
+    def test_delete_interleaved_with_inserts(self):
+        tree = BPlusTree(order=4)
+        alive = set()
+        for i in range(400):
+            tree.insert(i, i)
+            alive.add(i)
+            if i % 3 == 0 and i >= 30:
+                victim = i - 30
+                tree.delete(victim)
+                alive.remove(victim)
+        tree.check_invariants()
+        assert sorted(alive) == list(tree.keys())
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(key, str(key))
+        return tree
+
+    def test_closed_range(self, tree):
+        keys = [k for k, _ in tree.range(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_range(self, tree):
+        keys = [k for k, _ in tree.range(10, 20, inclusive=(False, False))]
+        assert keys == [12, 14, 16, 18]
+
+    def test_bounds_not_present(self, tree):
+        keys = [k for k, _ in tree.range(9, 15)]
+        assert keys == [10, 12, 14]
+
+    def test_unbounded_low(self, tree):
+        keys = [k for k, _ in tree.range(high=6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, tree):
+        keys = [k for k, _ in tree.range(low=94)]
+        assert keys == [94, 96, 98]
+
+    def test_fully_unbounded(self, tree):
+        assert len(list(tree.range())) == 50
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(200, 300)) == []
+        assert list(tree.range(11, 11)) == []
+
+    def test_exclusive_low_at_leaf_boundary(self):
+        tree = BPlusTree(order=3)
+        for key in range(20):
+            tree.insert(key, key)
+        keys = [k for k, _ in tree.range(7, None, inclusive=(False, True))]
+        assert keys == list(range(8, 20))
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=200,
+        )
+    )
+    return ops
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operation_sequences(),
+        st.integers(min_value=3, max_value=9),
+    )
+    def test_matches_dict_reference(self, ops, order):
+        tree = BPlusTree(order=order)
+        reference = {}
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key, key * 2)
+                reference[key] = key * 2
+            elif key in reference:
+                tree.delete(key)
+                del reference[key]
+        tree.check_invariants()
+        assert len(tree) == len(reference)
+        assert list(tree.items()) == sorted(reference.items())
+        for key in range(-50, 51):
+            assert tree.get(key) == reference.get(key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(-100, 100), unique=True, max_size=80),
+        st.integers(-110, 110),
+        st.integers(-110, 110),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_range_matches_filter(self, keys, low, high, inc_low, inc_high):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range(low, high, inclusive=(inc_low, inc_high))]
+        want = sorted(
+            k
+            for k in keys
+            if (k > low or (inc_low and k == low))
+            and (k < high or (inc_high and k == high))
+        )
+        assert got == want
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        words = ["easter", "cinema", "elvis", "halloween", "flowers", "bank"]
+        for word in words:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == sorted(words)
+        assert [k for k, _ in tree.range("c", "f")] == ["cinema", "easter", "elvis"]
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        for a in range(5):
+            for b in range(5):
+                tree.insert((a, b), a * b)
+        assert tree[(3, 4)] == 12
+        keys = [k for k, _ in tree.range((1, 0), (1, 99))]
+        assert keys == [(1, b) for b in range(5)]

@@ -1,0 +1,68 @@
+"""Stateful (model-based) testing of the B+tree against a dict model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.exceptions import KeyNotFoundError
+from repro.storage import BPlusTree
+
+keys = st.integers(min_value=-200, max_value=200)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Random interleavings of insert/delete/lookup/range vs a dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: dict[int, int] = {}
+
+    @rule(key=keys, value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key in self.model:
+            self.tree.delete(key)
+            del self.model[key]
+        else:
+            try:
+                self.tree.delete(key)
+                raise AssertionError("delete of a missing key must raise")
+            except KeyNotFoundError:
+                pass
+
+    @rule(key=keys)
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+        assert (key in self.tree) == (key in self.model)
+
+    @rule(low=keys, high=keys)
+    def range_scan(self, low, high):
+        if low > high:
+            low, high = high, low
+        got = [k for k, _ in self.tree.range(low, high)]
+        want = sorted(k for k in self.model if low <= k <= high)
+        assert got == want
+
+    @invariant()
+    def structure_is_sound(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def iteration_is_sorted_and_complete(self):
+        assert list(self.tree.items()) == sorted(self.model.items())
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

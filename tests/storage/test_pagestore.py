@@ -1,0 +1,156 @@
+"""Tests for the disk-backed sequence store and its I/O accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KeyNotFoundError, StorageError
+from repro.storage import MemorySequenceStore, SequencePageStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with SequencePageStore(tmp_path / "seq.dat", sequence_length=512) as s:
+        yield s
+
+
+class TestSequencePageStore:
+    def test_roundtrip(self, store):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(5, 512))
+        ids = store.append_matrix(rows)
+        assert ids == [0, 1, 2, 3, 4]
+        for seq_id, row in zip(ids, rows):
+            np.testing.assert_array_equal(store.read(seq_id), row)
+
+    def test_read_out_of_range(self, store):
+        store.append(np.zeros(512))
+        with pytest.raises(KeyNotFoundError):
+            store.read(1)
+        with pytest.raises(KeyNotFoundError):
+            store.read(-1)
+
+    def test_length_mismatch_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append(np.zeros(100))
+
+    def test_pages_per_sequence(self, tmp_path):
+        # 512 float64 = 4096 bytes = exactly one 4096-byte page.
+        with SequencePageStore(tmp_path / "a.dat", 512) as s:
+            assert s.pages_per_sequence == 1
+        # 513 floats spill into a second page.
+        with SequencePageStore(tmp_path / "b.dat", 513) as s:
+            assert s.pages_per_sequence == 2
+
+    def test_io_accounting(self, store):
+        store.append_matrix(np.zeros((4, 512)))
+        assert store.stats.pages_read == 0
+        store.read(0)
+        store.read(1)  # sequential: no extra seek
+        store.read(3)  # skips one: seek
+        assert store.stats.read_calls == 3
+        assert store.stats.pages_read == 3
+        assert store.stats.seeks == 2
+
+    def test_stats_reset(self, store):
+        store.append(np.zeros(512))
+        store.read(0)
+        store.stats.reset()
+        assert store.stats.read_calls == 0
+        assert store.stats.pages_read == 0
+        assert store.stats.seeks == 0
+
+    def test_reads_interleaved_with_appends(self, store):
+        first = np.arange(512.0)
+        store.append(first)
+        store.append(first * 2)
+        np.testing.assert_array_equal(store.read(0), first)
+        store.append(first * 3)
+        np.testing.assert_array_equal(store.read(2), first * 3)
+        np.testing.assert_array_equal(store.read(1), first * 2)
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(StorageError):
+            SequencePageStore(tmp_path / "x.dat", 0)
+        with pytest.raises(StorageError):
+            SequencePageStore(tmp_path / "x.dat", 10, page_size=8)
+
+
+class TestReopen:
+    def test_reopen_recovers_contents(self, tmp_path):
+        path = tmp_path / "persist.dat"
+        rng = np.random.default_rng(3)
+        rows = rng.normal(size=(7, 200))
+        with SequencePageStore(path, 200) as store:
+            store.append_matrix(rows)
+        reopened = SequencePageStore.open(path)
+        assert len(reopened) == 7
+        assert reopened.sequence_length == 200
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(reopened.read(i), row)
+        reopened.close()
+
+    def test_reopen_supports_further_appends(self, tmp_path):
+        path = tmp_path / "grow.dat"
+        with SequencePageStore(path, 16) as store:
+            store.append(np.arange(16.0))
+        with SequencePageStore.open(path) as reopened:
+            new_id = reopened.append(np.arange(16.0) * 2)
+            assert new_id == 1
+            np.testing.assert_array_equal(
+                reopened.read(1), np.arange(16.0) * 2
+            )
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ps.dat"
+        SequencePageStore(path, 16, page_size=4096).close()
+        with pytest.raises(StorageError):
+            SequencePageStore.open(path, page_size=8192)
+        SequencePageStore.open(path, page_size=4096).close()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.dat"
+        path.write_bytes(b"not a sequence store, definitely" * 10)
+        with pytest.raises(StorageError):
+            SequencePageStore.open(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.dat"
+        path.write_bytes(b"abc")
+        with pytest.raises(StorageError):
+            SequencePageStore.open(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            SequencePageStore.open(tmp_path / "nope.dat")
+
+
+class TestMemorySequenceStore:
+    def test_roundtrip(self):
+        store = MemorySequenceStore(8)
+        row = np.arange(8.0)
+        seq_id = store.append(row)
+        np.testing.assert_array_equal(store.read(seq_id), row)
+
+    def test_reads_are_free(self):
+        store = MemorySequenceStore(4)
+        store.append(np.zeros(4))
+        store.read(0)
+        assert store.stats.read_calls == 1
+        assert store.stats.pages_read == 0
+        assert store.pages_per_sequence == 0
+
+    def test_out_of_range(self):
+        store = MemorySequenceStore(4)
+        with pytest.raises(KeyNotFoundError):
+            store.read(0)
+
+    def test_length_checked(self):
+        store = MemorySequenceStore(4)
+        with pytest.raises(StorageError):
+            store.append(np.zeros(5))
+
+    def test_context_manager(self):
+        with MemorySequenceStore(4) as store:
+            store.append(np.zeros(4))
+        # close() is a no-op: data still readable.
+        assert len(store) == 1

@@ -1,0 +1,172 @@
+"""Tests for the relational table substrate."""
+
+import pytest
+
+from repro.exceptions import KeyNotFoundError, SchemaError
+from repro.storage import Table, eq, ge, gt, le, lt
+
+
+@pytest.fixture
+def bursts():
+    """A small burst table shaped like the one in section 6.2."""
+    table = Table("bursts", ["sequence_id", "start", "end", "avg"])
+    rows = [
+        (0, 10, 20, 1.5),
+        (0, 40, 45, 2.0),
+        (1, 15, 25, 3.0),
+        (2, 100, 130, 0.8),
+        (3, 18, 19, 5.0),
+    ]
+    for row in rows:
+        table.insert(*row)
+    return table
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_unknown_column_in_predicate(self, bursts):
+        with pytest.raises(SchemaError):
+            bursts.select([eq("bogus", 1)])
+
+    def test_index_on_unknown_column(self, bursts):
+        with pytest.raises(SchemaError):
+            bursts.create_index("bogus")
+
+
+class TestInsert:
+    def test_positional_and_named_equivalent(self):
+        table = Table("t", ["a", "b"])
+        r1 = table.insert(1, 2)
+        r2 = table.insert(b=4, a=3)
+        assert table.row(r1).data == {"a": 1, "b": 2}
+        assert table.row(r2).data == {"a": 3, "b": 4}
+
+    def test_mixed_styles_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert(1, b=2)
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert(1)
+
+    def test_missing_named_column_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert(a=1)
+        with pytest.raises(SchemaError):
+            table.insert(a=1, b=2, c=3)
+
+    def test_row_ids_are_dense(self, bursts):
+        assert [r.row_id for r in bursts.all_rows()] == [0, 1, 2, 3, 4]
+
+
+class TestDelete:
+    def test_delete_removes_row(self, bursts):
+        bursts.delete(2)
+        assert len(bursts) == 4
+        with pytest.raises(KeyNotFoundError):
+            bursts.row(2)
+
+    def test_delete_missing_raises(self, bursts):
+        with pytest.raises(KeyNotFoundError):
+            bursts.delete(99)
+
+    def test_delete_maintains_index(self, bursts):
+        bursts.create_index("start")
+        bursts.delete(0)
+        hits = bursts.select([eq("start", 10)])
+        assert hits == []
+
+
+class TestUpdate:
+    def test_update_changes_cells(self, bursts):
+        bursts.update(0, avg=9.9)
+        assert bursts.row(0)["avg"] == 9.9
+        assert bursts.row(0)["start"] == 10  # untouched columns survive
+
+    def test_update_maintains_indexes(self, bursts):
+        bursts.create_index("start")
+        bursts.update(0, start=77)
+        assert [r.row_id for r in bursts.select([eq("start", 77)])] == [0]
+        assert bursts.select([eq("start", 10)]) == []
+
+    def test_update_unchanged_indexed_value_is_safe(self, bursts):
+        bursts.create_index("start")
+        bursts.update(0, start=10, avg=2.5)  # same start
+        assert [r.row_id for r in bursts.select([eq("start", 10)])] == [0]
+
+    def test_update_missing_row(self, bursts):
+        with pytest.raises(KeyNotFoundError):
+            bursts.update(99, avg=1.0)
+
+    def test_update_unknown_column(self, bursts):
+        with pytest.raises(SchemaError):
+            bursts.update(0, bogus=1.0)
+
+
+class TestSelect:
+    def test_no_predicates_returns_all(self, bursts):
+        assert len(bursts.select()) == 5
+
+    def test_conjunction(self, bursts):
+        # Fig. 18: bursts overlapping the query burst [start=17, end=22].
+        hits = bursts.select([lt("start", 22), gt("end", 17)])
+        assert sorted(r["sequence_id"] for r in hits) == [0, 1, 3]
+
+    def test_each_operator(self, bursts):
+        assert len(bursts.select([eq("sequence_id", 0)])) == 2
+        assert len(bursts.select([le("start", 15)])) == 2
+        assert len(bursts.select([ge("end", 45)])) == 2
+        assert len(bursts.select([gt("avg", 2.0)])) == 2
+        assert len(bursts.select([lt("avg", 1.0)])) == 1
+
+    def test_index_and_scan_agree(self, bursts):
+        predicates = [lt("start", 50), gt("end", 18)]
+        scanned = {r.row_id for r in bursts.select(predicates)}
+        bursts.create_index("start")
+        bursts.create_index("end")
+        probed = {r.row_id for r in bursts.select(predicates)}
+        assert scanned == probed
+        assert bursts.index_probe_count >= 1
+
+    def test_index_backfill_covers_prior_rows(self, bursts):
+        bursts.create_index("end")
+        hits = bursts.select([ge("end", 100)])
+        assert [r["sequence_id"] for r in hits] == [2]
+
+    def test_planner_counts(self, bursts):
+        bursts.select([eq("avg", 1.5)])
+        assert bursts.scan_count == 1
+        bursts.create_index("avg")
+        bursts.select([eq("avg", 1.5)])
+        assert bursts.index_probe_count == 1
+
+    def test_duplicate_index_keys(self):
+        table = Table("t", ["k", "v"])
+        table.create_index("k")
+        for i in range(10):
+            table.insert(k=7, v=i)
+        hits = table.select([eq("k", 7)])
+        assert sorted(r["v"] for r in hits) == list(range(10))
+
+    def test_create_index_twice_is_noop(self, bursts):
+        bursts.create_index("start")
+        bursts.create_index("start")
+        assert bursts.indexed_columns == ("start",)
+
+
+class TestRow:
+    def test_getitem(self, bursts):
+        row = bursts.row(0)
+        assert row["start"] == 10
+        with pytest.raises(SchemaError):
+            row["nope"]

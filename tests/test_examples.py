@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run clean and say the right things.
+
+Examples are documentation that executes; these tests keep them honest.
+The two heaviest scripts (indexing_at_scale, baseline_faceoff) are
+exercised at reduced scale elsewhere (their building blocks are covered
+by the benchmarks), so only the fast ones run here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "similarity search" in out
+        assert "7.0" in out          # the weekly period
+        assert "christmas gifts" in out
+
+    def test_log_pipeline(self):
+        out = run_example("log_pipeline.py")
+        assert "privacy preserved" in out
+        assert "best coefficients keep" in out
+        assert "periods: 7.0d" in out
+
+    def test_holiday_burst_mining(self):
+        out = run_example("holiday_burst_mining.py")
+        assert "Easter 2002 was 2002-03-31" in out
+        assert "pentagon attack" in out
+        assert "lunar month" in out
+
+    def test_live_mining_service(self):
+        out = run_example("live_mining_service.py")
+        assert "now 16 queries live" in out
+        assert "co-located: christmas & christmas gifts -> True" in out
+        assert "7.00-day" in out or "7.0-day" in out
+
+    def test_s2_demo(self):
+        out = run_example("s2_explorer.py", "--demo")
+        assert "P1 = 7.0" in out
+        assert "[error]" not in out

@@ -1,0 +1,173 @@
+"""Tests for the QueryLogMiner application façade."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DayGrid,
+    QueryLogGenerator,
+    iter_log_records,
+    profile,
+    sample_daily_counts,
+)
+from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.miner import QueryLogMiner
+from repro.timeseries import TimeSeries
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return QueryLogGenerator(seed=0, start=dt.date(2002, 1, 1), days=365)
+
+
+@pytest.fixture
+def miner(generator):
+    miner = QueryLogMiner(start=dt.date(2002, 1, 1), days=365, seed=1)
+    for name in (
+        "cinema",
+        "movie listings",
+        "restaurants",
+        "full moon",
+        "halloween",
+        "christmas",
+        "christmas gifts",
+        "gingerbread men",
+        "elvis",
+        "dudley moore",
+    ):
+        miner.add_series(generator.series(name))
+    return miner
+
+
+class TestIngestion:
+    def test_membership(self, miner):
+        assert len(miner) == 10
+        assert "cinema" in miner
+        assert "bogus" not in miner
+        assert miner.names[0] == "cinema"
+
+    def test_series_roundtrip(self, miner, generator):
+        np.testing.assert_array_equal(
+            miner.series("elvis").values, generator.series("elvis").values
+        )
+
+    def test_duplicate_rejected(self, miner, generator):
+        with pytest.raises(UnknownQueryError):
+            miner.add_series(generator.series("cinema"))
+
+    def test_unnamed_rejected(self, miner):
+        with pytest.raises(UnknownQueryError):
+            miner.add_series(TimeSeries(np.ones(365)))
+
+    def test_window_mismatch_rejected(self, miner):
+        wrong = TimeSeries(np.ones(100), name="short", start=dt.date(2002, 1, 1))
+        with pytest.raises(SeriesMismatchError):
+            miner.add_series(wrong)
+        shifted = TimeSeries(
+            np.ones(365), name="shifted", start=dt.date(2001, 1, 1)
+        )
+        with pytest.raises(SeriesMismatchError):
+            miner.add_series(shifted)
+
+    def test_unknown_lookup(self, miner):
+        with pytest.raises(UnknownQueryError):
+            miner.series("bogus")
+
+    def test_add_records_pipeline(self):
+        miner = QueryLogMiner(start=dt.date(2002, 1, 1), days=120)
+        grid = DayGrid(dt.date(2002, 1, 1), 120)
+        rng = np.random.default_rng(3)
+        counts = sample_daily_counts(profile("gingerbread men"), grid, rng)
+        added = miner.add_records(
+            iter_log_records(counts, grid, "gingerbread men")
+        )
+        assert added == ("gingerbread men",)
+        np.testing.assert_array_equal(
+            miner.series("gingerbread men").values, counts
+        )
+
+
+class TestSimilarity:
+    def test_similar_excludes_self(self, miner):
+        hits = miner.similar("cinema", k=3)
+        names = [h.name for h in hits]
+        assert "cinema" not in names
+        assert names[0] in ("movie listings", "restaurants")
+
+    def test_similar_accepts_raw_series(self, miner, generator):
+        fresh = generator.series("nordstrom")
+        hits = miner.similar(fresh, k=2)
+        assert len(hits) == 2
+
+    def test_dtw_similar(self, miner):
+        hits = miner.dtw_similar("cinema", k=2)
+        assert [h.name for h in hits][0] in ("movie listings", "restaurants")
+
+    def test_incremental_insert_searchable(self, miner, generator):
+        miner.similar("cinema")  # force the index to exist
+        miner.add_series(generator.series("bank"))
+        hits = miner.similar("bank", k=3)
+        assert all(h.name != "bank" for h in hits)
+        # And the new member is findable as a neighbour of itself.
+        direct = miner.similar(generator.series("bank"), k=1)
+        assert direct[0].name == "bank"
+
+    def test_rebuild_after_heavy_growth(self, generator):
+        miner = QueryLogMiner(start=dt.date(2002, 1, 1), days=365, seed=2)
+        miner.add_series(generator.series("cinema"))
+        miner.add_series(generator.series("elvis"))
+        miner.similar("cinema", k=1)  # build over 2 members
+        for name in (
+            "movie listings",
+            "restaurants",
+            "bank",
+            "weather",
+            "full moon",
+        ):
+            miner.add_series(generator.series(name))
+        hits = miner.similar("cinema", k=3)
+        assert len(hits) == 3
+
+    def test_empty_miner_raises(self):
+        miner = QueryLogMiner(days=30)
+        with pytest.raises(SeriesMismatchError):
+            miner.similar(np.ones(30), k=1)
+
+
+class TestKnowledge:
+    def test_periods(self, miner):
+        result = miner.periods("cinema")
+        assert result.periods[0].period == pytest.approx(7.0, abs=0.1)
+        assert len(miner.periods("dudley moore")) == 0
+
+    def test_shared_periods(self, miner):
+        shared = miner.shared_periods_of_similar("cinema", k=3)
+        assert shared
+        assert shared[0].period == pytest.approx(7.0, abs=0.1)
+        assert shared[0].support >= 2
+
+    def test_burst_spans(self, miner):
+        spans = miner.burst_spans("halloween", window=30)
+        assert spans
+        start, end = spans[0]
+        assert start.month in (9, 10)
+        assert end.month in (10, 11, 12)
+
+    def test_co_bursting(self, miner):
+        matches = miner.co_bursting("christmas", top=3)
+        names = {m.name for m in matches}
+        assert names & {"christmas gifts", "gingerbread men"}
+
+    def test_co_bursting_fresh_series(self, miner, generator):
+        fresh = generator.series("rudolph the red nosed reindeer")
+        matches = miner.co_bursting(fresh, top=3)
+        assert any(
+            m.name in ("christmas", "christmas gifts", "gingerbread men")
+            for m in matches
+        )
+
+    def test_validation(self):
+        with pytest.raises(SeriesMismatchError):
+            QueryLogMiner(days=2)

@@ -1,0 +1,109 @@
+"""Tests for the server-placement planner (the paper's use case #3)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.datagen import QueryLogGenerator
+from repro.placement import plan_placement
+from repro.timeseries import TimeSeries, TimeSeriesCollection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    gen = QueryLogGenerator(seed=0, start=dt.date(2002, 1, 1), days=365)
+    names = (
+        "cinema", "movie listings", "restaurants",        # weekend family
+        "bank", "weather",                                # weekday-ish
+        "christmas", "christmas gifts", "gingerbread men",  # december family
+        "full moon", "tides",                             # lunar family
+        "elvis", "dudley moore",                          # spiky loners
+    )
+    return gen.collection(names)
+
+
+@pytest.fixture(scope="module")
+def plan(collection):
+    return plan_placement(collection, servers=3, neighbors=3)
+
+
+class TestPlanStructure:
+    def test_everyone_placed(self, collection, plan):
+        assert set(plan.assignments) == set(collection.names)
+        assert all(0 <= s < 3 for s in plan.assignments.values())
+        assert plan.servers == 3
+
+    def test_members_partition(self, collection, plan):
+        seen = []
+        for server in range(plan.servers):
+            seen.extend(plan.members(server))
+        assert sorted(seen) == sorted(collection.names)
+
+    def test_server_of_and_errors(self, plan):
+        assert plan.server_of("cinema") == plan.assignments["cinema"]
+        with pytest.raises(UnknownQueryError):
+            plan.server_of("bogus")
+        with pytest.raises(IndexError):
+            plan.members(99)
+
+
+class TestSimilarityPreservation:
+    def test_families_colocated(self, plan):
+        """Queries 'bound to be retrieved together' share a server."""
+        assert plan.colocated("cinema", "movie listings")
+        assert plan.colocated("christmas", "christmas gifts")
+        assert plan.colocated("christmas", "gingerbread men")
+
+    def test_communities_reflect_families(self, plan):
+        by_member = {}
+        for community in plan.communities:
+            for member in community:
+                by_member[member] = community
+        assert "movie listings" in by_member["cinema"]
+        assert "christmas gifts" in by_member["christmas"]
+
+
+class TestLoadBalance:
+    def test_loads_cover_total_demand(self, collection, plan):
+        total = sum(collection[name].mean for name in collection.names)
+        assert sum(plan.loads) == pytest.approx(total, rel=1e-9)
+
+    def test_imbalance_bounded(self, plan):
+        # LPT packing of communities: within 2x of perfectly even.
+        assert plan.load_imbalance() < 2.0
+
+    def test_single_server_takes_everything(self, collection):
+        plan = plan_placement(collection, servers=1)
+        assert plan.loads[0] > 0
+        assert set(plan.assignments.values()) == {0}
+        assert plan.load_imbalance() == pytest.approx(1.0)
+
+    def test_giant_community_is_split(self):
+        """A community above 1.5x the fair share must not sink one server."""
+        rng = np.random.default_rng(1)
+        t = np.arange(365)
+        members = [
+            TimeSeries(
+                1000 + 200 * np.sin(2 * np.pi * t / 7 + 0.05 * i)
+                + rng.normal(scale=5, size=365),
+                name=f"clone-{i}",
+                start=dt.date(2002, 1, 1),
+            )
+            for i in range(8)
+        ]
+        coll = TimeSeriesCollection(members)
+        plan = plan_placement(coll, servers=4, neighbors=3)
+        assert len(set(plan.assignments.values())) >= 3
+        assert plan.load_imbalance() < 1.6
+
+
+class TestValidation:
+    def test_bad_parameters(self, collection):
+        with pytest.raises(ValueError):
+            plan_placement(collection, servers=0)
+        with pytest.raises(ValueError):
+            plan_placement(collection, servers=2, neighbors=0)
+        with pytest.raises(SeriesMismatchError):
+            plan_placement(TimeSeriesCollection(), servers=2)

@@ -1,0 +1,109 @@
+"""Tests for TimeSeriesCollection."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.timeseries import TimeSeries, TimeSeriesCollection
+
+
+def make(name, values, start=dt.date(2002, 1, 1)):
+    return TimeSeries(values, name=name, start=start)
+
+
+@pytest.fixture
+def collection():
+    return TimeSeriesCollection(
+        [make("a", [1.0, 2.0, 3.0]), make("b", [4.0, 5.0, 6.0])]
+    )
+
+
+class TestAdd:
+    def test_insertion_order(self, collection):
+        assert collection.names == ("a", "b")
+
+    def test_rejects_unnamed(self):
+        coll = TimeSeriesCollection()
+        with pytest.raises(SeriesMismatchError):
+            coll.add(TimeSeries([1.0]))
+
+    def test_rejects_duplicate_name(self, collection):
+        with pytest.raises(SeriesMismatchError):
+            collection.add(make("a", [1.0, 2.0, 3.0]))
+
+    def test_rejects_length_mismatch(self, collection):
+        with pytest.raises(SeriesMismatchError):
+            collection.add(make("c", [1.0, 2.0]))
+
+    def test_rejects_start_mismatch(self, collection):
+        with pytest.raises(SeriesMismatchError):
+            collection.add(make("c", [1.0, 2.0, 3.0], start=dt.date(2001, 1, 1)))
+
+
+class TestAccess:
+    def test_get_by_name_and_position(self, collection):
+        assert collection["a"] is collection[0]
+        assert collection["b"] is collection[1]
+
+    def test_contains(self, collection):
+        assert "a" in collection
+        assert "zzz" not in collection
+
+    def test_unknown_name_raises(self, collection):
+        with pytest.raises(UnknownQueryError):
+            collection["zzz"]
+
+    def test_position_of(self, collection):
+        assert collection.position_of("b") == 1
+        with pytest.raises(UnknownQueryError):
+            collection.position_of("zzz")
+
+    def test_metadata(self, collection):
+        assert collection.series_length == 3
+        assert collection.start == dt.date(2002, 1, 1)
+        assert len(collection) == 2
+
+    def test_empty_collection_metadata_raises(self):
+        empty = TimeSeriesCollection()
+        with pytest.raises(SeriesMismatchError):
+            _ = empty.series_length
+        with pytest.raises(SeriesMismatchError):
+            _ = empty.start
+        with pytest.raises(SeriesMismatchError):
+            empty.as_matrix()
+
+
+class TestBulk:
+    def test_as_matrix(self, collection):
+        mat = collection.as_matrix()
+        assert mat.shape == (2, 3)
+        np.testing.assert_allclose(mat[0], [1.0, 2.0, 3.0])
+
+    def test_standardize(self, collection):
+        std = collection.standardize()
+        assert all(s.is_standardized() for s in std)
+        assert std.names == collection.names
+
+    def test_subset(self, collection):
+        sub = collection.subset(["b"])
+        assert sub.names == ("b",)
+
+    def test_from_matrix_roundtrip(self, collection):
+        mat = collection.as_matrix()
+        rebuilt = TimeSeriesCollection.from_matrix(
+            mat, names=collection.names, start=collection.start
+        )
+        np.testing.assert_allclose(rebuilt.as_matrix(), mat)
+        assert rebuilt.names == collection.names
+
+    def test_from_matrix_default_names_unique(self):
+        coll = TimeSeriesCollection.from_matrix(np.zeros((12, 4)))
+        assert len(set(coll.names)) == 12
+
+    def test_from_matrix_shape_checks(self):
+        with pytest.raises(SeriesMismatchError):
+            TimeSeriesCollection.from_matrix(np.zeros(5))
+        with pytest.raises(SeriesMismatchError):
+            TimeSeriesCollection.from_matrix(np.zeros((2, 3)), names=["only-one"])

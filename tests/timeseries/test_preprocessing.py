@@ -1,0 +1,140 @@
+"""Unit and property tests for z-normalisation and moving averages."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import SeriesLengthError
+from repro.timeseries import as_float_array, moving_average, zscore
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=128),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestAsFloatArray:
+    def test_accepts_lists(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SeriesLengthError):
+            as_float_array([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SeriesLengthError):
+            as_float_array([[1.0, 2.0], [3.0, 4.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SeriesLengthError):
+            as_float_array([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(SeriesLengthError):
+            as_float_array([1.0, float("inf")])
+
+
+class TestZscore:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        out = zscore(rng.normal(5.0, 3.0, size=500))
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_constant_series_becomes_zero(self):
+        out = zscore([4.0] * 10)
+        assert np.all(out == 0.0)
+
+    def test_ddof(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        out = zscore(values, ddof=1)
+        assert abs(out.std(ddof=1) - 1.0) < 1e-12
+
+    @given(finite_arrays)
+    def test_shift_and_scale_invariance(self, arr):
+        # Near-constant inputs lose all relative spread to cancellation when
+        # shifted, so only exercise arrays with meaningful variance.
+        if arr.std() <= 1e-3 * (1.0 + np.abs(arr).max()):
+            return
+        base = zscore(arr)
+        shifted = zscore(arr + 17.5)
+        np.testing.assert_allclose(base, shifted, atol=1e-4)
+        scaled = zscore(arr * 3.0)
+        np.testing.assert_allclose(base, scaled, atol=1e-4)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        np.testing.assert_allclose(moving_average(values, 1), values)
+
+    def test_full_window_trailing_last_value_is_mean(self):
+        values = np.arange(10.0)
+        out = moving_average(values, 10)
+        assert out[-1] == pytest.approx(values.mean())
+
+    def test_trailing_has_no_lookahead(self):
+        values = np.zeros(10)
+        values[5] = 10.0
+        out = moving_average(values, 3)
+        assert np.all(out[:5] == 0.0)
+        assert out[5] > 0.0
+
+    def test_trailing_prefix_is_growing_window(self):
+        values = np.array([2.0, 4.0, 6.0, 8.0])
+        out = moving_average(values, 3)
+        np.testing.assert_allclose(out, [2.0, 3.0, 4.0, 6.0])
+
+    def test_centered_is_symmetric_for_symmetric_input(self):
+        values = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        out = moving_average(values, 3, mode="centered")
+        np.testing.assert_allclose(out, out[::-1])
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(SeriesLengthError):
+            moving_average([1.0, 2.0], 3)
+
+    def test_window_zero_raises(self):
+        with pytest.raises(SeriesLengthError):
+            moving_average([1.0, 2.0], 0)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0, 2.0], 2, mode="bogus")
+
+    @given(finite_arrays, st.integers(min_value=1, max_value=16))
+    def test_output_within_input_range(self, arr, window):
+        window = min(window, arr.size)
+        out = moving_average(arr, window)
+        slack = 1e-9 * (1.0 + np.abs(arr).max()) * arr.size
+        assert out.size == arr.size
+        assert np.all(out >= arr.min() - slack)
+        assert np.all(out <= arr.max() + slack)
+
+    @given(finite_arrays, st.integers(min_value=1, max_value=16))
+    def test_matches_naive_trailing(self, arr, window):
+        window = min(window, arr.size)
+        out = moving_average(arr, window)
+        naive = np.array(
+            [arr[max(0, i - window + 1) : i + 1].mean() for i in range(arr.size)]
+        )
+        np.testing.assert_allclose(out, naive, atol=1e-6)
+
+    @given(finite_arrays, st.integers(min_value=1, max_value=16))
+    def test_matches_naive_centered(self, arr, window):
+        window = min(window, arr.size)
+        out = moving_average(arr, window, mode="centered")
+        half_left = (window - 1) // 2
+        half_right = window - 1 - half_left
+        naive = np.array(
+            [
+                arr[max(0, i - half_left) : min(arr.size, i + half_right + 1)].mean()
+                for i in range(arr.size)
+            ]
+        )
+        np.testing.assert_allclose(out, naive, atol=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for the TimeSeries container."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesMismatchError
+from repro.timeseries import TimeSeries
+
+
+@pytest.fixture
+def series():
+    return TimeSeries(
+        np.arange(10.0), name="demo", start=dt.date(2002, 1, 1)
+    )
+
+
+class TestBasics:
+    def test_length_and_iteration(self, series):
+        assert len(series) == 10
+        assert list(series) == list(range(10))
+
+    def test_values_are_read_only(self, series):
+        with pytest.raises(ValueError):
+            series.values[0] = 99.0
+
+    def test_array_protocol(self, series):
+        assert np.asarray(series).sum() == 45.0
+
+    def test_repr_mentions_name(self, series):
+        assert "demo" in repr(series)
+
+
+class TestCalendar:
+    def test_end_date(self, series):
+        assert series.end == dt.date(2002, 1, 10)
+
+    def test_date_at(self, series):
+        assert series.date_at(0) == dt.date(2002, 1, 1)
+        assert series.date_at(9) == dt.date(2002, 1, 10)
+        assert series.date_at(-1) == dt.date(2002, 1, 10)
+
+    def test_date_at_out_of_range(self, series):
+        with pytest.raises(IndexError):
+            series.date_at(10)
+
+    def test_index_of_roundtrip(self, series):
+        for i in range(len(series)):
+            assert series.index_of(series.date_at(i)) == i
+
+    def test_index_of_outside_span(self, series):
+        with pytest.raises(SeriesMismatchError):
+            series.index_of(dt.date(2001, 12, 31))
+
+    def test_slice_dates(self, series):
+        part = series.slice_dates(dt.date(2002, 1, 3), dt.date(2002, 1, 5))
+        assert list(part) == [2.0, 3.0, 4.0]
+        assert part.start == dt.date(2002, 1, 3)
+        assert part.name == "demo"
+
+    def test_slice_dates_reversed_raises(self, series):
+        with pytest.raises(SeriesMismatchError):
+            series.slice_dates(dt.date(2002, 1, 5), dt.date(2002, 1, 3))
+
+
+class TestTransforms:
+    def test_standardize(self, series):
+        std = series.standardize()
+        assert std.is_standardized()
+        assert not series.is_standardized()
+        assert std.name == "demo"
+        assert std.start == series.start
+
+    def test_standardize_constant(self):
+        flat = TimeSeries([5.0, 5.0, 5.0], name="flat")
+        std = flat.standardize()
+        assert np.all(std.values == 0.0)
+        assert std.is_standardized()
+
+    def test_average_power(self):
+        ts = TimeSeries([1.0, 2.0, 2.0], name="x")
+        assert ts.average_power() == pytest.approx(3.0)
+
+    def test_moving_average_preserves_metadata(self, series):
+        smooth = series.moving_average(3)
+        assert smooth.name == "demo"
+        assert smooth.start == series.start
+        assert len(smooth) == len(series)
+
+    def test_with_name(self, series):
+        assert series.with_name("other").name == "other"
+
+    def test_distance(self):
+        a = TimeSeries([0.0, 0.0, 0.0])
+        b = TimeSeries([3.0, 4.0, 0.0])
+        assert a.distance(b) == pytest.approx(5.0)
+
+    def test_distance_length_mismatch(self):
+        with pytest.raises(SeriesMismatchError):
+            TimeSeries([1.0]).distance(TimeSeries([1.0, 2.0]))

@@ -1,0 +1,117 @@
+"""Tests for the terminal plotting helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.timeseries import TimeSeries
+from repro.tools import burst_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        out = sparkline(np.arange(365.0), width=50)
+        assert len(out) == 50
+
+    def test_short_input_not_stretched(self):
+        out = sparkline([1.0, 2.0, 3.0], width=50)
+        assert len(out) == 3
+
+    def test_monotone_input_monotone_output(self):
+        out = sparkline(np.arange(64.0), width=16)
+        levels = [" ▁▂▃▄▅▆▇█".index(ch) for ch in out]
+        assert levels == sorted(levels)
+
+    def test_flat_input(self):
+        out = sparkline([5.0, 5.0, 5.0])
+        assert len(set(out)) == 1
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart(np.sin(np.arange(100.0)), width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8  # no title, no axis for raw arrays
+        assert all(len(line) == 40 for line in lines)
+
+    def test_title_and_month_axis_for_time_series(self):
+        series = TimeSeries(
+            np.arange(365.0), name="cinema", start=dt.date(2002, 1, 1)
+        )
+        chart = line_chart(series, width=72, height=6)
+        lines = chart.splitlines()
+        assert lines[0] == "Query: cinema"
+        assert "Jan" in lines[-1]
+        assert "Dec" in lines[-1]
+
+    def test_explicit_title_wins(self):
+        series = TimeSeries(np.arange(10.0), name="x")
+        chart = line_chart(series, title="custom")
+        assert chart.splitlines()[0] == "custom"
+
+    def test_peak_column_is_tallest(self):
+        values = np.zeros(72)
+        values[36] = 10.0
+        chart = line_chart(values, width=72, height=6)
+        top_row = chart.splitlines()[0]
+        assert top_row[36] == "█"
+        assert top_row.count("█") == 1
+
+
+class TestMonthAxisAdaptivity:
+    def _axis(self, days, width=72):
+        series = TimeSeries(
+            np.arange(float(days)), name="x", start=dt.date(2000, 1, 1)
+        )
+        return line_chart(series, width=width, height=3).splitlines()[-1]
+
+    def test_single_year_monthly_labels(self):
+        axis = self._axis(365)
+        for month in ("Jan", "Apr", "Aug", "Dec"):
+            assert month in axis
+
+    def test_three_years_quarterly_labels(self):
+        axis = self._axis(1096)
+        assert axis.count("Jan") == 3
+        assert axis.count("Jul") == 3
+        assert "Feb" not in axis  # months between quarters dropped
+
+    def test_decade_year_labels(self):
+        axis = self._axis(3650, width=60)
+        assert "2000" in axis
+        assert "2005" in axis
+        assert "Jan" not in axis
+
+    def test_labels_never_overlap(self):
+        for days in (365, 1096, 3650):
+            axis = self._axis(days)
+            # Reconstructed labels must be separated by at least a space:
+            # no alphanumeric run longer than a label.
+            runs = [len(run) for run in "".join(
+                ch if ch != " " else "|" for ch in axis
+            ).split("|") if run]
+            assert max(runs) <= 4
+
+
+class TestBurstChart:
+    def test_overlay_marks_burst(self):
+        n = 365
+        values = np.zeros(n)
+        values[300:320] = 10.0
+        series = TimeSeries(values, name="halloween", start=dt.date(2002, 1, 1))
+        mask = np.zeros(n, dtype=bool)
+        mask[300:320] = True
+        chart = burst_chart(series, mask)
+        lines = chart.splitlines()
+        assert lines[0] == "Query: halloween"
+        overlay = lines[2]
+        assert "^" in overlay
+        # Marks cluster around the late-October columns (~82% through).
+        first_mark = overlay.index("^")
+        assert first_mark / len(overlay) > 0.7
+
+    def test_mask_length_checked(self):
+        series = TimeSeries(np.zeros(10), name="x")
+        with pytest.raises(ValueError):
+            burst_chart(series, np.zeros(5, dtype=bool))

@@ -1,0 +1,156 @@
+"""Tests for the S2 interactive tool (driven non-interactively)."""
+
+import io
+
+import pytest
+
+from repro.tools.s2 import DEMO_SCRIPT, S2Shell, build_workspace, main
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    # A small, fast workspace: catalog only, one year.
+    return build_workspace(seed=0, days=365, compressor_k=10)
+
+
+@pytest.fixture
+def shell(workspace):
+    out = io.StringIO()
+    return S2Shell(workspace, stdout=out), out
+
+
+class TestCommands:
+    def test_list(self, shell):
+        sh, out = shell
+        sh.onecmd("list")
+        assert "cinema" in out.getvalue()
+        assert "queries loaded" in out.getvalue()
+
+    def test_show(self, shell):
+        sh, out = shell
+        sh.onecmd("show cinema")
+        assert "Query: cinema" in out.getvalue()
+
+    def test_periods_weekly(self, shell):
+        sh, out = shell
+        sh.onecmd("periods cinema")
+        assert "P1 = 7.0" in out.getvalue()
+
+    def test_periods_none(self, shell):
+        sh, out = shell
+        sh.onecmd("periods dudley moore")
+        assert "no significant periods" in out.getvalue()
+
+    def test_search(self, shell):
+        sh, out = shell
+        sh.onecmd("search cinema 3")
+        text = out.getvalue()
+        assert "similar to 'cinema'" in text
+        assert "cinema" in text
+        assert "examined" in text
+
+    def test_search_excludes_self(self, shell):
+        sh, out = shell
+        sh.onecmd("search elvis 3")
+        lines = [l for l in out.getvalue().splitlines() if "distance" in l]
+        assert all("elvis " not in line for line in lines)
+
+    def test_sharedperiods(self, shell):
+        sh, out = shell
+        sh.onecmd("sharedperiods cinema 4")
+        text = out.getvalue()
+        assert "periods shared" in text
+        assert "7." in text  # the weekly family
+
+    def test_dtwsearch(self, shell):
+        sh, out = shell
+        sh.onecmd("dtwsearch cinema 2")
+        text = out.getvalue()
+        assert "DTW-closest" in text
+        assert "pruned by" in text
+
+    def test_bursts(self, shell):
+        sh, out = shell
+        sh.onecmd("bursts halloween")
+        text = out.getvalue()
+        assert "burst" in text
+        assert "-10-" in text or "-11-" in text  # October/November dates
+
+    def test_bursts_short(self, shell):
+        sh, out = shell
+        sh.onecmd("bursts full moon short")
+        assert "Query: full moon" in out.getvalue()
+
+    def test_burstsearch(self, shell):
+        sh, out = shell
+        sh.onecmd("burstsearch christmas")
+        text = out.getvalue()
+        assert "BSim" in text
+        assert "christmas gifts" in text or "gingerbread" in text
+
+    def test_preview(self, shell):
+        sh, out = shell
+        sh.onecmd("preview cinema 5")
+        text = out.getvalue()
+        assert "original" in text
+        assert "best coeff" in text
+        assert "approximation error" in text
+
+    def test_unknown_query_reports_error(self, shell):
+        sh, out = shell
+        sh.onecmd("show not-a-query")
+        assert "[error]" in out.getvalue()
+
+    def test_missing_argument_reports_error(self, shell):
+        sh, out = shell
+        sh.onecmd("show")
+        assert "[error]" in out.getvalue()
+
+    def test_quit(self, shell):
+        sh, _ = shell
+        assert sh.onecmd("quit") is True
+        assert sh.onecmd("exit") is True
+
+    def test_demo_script_runs_clean(self, workspace):
+        out = io.StringIO()
+        sh = S2Shell(workspace, stdout=out)
+        for command in DEMO_SCRIPT:
+            stop = sh.onecmd(command)
+        assert stop is True
+        assert "[error]" not in out.getvalue()
+
+
+class TestRobustness:
+    def test_random_command_soup_never_crashes(self, workspace):
+        """Whatever the user types, the shell reports, never raises."""
+        import random
+
+        rng = random.Random(0)
+        verbs = [
+            "show", "periods", "search", "bursts", "burstsearch", "preview",
+            "sharedperiods", "dtwsearch", "list", "help", "",
+        ]
+        nouns = [
+            "cinema", "easter", "", "not-a-query", "full moon", "123",
+            "cinema extra junk", "elvis 3", "elvis -1",
+        ]
+        out = io.StringIO()
+        sh = S2Shell(workspace, stdout=out)
+        for _ in range(60):
+            command = f"{rng.choice(verbs)} {rng.choice(nouns)}".strip()
+            if command in ("quit", "exit"):
+                continue
+            sh.onecmd(command)  # must not raise
+        assert out.getvalue()  # and it said *something*
+
+    def test_empty_line_is_harmless(self, shell):
+        sh, _ = shell
+        assert not sh.onecmd("")
+
+
+class TestMain:
+    def test_demo_mode(self, capsys):
+        assert main(["--demo", "--days", "365", "--seed", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "s2> periods cinema" in captured.out
+        assert "P1 = 7.0" in captured.out

@@ -1,0 +1,101 @@
+"""Tests for the Haar wavelet basis and its interchangeability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import bounds_for
+from repro.compression import BestErrorCompressor, BestMinErrorCompressor
+from repro.exceptions import SeriesLengthError, SeriesMismatchError
+from repro.index import VPTreeIndex
+from repro.spectral import Spectrum
+from repro.timeseries import zscore
+from repro.wavelets import haar_spectrum, haar_transform, inverse_haar_transform
+
+power_of_two_signals = st.integers(min_value=1, max_value=6).flatmap(
+    lambda k: st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2**k,
+        max_size=2**k,
+    )
+)
+
+
+class TestTransform:
+    def test_known_values(self):
+        out = haar_transform([1.0, 1.0, 1.0, 1.0])
+        np.testing.assert_allclose(out, [2.0, 0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_step_function(self):
+        out = haar_transform([1.0, 1.0, -1.0, -1.0])
+        # Energy concentrates in the single coarse detail coefficient.
+        np.testing.assert_allclose(out, [0.0, 2.0, 0.0, 0.0], atol=1e-12)
+
+    @given(power_of_two_signals)
+    def test_roundtrip(self, values):
+        arr = np.asarray(values)
+        np.testing.assert_allclose(
+            inverse_haar_transform(haar_transform(arr)), arr, atol=1e-8
+        )
+
+    @given(power_of_two_signals)
+    def test_energy_preserved(self, values):
+        arr = np.asarray(values)
+        coeffs = haar_transform(arr)
+        np.testing.assert_allclose(
+            np.sum(coeffs**2), np.sum(arr**2), atol=1e-6, rtol=1e-9
+        )
+
+    def test_distance_preserved(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(2, 64))
+        d_time = np.linalg.norm(x - y)
+        d_haar = np.linalg.norm(haar_transform(x) - haar_transform(y))
+        assert d_haar == pytest.approx(d_time)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SeriesLengthError):
+            haar_transform(np.ones(12))
+        with pytest.raises(SeriesLengthError):
+            inverse_haar_transform(np.ones(3))
+        with pytest.raises(SeriesLengthError):
+            haar_transform(np.ones(1))
+
+
+class TestSpectrumInterchangeability:
+    def test_spectrum_distance_matches_time_domain(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=(2, 32))
+        a, b = haar_spectrum(x), haar_spectrum(y)
+        assert a.distance(b) == pytest.approx(np.linalg.norm(x - y))
+        assert a.basis == "haar"
+
+    def test_fourier_and_haar_do_not_mix(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=32)
+        with pytest.raises(SeriesMismatchError):
+            haar_spectrum(x).distance(Spectrum.from_series(x))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_bounds_sound_in_haar_basis(self, seed):
+        """The paper's generality claim: same bounds, different basis."""
+        rng = np.random.default_rng(seed)
+        x, y = zscore(rng.normal(size=64)), zscore(np.cumsum(rng.normal(size=64)))
+        query = haar_spectrum(x)
+        sketch = BestErrorCompressor(6).compress(haar_spectrum(y))
+        assert sketch.basis == "haar"
+        pair = bounds_for(query, sketch)
+        true_distance = float(np.linalg.norm(x - y))
+        assert pair.lower <= true_distance + 1e-7
+        assert true_distance <= pair.upper + 1e-7
+
+    def test_step_signals_compress_better_in_haar(self):
+        """Piecewise-constant data is the wavelet home turf."""
+        rng = np.random.default_rng(3)
+        steps = np.repeat(rng.normal(size=8), 16)  # length 128, 8 plateaus
+        x = zscore(steps)
+        haar_sketch = BestErrorCompressor(8).compress(haar_spectrum(x))
+        fourier_sketch = BestErrorCompressor(8).compress(Spectrum.from_series(x))
+        assert haar_sketch.error < fourier_sketch.error
