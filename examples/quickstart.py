@@ -12,7 +12,12 @@ paper's three capabilities on it:
    query-by-burst for 'christmas' (fig. 19).
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_OBS_JSON=/path/to/run.jsonl`` to record every metric and
+timing span of the run as JSON lines (see docs/OBSERVABILITY.md).
 """
+
+import os
 
 from repro import (
     BurstDatabase,
@@ -86,5 +91,19 @@ def main() -> None:
     print(line_chart(collection["easter"]))
 
 
+def run() -> None:
+    """Run ``main``, observed when ``REPRO_OBS_JSON`` is set."""
+    obs_json = os.environ.get("REPRO_OBS_JSON")
+    if not obs_json:
+        main()
+        return
+    from repro import obs
+
+    with obs.observed() as registry:
+        main()
+    obs.write_json_lines(registry, obs_json)
+    print(f"observability records written to {obs_json}")
+
+
 if __name__ == "__main__":
-    main()
+    run()

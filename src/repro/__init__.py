@@ -24,6 +24,7 @@ The package mirrors the paper's structure:
 * :mod:`repro.wavelets` — a Haar basis proving the orthonormal-basis
   generality claim;
 * :mod:`repro.evaluation` — the section 7 experiment harness;
+* :mod:`repro.obs` — opt-in metrics/tracing over every hot path;
 * :mod:`repro.tools` — terminal plotting and the S2 explorer (§7.5).
 
 Quickstart::
@@ -37,6 +38,7 @@ Quickstart::
     periods = detect_periods(collection["cinema"])
 """
 
+from repro import obs
 from repro.bounds import BoundPair, batch_bounds, bounds_for
 from repro.bursts import (
     Burst,
@@ -61,6 +63,7 @@ from repro.datagen import CATALOG, QueryLogGenerator
 from repro.exceptions import ReproError
 from repro.index import LinearScanIndex, Neighbor, SearchStats, VPTreeIndex
 from repro.miner import QueryLogMiner
+from repro.obs import MetricsRegistry, observed, span
 from repro.placement import PlacementPlan, plan_placement
 from repro.periods import PeriodDetector, detect_periods
 from repro.spectral import Periodogram, Spectrum, periodogram
@@ -102,6 +105,10 @@ __all__ = [
     "compact_bursts",
     "QueryLogGenerator",
     "QueryLogMiner",
+    "obs",
+    "MetricsRegistry",
+    "observed",
+    "span",
     "PlacementPlan",
     "plan_placement",
     "CATALOG",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.compression.database import SketchDatabase
 from repro.exceptions import CompressionError
 from repro.spectral.dft import Spectrum
@@ -184,10 +185,28 @@ _KERNELS = {
 }
 
 
+def _counted(kernel):
+    """Wrap a kernel so every invocation feeds the metrics layer.
+
+    Counting happens at the dispatch level, not inside the method
+    bodies, so composite kernels (``best_min_error_safe`` runs two inner
+    kernels) still count as one call over ``len(db)`` pairs.
+    """
+
+    def run(batch: BatchBounds, db: SketchDatabase):
+        obs.add("bounds.kernel_calls")
+        obs.add("bounds.pairs", len(db))
+        return kernel(batch, db)
+
+    run.__name__ = getattr(kernel, "__name__", "kernel")
+    run.__wrapped__ = kernel
+    return run
+
+
 def get_batch_kernel(method: str):
     """The batch kernel registered under ``method`` (unbound method)."""
     try:
-        return _KERNELS[method]
+        return _counted(_KERNELS[method])
     except KeyError:
         raise CompressionError(f"unknown bound method {method!r}") from None
 
@@ -206,4 +225,6 @@ def batch_bounds(
         kernel = _KERNELS[method]
     except KeyError:
         raise CompressionError(f"unknown bound method {method!r}") from None
+    obs.add("bounds.kernel_calls")
+    obs.add("bounds.pairs", len(db))
     return kernel(BatchBounds(query), db)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.timeseries.preprocessing import as_float_array, moving_average
 from repro.timeseries.series import TimeSeries
 
@@ -113,12 +114,18 @@ class BurstDetector:
         if isinstance(values, TimeSeries):
             values = values.values
         arr = as_float_array(values)
-        window = min(self.window, arr.size)
-        smoothed = moving_average(arr, window, self.mode)
-        cutoff = float(smoothed.mean() + self.threshold_sigmas * smoothed.std())
-        return BurstAnnotation(
-            mask=smoothed > cutoff,
-            smoothed=smoothed,
-            cutoff=cutoff,
-            window=window,
-        )
+        with obs.span("bursts.detect"):
+            window = min(self.window, arr.size)
+            smoothed = moving_average(arr, window, self.mode)
+            cutoff = float(
+                smoothed.mean() + self.threshold_sigmas * smoothed.std()
+            )
+            annotation = BurstAnnotation(
+                mask=smoothed > cutoff,
+                smoothed=smoothed,
+                cutoff=cutoff,
+                window=window,
+            )
+        obs.add("bursts.series_analyzed")
+        obs.add("bursts.positions_flagged", int(annotation.mask.sum()))
+        return annotation

@@ -14,6 +14,23 @@ The pipeline the paper describes:
 This realises "a fast alternative of weighted Euclidean matching, where
 the focus is given on the bursty portion of a sequence" with no custom
 index structure — just the relational substrate in :mod:`repro.storage`.
+
+Example
+-------
+Two spring spikes overlap each other; the autumn spike matches neither:
+
+>>> import numpy as np
+>>> from repro.timeseries import TimeSeries
+>>> def spiky(name, center):
+...     values = np.zeros(120)
+...     values[center - 6 : center + 6] = 5.0
+...     return TimeSeries(values, name=name)
+>>> db = BurstDatabase(detectors=[BurstDetector(window=7)])
+>>> for series in (spiky("march", 40), spiky("april", 44),
+...                spiky("october", 100)):
+...     _ = db.add(series)
+>>> [match.name for match in db.query("march")]
+['april']
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.bursts.compaction import Burst, compact_bursts
 from repro.bursts.detection import BurstDetector
 from repro.bursts.similarity import burst_similarity
@@ -118,21 +136,23 @@ class BurstDatabase:
             raise UnknownQueryError(
                 f"series {series.name!r} is already in the burst database"
             )
-        features = self._features(series)
-        row_ids: list[int] = []
-        for window, bursts in features.items():
-            for burst in bursts:
-                row_ids.append(
-                    self.table.insert(
-                        sequence=series.name,
-                        window=window,
-                        start=burst.start,
-                        end=burst.end,
-                        average=burst.average,
+        with obs.span("bursts.add"):
+            features = self._features(series)
+            row_ids: list[int] = []
+            for window, bursts in features.items():
+                for burst in bursts:
+                    row_ids.append(
+                        self.table.insert(
+                            sequence=series.name,
+                            window=window,
+                            start=burst.start,
+                            end=burst.end,
+                            average=burst.average,
+                        )
                     )
-                )
         self._known[series.name] = features
         self._row_ids[series.name] = row_ids
+        obs.add("bursts.rows_stored", len(row_ids))
         return len(row_ids)
 
     def add_collection(self, collection) -> int:
@@ -216,22 +236,27 @@ class BurstDatabase:
             raise ValueError(
                 f"window {window} is not covered by this database"
             )
-        if isinstance(values, str):
-            exclude = exclude if exclude is not None else values
-            query_bursts = self.bursts_of(values, window)
-        else:
-            query_bursts = self._features(values).get(window, [])
-        if not query_bursts:
-            return []
+        with obs.span("bursts.query"):
+            if isinstance(values, str):
+                exclude = exclude if exclude is not None else values
+                query_bursts = self.bursts_of(values, window)
+            else:
+                query_bursts = self._features(values).get(window, [])
+            if not query_bursts:
+                obs.add("bursts.queries")
+                return []
 
-        matches = []
-        for name in self._candidates(query_bursts, window):
-            if name == exclude:
-                continue
-            score = burst_similarity(
-                query_bursts, self._known[name].get(window, [])
-            )
-            if score > 0.0:
-                matches.append(BurstMatch(score, name))
-        matches.sort(reverse=True)
+            matches = []
+            candidates = self._candidates(query_bursts, window)
+            for name in candidates:
+                if name == exclude:
+                    continue
+                score = burst_similarity(
+                    query_bursts, self._known[name].get(window, [])
+                )
+                if score > 0.0:
+                    matches.append(BurstMatch(score, name))
+            matches.sort(reverse=True)
+        obs.add("bursts.queries")
+        obs.add("bursts.candidate_sequences", len(candidates))
         return matches[:top]

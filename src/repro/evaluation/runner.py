@@ -9,6 +9,10 @@ for the experiment harness.
 Example::
 
     python -m repro.evaluation --db-size 2048 --queries 20 --seed 11
+
+``--obs`` appends the observability run summary (stage latencies, prune
+ratios, I/O counters) to the report; ``--obs-json PATH`` additionally
+writes the full metric/span record as JSON lines.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import datetime as _dt
 import sys
 import tempfile
 
+from repro import obs
 from repro.bursts.compaction import compact_bursts
 from repro.bursts.detection import BurstDetector
 from repro.bursts.query import BurstDatabase
@@ -143,15 +148,39 @@ def main(argv=None) -> int:
         metavar="C",
         help="storage budgets as the paper's c in '2*(c)+1 doubles'",
     )
-    args = parser.parse_args(argv)
-    run_report(
-        db_size=args.db_size,
-        days=args.days,
-        queries=args.queries,
-        pairs=args.pairs,
-        seed=args.seed,
-        budgets=tuple(args.budgets),
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect metrics/spans and print the run summary",
     )
+    parser.add_argument(
+        "--obs-json",
+        metavar="PATH",
+        default=None,
+        help="write the raw metric/span records as JSON lines (implies --obs)",
+    )
+    args = parser.parse_args(argv)
+
+    watch = args.obs or args.obs_json is not None
+    registry = obs.enable() if watch else None
+    try:
+        run_report(
+            db_size=args.db_size,
+            days=args.days,
+            queries=args.queries,
+            pairs=args.pairs,
+            seed=args.seed,
+            budgets=tuple(args.budgets),
+        )
+    finally:
+        if watch:
+            obs.disable()
+    if registry is not None:
+        _section("observability", sys.stdout)
+        print(obs.render_report(registry))
+        if args.obs_json is not None:
+            obs.write_json_lines(registry, args.obs_json)
+            print(f"observability records written to {args.obs_json}")
     return 0
 
 

@@ -19,6 +19,21 @@ When to choose which:
   build pass and per-node Python overhead.
 
 The ablation benchmark compares them head to head.
+
+Example
+-------
+A database member is its own nearest neighbour, and every object is
+either pruned by the bounds or verified against the full sequence:
+
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> matrix = rng.normal(size=(32, 64))
+>>> index = FlatSketchIndex(matrix, names=[f"q{i}" for i in range(32)])
+>>> neighbors, stats = index.search(matrix[7], k=1)
+>>> neighbors[0].name
+'q7'
+>>> stats.candidates_pruned + stats.full_retrievals == len(index)
+True
 """
 
 from __future__ import annotations
@@ -28,6 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
@@ -105,36 +121,42 @@ class FlatSketchIndex:
             raise ValueError(f"k must be in [1, {len(self)}], got {k}")
 
         stats = SearchStats()
-        lower, upper = self._bounds(query)
-        stats.bound_computations = len(self)
-        stats.candidates_after_traversal = len(self)
+        with obs.span("index.flat.search"):
+            lower, upper = self._bounds(query)
+            stats.bound_computations = len(self)
+            stats.candidates_after_traversal = len(self)
 
-        finite = upper[np.isfinite(upper)]
-        if finite.size >= k:
-            sub = float(np.partition(finite, k - 1)[k - 1])
-            survivor_ids = np.flatnonzero(lower <= sub)
-        else:
-            survivor_ids = np.arange(len(self))
-        stats.candidates_after_sub_filter = int(survivor_ids.size)
-        order = survivor_ids[np.argsort(lower[survivor_ids], kind="stable")]
+            finite = upper[np.isfinite(upper)]
+            if finite.size >= k:
+                sub = float(np.partition(finite, k - 1)[k - 1])
+                survivor_ids = np.flatnonzero(lower <= sub)
+            else:
+                survivor_ids = np.arange(len(self))
+            stats.candidates_after_sub_filter = int(survivor_ids.size)
+            stats.candidates_pruned += len(self) - int(survivor_ids.size)
+            order = survivor_ids[np.argsort(lower[survivor_ids], kind="stable")]
 
-        best: list[tuple[float, int]] = []
-        cutoff = float("inf")
-        for seq_id in order:
-            seq_id = int(seq_id)
-            if len(best) == k and lower[seq_id] > cutoff:
-                break
-            row = self._store.read(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(query, row, cutoff)
-            if distance == float("inf"):
-                continue
-            heapq.heappush(best, (-distance, seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff = -best[0][0]
+            best: list[tuple[float, int]] = []
+            cutoff = float("inf")
+            for position, seq_id in enumerate(order):
+                seq_id = int(seq_id)
+                if len(best) == k and lower[seq_id] > cutoff:
+                    # Every remaining candidate has an even larger LB.
+                    stats.candidates_pruned += int(order.size) - position
+                    break
+                row = self._store.read(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(query, row, cutoff)
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                    continue
+                heapq.heappush(best, (-distance, seq_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    cutoff = -best[0][0]
 
+        stats.publish("index.flat.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )
@@ -154,18 +176,23 @@ class FlatSketchIndex:
             raise ValueError(f"radius must be non-negative, got {radius}")
 
         stats = SearchStats()
-        lower, _ = self._bounds(query)
-        stats.bound_computations = len(self)
-        survivor_ids = np.flatnonzero(lower <= radius + 1e-7)
-        stats.candidates_after_traversal = len(self)
-        stats.candidates_after_sub_filter = int(survivor_ids.size)
+        with obs.span("index.flat.range_search"):
+            lower, _ = self._bounds(query)
+            stats.bound_computations = len(self)
+            survivor_ids = np.flatnonzero(lower <= radius + 1e-7)
+            stats.candidates_after_traversal = len(self)
+            stats.candidates_after_sub_filter = int(survivor_ids.size)
+            stats.candidates_pruned = len(self) - int(survivor_ids.size)
 
-        hits: list[Neighbor] = []
-        for seq_id in survivor_ids:
-            seq_id = int(seq_id)
-            row = self._store.read(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(query, row, radius + 1e-7)
-            if distance <= radius:
-                hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
+            hits: list[Neighbor] = []
+            for seq_id in survivor_ids:
+                seq_id = int(seq_id)
+                row = self._store.read(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(query, row, radius + 1e-7)
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                if distance <= radius:
+                    hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
+        stats.publish("index.flat.range_search")
         return sorted(hits), stats

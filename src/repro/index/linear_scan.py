@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import SeriesMismatchError
 from repro.index.distance import euclidean_early_abandon
 from repro.index.results import Neighbor, SearchStats
@@ -86,20 +87,23 @@ class LinearScanIndex:
             raise ValueError(f"k must be in [1, {len(self)}], got {k}")
 
         stats = SearchStats()
-        # Max-heap of the k best (negated) distances seen so far.
-        best: list[tuple[float, int]] = []
-        cutoff = float("inf")
-        for seq_id in range(len(self)):
-            candidate = self._fetch(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(query, candidate, cutoff)
-            if distance == float("inf"):
-                continue  # abandoned: provably not among the k best
-            heapq.heappush(best, (-distance, seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff = -best[0][0]
+        with obs.span("index.scan.search"):
+            # Max-heap of the k best (negated) distances seen so far.
+            best: list[tuple[float, int]] = []
+            cutoff = float("inf")
+            for seq_id in range(len(self)):
+                candidate = self._fetch(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(query, candidate, cutoff)
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                    continue  # abandoned: provably not among the k best
+                heapq.heappush(best, (-distance, seq_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    cutoff = -best[0][0]
+        stats.publish("index.scan.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )

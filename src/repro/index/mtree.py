@@ -20,8 +20,11 @@ Zezula (VLDB 1997) in its classic exact-distance form:
 
 Unlike the paper's customised VP-tree, the M-tree here stores
 *uncompressed* objects and computes exact distances — the setting of the
-cited comparison.  :class:`MTreeStats` counts exactly the quantities that
-comparison ranks on: full distance computations and node accesses.
+cited comparison.  Searches return the shared
+:class:`~repro.index.results.SearchStats`, mapped onto the M-tree's
+work: every exact pivot distance is a ``full_retrieval``, every
+triangle-inequality parent filter evaluated is a ``bound_computation``,
+and a filter that fires prunes either a subtree or a single candidate.
 """
 
 from __future__ import annotations
@@ -33,20 +36,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import SeriesMismatchError
-from repro.index.results import Neighbor
+from repro.index.results import Neighbor, SearchStats
 from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["MTreeStats", "MTreeIndex"]
 
-
-@dataclass
-class MTreeStats:
-    """Work counters for one M-tree query."""
-
-    distance_computations: int = 0
-    nodes_visited: int = 0
-    parent_filter_hits: int = 0
+#: Backward-compatible alias: the M-tree used to return its own stats
+#: type; all indexes now share one container with uniform field names.
+MTreeStats = SearchStats
 
 
 @dataclass
@@ -233,7 +232,7 @@ class MTreeIndex:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, query, k: int = 1) -> tuple[list[Neighbor], MTreeStats]:
+    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
         """The ``k`` nearest neighbours by exact best-first search."""
         query = as_float_array(query)
         if query.size != self._matrix.shape[1]:
@@ -244,10 +243,12 @@ class MTreeIndex:
         if not 1 <= k <= len(self):
             raise ValueError(f"k must be in [1, {len(self)}], got {k}")
 
-        stats = MTreeStats()
+        stats = SearchStats()
 
         def query_distance(seq_id: int) -> float:
-            stats.distance_computations += 1
+            # Exact distance on the uncompressed object: the M-tree's
+            # analogue of a full retrieval.
+            stats.full_retrievals += 1
             return float(np.linalg.norm(query - self._matrix[seq_id]))
 
         best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
@@ -258,36 +259,48 @@ class MTreeIndex:
         counter = itertools.count()
         frontier: list[tuple[float, int, _Node, float]] = []
         heapq.heappush(frontier, (0.0, next(counter), self._root, 0.0))
-        while frontier:
-            d_min, _, node, parent_q_distance = heapq.heappop(frontier)
-            if d_min > cutoff():
-                break
-            stats.nodes_visited += 1
-            for entry in node.entries:
-                # Parent-distance prefilter (triangle inequality through
-                # the shared parent pivot): cheap, no new distance needed.
-                if node.parent_entry is not None:
-                    gap = abs(parent_q_distance - entry.parent_distance)
-                    if gap - entry.radius > cutoff():
-                        stats.parent_filter_hits += 1
-                        continue
-                distance = query_distance(entry.pivot_id)
-                if node.is_leaf:
-                    if distance < cutoff():
-                        heapq.heappush(best, (-distance, entry.pivot_id))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                else:
-                    child_d_min = max(0.0, distance - entry.radius)
-                    if child_d_min <= cutoff():
-                        heapq.heappush(
-                            frontier,
-                            (child_d_min, next(counter), entry.child, distance),
-                        )
-                    # The pivot itself is a database object too; it is
-                    # represented in a descendant leaf, so it is not
-                    # scored here (avoids duplicates).
+        with obs.span("index.mtree.search"):
+            while frontier:
+                d_min, _, node, parent_q_distance = heapq.heappop(frontier)
+                if d_min > cutoff():
+                    # Min-heap order: every other frontier entry is at
+                    # least as far, so all of them are pruned at once.
+                    stats.subtrees_pruned += 1 + len(frontier)
+                    break
+                stats.nodes_visited += 1
+                for entry in node.entries:
+                    # Parent-distance prefilter (triangle inequality through
+                    # the shared parent pivot): cheap, no new distance needed.
+                    if node.parent_entry is not None:
+                        stats.bound_computations += 1
+                        gap = abs(parent_q_distance - entry.parent_distance)
+                        if gap - entry.radius > cutoff():
+                            if node.is_leaf:
+                                stats.candidates_pruned += 1
+                            else:
+                                stats.subtrees_pruned += 1
+                            continue
+                    distance = query_distance(entry.pivot_id)
+                    if node.is_leaf:
+                        if distance < cutoff():
+                            heapq.heappush(best, (-distance, entry.pivot_id))
+                            if len(best) > k:
+                                heapq.heappop(best)
+                    else:
+                        child_d_min = max(0.0, distance - entry.radius)
+                        if child_d_min <= cutoff():
+                            heapq.heappush(
+                                frontier,
+                                (child_d_min, next(counter), entry.child,
+                                 distance),
+                            )
+                        else:
+                            stats.subtrees_pruned += 1
+                        # The pivot itself is a database object too; it is
+                        # represented in a descendant leaf, so it is not
+                        # scored here (avoids duplicates).
 
+        stats.publish("index.mtree.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )

@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
@@ -255,29 +256,35 @@ class MVPTreeIndex:
                     continue
                 traverse(quadrant.child)
 
-        traverse(self._root)
-        stats.candidates_after_traversal = len(candidates)
+        with obs.span("index.mvptree.search"):
+            traverse(self._root)
+            stats.candidates_after_traversal = len(candidates)
+            stats.candidates_pruned += len(self) - len(candidates)
 
-        sub = sigma_ub()
-        survivors = sorted(c for c in candidates if c[0] <= sub)
-        stats.candidates_after_sub_filter = len(survivors)
+            sub = sigma_ub()
+            survivors = sorted(c for c in candidates if c[0] <= sub)
+            stats.candidates_after_sub_filter = len(survivors)
+            stats.candidates_pruned += len(candidates) - len(survivors)
 
-        best: list[tuple[float, int]] = []
-        cutoff = float("inf")
-        for lower, _, seq_id in survivors:
-            if len(best) == k and lower > cutoff:
-                break
-            row = self._store.read(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(query, row, cutoff)
-            if distance == float("inf"):
-                continue
-            heapq.heappush(best, (-distance, seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff = -best[0][0]
+            best: list[tuple[float, int]] = []
+            cutoff = float("inf")
+            for position, (lower, _, seq_id) in enumerate(survivors):
+                if len(best) == k and lower > cutoff:
+                    stats.candidates_pruned += len(survivors) - position
+                    break
+                row = self._store.read(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(query, row, cutoff)
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                    continue
+                heapq.heappush(best, (-distance, seq_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    cutoff = -best[0][0]
 
+        stats.publish("index.mvptree.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )

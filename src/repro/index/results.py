@@ -1,8 +1,17 @@
-"""Result and statistics containers shared by the search structures."""
+"""Result and statistics containers shared by the search structures.
+
+Every index in :mod:`repro.index` — flat sketch scan, VP-tree, MVP-tree,
+M-tree, GEMINI R-tree and the linear-scan baseline — returns the same
+:class:`SearchStats`, with the same field names and units, so their work
+is directly comparable in one report (the uniform-accounting discipline
+of the Lernaean Hydra index evaluations).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+from repro import obs
 
 __all__ = ["Neighbor", "SearchStats"]
 
@@ -21,20 +30,32 @@ class Neighbor:
 
 @dataclass
 class SearchStats:
-    """What a query cost.
+    """What a query cost, in units shared by every index structure.
 
     Attributes
     ----------
     full_retrievals:
-        Uncompressed sequences fetched from the store and compared
-        exactly.  ``full_retrievals / database_size`` is the paper's
+        Uncompressed sequences fetched and compared exactly (unit:
+        sequences).  ``full_retrievals / database_size`` is the paper's
         "fraction of the database examined" (fig. 22).
     bound_computations:
-        LB/UB evaluations against compressed sketches.
+        Cheap distance estimates evaluated instead of exact distances
+        (unit: evaluations): LB/UB pairs against compressed sketches for
+        the sketch indexes, feature-space distances for the GEMINI
+        R-tree, triangle-inequality parent filters for the M-tree.
     nodes_visited:
-        VP-tree nodes (internal + leaf) touched during traversal.
+        Index nodes (internal + leaf) touched during traversal; 0 for the
+        tree-less structures.
     subtrees_pruned:
-        Subtrees discarded by the vantage-point inequalities.
+        Whole subtrees discarded without visiting any of their members.
+    candidates_pruned:
+        Individual database members discarded *without* an exact
+        comparison — by a bound filter, an index prune, or the
+        verification loop terminating early.  For an exhaustive search
+        ``candidates_pruned + full_retrievals == database_size``.
+    early_abandons:
+        Exact comparisons cut short by the early-abandoning cutoff (a
+        subset of ``full_retrievals``: work started but not fully paid).
     candidates_after_traversal:
         Compressed candidates surviving the traversal, before the
         smallest-upper-bound (SUB) filter.
@@ -46,6 +67,8 @@ class SearchStats:
     bound_computations: int = 0
     nodes_visited: int = 0
     subtrees_pruned: int = 0
+    candidates_pruned: int = 0
+    early_abandons: int = 0
     candidates_after_traversal: int = 0
     candidates_after_sub_filter: int = 0
 
@@ -54,3 +77,33 @@ class SearchStats:
         if database_size <= 0:
             raise ValueError("database_size must be positive")
         return self.full_retrievals / database_size
+
+    def prune_ratio(self) -> float:
+        """Fraction of considered members never compared exactly."""
+        considered = self.candidates_pruned + self.full_retrievals
+        if considered == 0:
+            return 0.0
+        return self.candidates_pruned / considered
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's counters into this one."""
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def publish(self, prefix: str) -> None:
+        """Add these counters to the active metrics registry, if any.
+
+        Counter names are ``{prefix}.{field}`` plus ``{prefix}.queries``;
+        the indexes call this once per search with prefixes like
+        ``index.vptree.search`` (see ``docs/OBSERVABILITY.md``).  A no-op
+        when observability is disabled.
+        """
+        if not obs.is_enabled():
+            return
+        obs.add(f"{prefix}.queries")
+        for spec in fields(self):
+            obs.add(f"{prefix}.{spec.name}", getattr(self, spec.name))

@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.index.results import Neighbor, SearchStats
 from repro.exceptions import SeriesMismatchError
 from repro.spectral.dft import Spectrum
@@ -359,17 +360,22 @@ class GeminiRTreeIndex:
             raise ValueError(f"k must be in [1, {len(self)}], got {k}")
 
         stats = SearchStats()
-        features = gemini_features(query, self.k)
-        best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
-        for lower, row_id in self._tree.nearest_iter(features, stats):
-            stats.bound_computations += 1
-            if len(best) == k and lower > -best[0][0]:
-                break
-            true = float(np.linalg.norm(query - self._matrix[row_id]))
-            stats.full_retrievals += 1
-            heapq.heappush(best, (-true, row_id))
-            if len(best) > k:
-                heapq.heappop(best)
+        with obs.span("index.rtree.search"):
+            features = gemini_features(query, self.k)
+            best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
+            for lower, row_id in self._tree.nearest_iter(features, stats):
+                stats.bound_computations += 1
+                if len(best) == k and lower > -best[0][0]:
+                    # Incremental NN yields in increasing feature distance,
+                    # so every unvisited member is pruned by this bound.
+                    break
+                true = float(np.linalg.norm(query - self._matrix[row_id]))
+                stats.full_retrievals += 1
+                heapq.heappush(best, (-true, row_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+            stats.candidates_pruned = len(self) - stats.full_retrievals
+        stats.publish("index.rtree.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )

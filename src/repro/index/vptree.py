@@ -42,6 +42,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
@@ -365,30 +366,37 @@ class VPTreeIndex:
             for child in order:
                 traverse(child)
 
-        traverse(self._root)
-        stats.candidates_after_traversal = len(candidates)
+        with obs.span("index.vptree.search"):
+            traverse(self._root)
+            stats.candidates_after_traversal = len(candidates)
+            # Members of pruned subtrees were never even bounded.
+            stats.candidates_pruned += len(self) - len(candidates)
 
-        # Phase 2: SUB filter, then verify in increasing-LB order.
-        sub = sigma_ub()
-        survivors = sorted(c for c in candidates if c[0] <= sub)
-        stats.candidates_after_sub_filter = len(survivors)
+            # Phase 2: SUB filter, then verify in increasing-LB order.
+            sub = sigma_ub()
+            survivors = sorted(c for c in candidates if c[0] <= sub)
+            stats.candidates_after_sub_filter = len(survivors)
+            stats.candidates_pruned += len(candidates) - len(survivors)
 
-        best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
-        cutoff = float("inf")
-        for lower, _, seq_id in survivors:
-            if len(best) == k and lower > cutoff:
-                break
-            row = self._store.read(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(query, row, cutoff)
-            if distance == float("inf"):
-                continue
-            heapq.heappush(best, (-distance, seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff = -best[0][0]
+            best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
+            cutoff = float("inf")
+            for position, (lower, _, seq_id) in enumerate(survivors):
+                if len(best) == k and lower > cutoff:
+                    stats.candidates_pruned += len(survivors) - position
+                    break
+                row = self._store.read(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(query, row, cutoff)
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                    continue
+                heapq.heappush(best, (-distance, seq_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    cutoff = -best[0][0]
 
+        stats.publish("index.vptree.search")
         neighbors = sorted(
             Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
         )
@@ -452,18 +460,23 @@ class VPTreeIndex:
             else:
                 stats.subtrees_pruned += 1
 
-        traverse(self._root)
-        stats.candidates_after_traversal = len(to_verify)
-        stats.candidates_after_sub_filter = len(to_verify)
+        with obs.span("index.vptree.range_search"):
+            traverse(self._root)
+            stats.candidates_after_traversal = len(to_verify)
+            stats.candidates_after_sub_filter = len(to_verify)
+            stats.candidates_pruned = len(self) - len(to_verify)
 
-        for _, seq_id in sorted(to_verify):
-            row = self._store.read(seq_id)
-            stats.full_retrievals += 1
-            distance = euclidean_early_abandon(
-                query, row, radius + _RANGE_SLACK
-            )
-            if distance <= radius:
-                hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
+            for _, seq_id in sorted(to_verify):
+                row = self._store.read(seq_id)
+                stats.full_retrievals += 1
+                distance = euclidean_early_abandon(
+                    query, row, radius + _RANGE_SLACK
+                )
+                if distance == float("inf"):
+                    stats.early_abandons += 1
+                if distance <= radius:
+                    hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
+        stats.publish("index.vptree.range_search")
         return sorted(hits), stats
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bursts.compaction import Burst
 from repro.bursts.detection import BurstDetector
 from repro.bursts.query import BurstDatabase, BurstMatch
@@ -123,14 +124,16 @@ class QueryLogMiner:
                 f"{series.start.isoformat()}+{len(series)}d, the miner "
                 f"covers {self.grid.start.isoformat()}+{len(self.grid)}d"
             )
-        self._series[series.name] = series
-        self._order.append(series.name)
-        self._burst_db.add(series)
-        self._dtw = None  # envelopes are stale
-        if self._index is not None:
-            self._index.insert(zscore(series.values), name=series.name)
-            if len(self._order) > _REBUILD_GROWTH * self._indexed_count:
-                self._index = None  # force a balanced rebuild on next use
+        with obs.span("miner.add_series"):
+            self._series[series.name] = series
+            self._order.append(series.name)
+            self._burst_db.add(series)
+            self._dtw = None  # envelopes are stale
+            if self._index is not None:
+                self._index.insert(zscore(series.values), name=series.name)
+                if len(self._order) > _REBUILD_GROWTH * self._indexed_count:
+                    self._index = None  # force a balanced rebuild on next use
+        obs.add("miner.series_ingested")
 
     def add_records(self, records: Iterable[LogRecord]) -> tuple[str, ...]:
         """Ingest raw log records; returns the new query names seen.
@@ -159,12 +162,13 @@ class QueryLogMiner:
 
     def _live_index(self) -> VPTreeIndex:
         if self._index is None:
-            self._index = VPTreeIndex(
-                self._matrix(),
-                compressor=self._compressor,
-                names=list(self._order),
-                seed=self._seed,
-            )
+            with obs.span("miner.index_build"):
+                self._index = VPTreeIndex(
+                    self._matrix(),
+                    compressor=self._compressor,
+                    names=list(self._order),
+                    seed=self._seed,
+                )
             self._indexed_count = len(self._order)
         return self._index
 
@@ -191,27 +195,32 @@ class QueryLogMiner:
         ``query`` may be an ingested name, a :class:`TimeSeries` or a raw
         sequence; an ingested name excludes itself from the results.
         """
-        exclude = query if isinstance(query, str) else None
-        values = self._standardized_query(query)
-        extra = 1 if exclude is not None else 0
-        hits, _ = self._live_index().search(
-            values, k=min(k + extra, len(self))
-        )
-        return [hit for hit in hits if hit.name != exclude][:k]
+        with obs.span("miner.similar"):
+            exclude = query if isinstance(query, str) else None
+            values = self._standardized_query(query)
+            extra = 1 if exclude is not None else 0
+            hits, _ = self._live_index().search(
+                values, k=min(k + extra, len(self))
+            )
+            return [hit for hit in hits if hit.name != exclude][:k]
 
     def dtw_similar(self, query, k: int = 5) -> list[Neighbor]:
         """Like :meth:`similar`, under banded dynamic time warping."""
-        exclude = query if isinstance(query, str) else None
-        values = self._standardized_query(query)
-        extra = 1 if exclude is not None else 0
-        hits, _ = self._live_dtw().search(values, k=min(k + extra, len(self)))
-        return [hit for hit in hits if hit.name != exclude][:k]
+        with obs.span("miner.dtw_similar"):
+            exclude = query if isinstance(query, str) else None
+            values = self._standardized_query(query)
+            extra = 1 if exclude is not None else 0
+            hits, _ = self._live_dtw().search(
+                values, k=min(k + extra, len(self))
+            )
+            return [hit for hit in hits if hit.name != exclude][:k]
 
     def periods(self, name: str):
         """Significant periods of an ingested query (interpolated)."""
-        return self._period_detector.detect(
-            self.series(name).standardize()
-        )
+        with obs.span("miner.periods"):
+            return self._period_detector.detect(
+                self.series(name).standardize()
+            )
 
     def shared_periods_of_similar(
         self, name: str, k: int = 5
@@ -239,9 +248,8 @@ class QueryLogMiner:
 
     def co_bursting(self, query, top: int = 5) -> list[BurstMatch]:
         """Queries that burst together with ``query`` (query-by-burst)."""
-        if isinstance(query, str):
+        with obs.span("miner.co_bursting"):
             return self._burst_db.query(query, top=top)
-        return self._burst_db.query(query, top=top)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,80 @@
+"""repro.obs — the always-available, off-by-default observability layer.
+
+The paper's headline claims are *cost* claims: pruning power (fig. 22),
+index-vs-scan speedup (fig. 23), storage budgets (Table 1).  This package
+bakes the accounting into the system itself — every hot path (bound
+kernels, index searches, the page store, the detectors, the miner) is
+instrumented against one :class:`MetricsRegistry` — so benchmark numbers
+come from the same counters production would report.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  and the registry; module-level :func:`add` / :func:`observe` /
+  :func:`set_gauge` helpers that no-op when disabled;
+* :mod:`repro.obs.spans` — ``span(name)``, a nested wall-clock timer;
+* :mod:`repro.obs.sinks` / :mod:`repro.obs.report` — in-memory,
+  JSON-lines and table sinks, plus derived-quantity run summaries.
+
+Everything is **off by default** and costs one ``None`` check per
+instrumentation point when off.  Typical use:
+
+>>> import repro.obs as obs
+>>> with obs.observed() as registry:       # or obs.enable() / obs.disable()
+...     with obs.span("demo.stage"):
+...         obs.add("demo.widgets", 2)
+>>> registry.counter("demo.widgets").value
+2
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalog and the span
+hierarchy.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    add,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    observe,
+    observed,
+    set_gauge,
+)
+from repro.obs.report import (
+    derived_metrics,
+    render_report,
+    render_table,
+    write_json_lines,
+)
+from repro.obs.sinks import JsonLinesSink, MemorySink, TableSink, export
+from repro.obs.spans import span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "get_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "observed",
+    "add",
+    "observe",
+    "set_gauge",
+    "span",
+    "MemorySink",
+    "JsonLinesSink",
+    "TableSink",
+    "export",
+    "derived_metrics",
+    "render_report",
+    "render_table",
+    "write_json_lines",
+]

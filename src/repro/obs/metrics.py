@@ -1,0 +1,367 @@
+"""Counters, gauges, histograms and the registry that owns them.
+
+Zero-dependency (stdlib-only) metrics primitives in the spirit of the
+Lernaean Hydra evaluations (Echihabi et al., 2020): data-series index
+comparisons are meaningless without *uniform* accounting of distance
+computations, bound invocations and I/O, so the accounting lives in the
+system itself instead of in each benchmark script.
+
+Observability is **off by default**.  The module keeps one active
+:class:`MetricsRegistry` (or ``None``); the helpers :func:`add`,
+:func:`observe` and :func:`set_gauge` — which every instrumented hot path
+calls — reduce to a single ``is None`` check when disabled, so the
+instrumented code costs (nearly) nothing unless someone asked to watch.
+
+>>> registry = enable()
+>>> add("bounds.kernel_calls")
+>>> add("bounds.pairs", 2048)
+>>> registry.counter("bounds.pairs").value
+2048
+>>> disable() is registry
+True
+>>> add("bounds.kernel_calls")   # no active registry: a no-op
+>>> registry.counter("bounds.kernel_calls").value
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "get_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "observed",
+    "add",
+    "observe",
+    "set_gauge",
+]
+
+#: Default histogram buckets for wall-clock spans, in seconds: three
+#: steps per decade from 1 microsecond to 100 seconds.  Values above the
+#: last edge land in the implicit overflow bucket.
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    round(mantissa * 10.0**exponent, 12)
+    for exponent in range(-6, 3)
+    for mantissa in (1.0, 2.5, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing count of events or units of work."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter; negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live series, tree height)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with summary statistics.
+
+    Parameters
+    ----------
+    name:
+        Metric name.
+    buckets:
+        Ascending upper edges; observations above the last edge fall into
+        an implicit overflow bucket.  Defaults to
+        :data:`LATENCY_BUCKETS_S`.
+
+    Percentiles are estimated by linear interpolation inside the bucket
+    that crosses the requested rank, clamped to the observed min/max —
+    exact enough for p50/p95 reporting at three buckets per decade.
+
+    >>> h = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+    >>> for v in (0.5, 1.5, 1.5, 3.0):
+    ...     h.observe(v)
+    >>> h.count, h.total
+    (4, 6.5)
+    >>> h.percentile(1.0) == h.max
+    True
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None) -> None:
+        if buckets is None:
+            buckets = LATENCY_BUCKETS_S
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(nxt <= prev for prev, nxt in zip(edges, edges[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        position = 0
+        for edge in self.buckets:
+            if value <= edge:
+                break
+            position += 1
+        self.counts[position] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for position, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                low = self.buckets[position - 1] if position > 0 else self.min
+                high = (
+                    self.buckets[position]
+                    if position < len(self.buckets)
+                    else self.max
+                )
+                inside = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = low + (high - low) * max(inside, 0.0)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Owns every metric of one observed run.
+
+    Instruments are created lazily on first use and identified by their
+    dotted name (see ``docs/OBSERVABILITY.md`` for the catalog).  The
+    registry also buffers span *events* — one record per completed span,
+    capped at ``max_events`` (oldest dropped first, with a drop counter) —
+    so a JSON-lines sink can replay the run's trace.
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._events: list[dict] = []
+        self._max_events = max_events
+        self.dropped_events = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Span support (used by repro.obs.spans)
+    # ------------------------------------------------------------------
+    @property
+    def span_stack(self) -> list[str]:
+        """The current thread's stack of open span names."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def record_event(self, event: dict) -> None:
+        if len(self._events) >= self._max_events:
+            self.dropped_events += 1
+            return
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[dict, ...]:
+        return tuple(self._events)
+
+    # ------------------------------------------------------------------
+    # Introspection and export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument, for reports and tests."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def records(self) -> list[dict]:
+        """Every metric and span event as one flat record list."""
+        out: list[dict] = []
+        snapshot = self.snapshot()
+        for name, value in snapshot["counters"].items():
+            out.append({"type": "counter", "name": name, "value": value})
+        for name, value in snapshot["gauges"].items():
+            out.append({"type": "gauge", "name": name, "value": value})
+        for name, summary in snapshot["histograms"].items():
+            out.append({"type": "histogram", "name": name, **summary})
+        out.extend(self._events)
+        return out
+
+    def reset(self) -> None:
+        """Forget every metric and buffered event."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._events.clear()
+        self.dropped_events = 0
+
+
+# ----------------------------------------------------------------------
+# The module-global active registry (None = observability disabled)
+# ----------------------------------------------------------------------
+_active: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when observability is disabled."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active is not None
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Turn observability on; returns the (possibly fresh) registry."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> MetricsRegistry | None:
+    """Turn observability off; returns the registry that was active."""
+    global _active
+    previous, _active = _active, None
+    return previous
+
+
+@contextmanager
+def observed(registry: MetricsRegistry | None = None):
+    """Enable a registry for the duration of a ``with`` block.
+
+    >>> with observed() as registry:
+    ...     add("demo.events", 3)
+    >>> registry.counter("demo.events").value
+    3
+    >>> is_enabled()
+    False
+    """
+    global _active
+    previous = _active
+    registry = enable(registry)
+    try:
+        yield registry
+    finally:
+        _active = previous
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers: one None-check when disabled
+# ----------------------------------------------------------------------
+def add(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` on the active registry, if any."""
+    if _active is not None:
+        _active.counter(name).add(amount)
+
+
+def observe(name: str, value: float, buckets: tuple[float, ...] | None = None) -> None:
+    """Record ``value`` into histogram ``name`` on the active registry."""
+    if _active is not None:
+        _active.histogram(name, buckets).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active registry, if any."""
+    if _active is not None:
+        _active.gauge(name).set(value)

@@ -1,0 +1,129 @@
+"""Run summaries over a metrics registry.
+
+Turns the raw instrument values into the quantities the paper's
+evaluation argues about: per-query latency percentiles (from the
+``span.*`` histograms), the prune ratio of every index (fraction of the
+database discarded without an exact comparison), bound-kernel work and
+pages touched.  Two consumers:
+
+* :func:`render_report` — the human-readable run summary printed by
+  ``python -m repro.evaluation --obs`` and the instrumented examples;
+* :func:`write_json_lines` — the machine-readable artifact: every raw
+  metric and span event plus one ``{"type": "derived", ...}`` record per
+  computed quantity.
+
+>>> from repro.obs.metrics import observed, add
+>>> with observed() as registry:
+...     add("index.flat.search.full_retrievals", 25)
+...     add("index.flat.search.candidates_pruned", 75)
+>>> derived_metrics(registry)["index.flat.search.prune_ratio"]
+0.75
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JsonLinesSink, TableSink, export
+
+__all__ = [
+    "derived_metrics",
+    "render_report",
+    "render_table",
+    "write_json_lines",
+]
+
+
+def derived_metrics(registry: MetricsRegistry) -> dict[str, float]:
+    """Quantities computed from the raw counters.
+
+    * ``<prefix>.prune_ratio`` for every instrumented search prefix:
+      ``candidates_pruned / (candidates_pruned + full_retrievals)`` — the
+      fraction of the database never compared exactly (the complement of
+      fig. 22's "fraction examined");
+    * ``bounds.pairs_per_kernel_call`` — batching efficiency of the bound
+      kernels;
+    * ``storage.pages_per_read`` — I/O density of the sequence store.
+    """
+    counters = registry.snapshot()["counters"]
+    derived: dict[str, float] = {}
+    for name, pruned in counters.items():
+        if not name.endswith(".candidates_pruned"):
+            continue
+        prefix = name[: -len(".candidates_pruned")]
+        verified = counters.get(f"{prefix}.full_retrievals", 0)
+        if pruned + verified > 0:
+            derived[f"{prefix}.prune_ratio"] = pruned / (pruned + verified)
+    kernel_calls = counters.get("bounds.kernel_calls", 0)
+    if kernel_calls:
+        derived["bounds.pairs_per_kernel_call"] = (
+            counters.get("bounds.pairs", 0) / kernel_calls
+        )
+    read_calls = counters.get("storage.read_calls", 0)
+    if read_calls:
+        derived["storage.pages_per_read"] = (
+            counters.get("storage.pages_read", 0) / read_calls
+        )
+    return derived
+
+
+def _span_histograms(registry: MetricsRegistry):
+    snapshot = registry.snapshot()["histograms"]
+    return {
+        name[len("span."):]: summary
+        for name, summary in snapshot.items()
+        if name.startswith("span.")
+    }
+
+
+def render_report(registry: MetricsRegistry) -> str:
+    """A human-readable summary of one observed run."""
+    out = io.StringIO()
+    print("=== observability report ===", file=out)
+
+    spans = _span_histograms(registry)
+    if spans:
+        print("\nstage latencies (wall-clock):", file=out)
+        width = max(len(name) for name in spans)
+        for name, summary in spans.items():
+            print(
+                f"  {name:<{width}s}  n={summary['count']:<6d} "
+                f"p50={summary['p50'] * 1e3:9.3f}ms  "
+                f"p95={summary['p95'] * 1e3:9.3f}ms  "
+                f"total={summary['total']:8.3f}s",
+                file=out,
+            )
+
+    derived = derived_metrics(registry)
+    if derived:
+        print("\nderived:", file=out)
+        width = max(len(name) for name in derived)
+        for name, value in sorted(derived.items()):
+            print(f"  {name:<{width}s}  {value:.4f}", file=out)
+
+    counters = registry.snapshot()["counters"]
+    if counters:
+        print("\ncounters:", file=out)
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            print(f"  {name:<{width}s}  {value}", file=out)
+
+    if registry.dropped_events:
+        print(f"\n({registry.dropped_events} span events dropped)", file=out)
+    return out.getvalue()
+
+
+def render_table(registry: MetricsRegistry) -> str:
+    """The raw instruments as aligned tables (no derived quantities)."""
+    sink = TableSink(out=io.StringIO())
+    export(registry, sink)
+    return sink.render()
+
+
+def write_json_lines(registry: MetricsRegistry, target) -> None:
+    """Write the full run record — raw and derived — as JSON lines."""
+    with JsonLinesSink(target) as sink:
+        export(registry, sink)
+        for name, value in sorted(derived_metrics(registry).items()):
+            sink.write({"type": "derived", "name": name, "value": value})

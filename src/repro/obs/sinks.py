@@ -1,0 +1,163 @@
+"""Pluggable destinations for a registry's metrics and span events.
+
+A sink is anything with ``write(record: dict)`` and ``close()``; the
+convenience entry point is :func:`export`, which replays every metric and
+buffered span event of a registry into a sink:
+
+* :class:`MemorySink` — keeps records in a list (tests, ad-hoc queries);
+* :class:`JsonLinesSink` — one JSON object per line, the machine-readable
+  run artifact (BENCH JSONs can be derived from it);
+* :class:`TableSink` — human-readable tables on a text stream.
+
+>>> from repro.obs.metrics import observed, add
+>>> with observed() as registry:
+...     add("bounds.kernel_calls", 4)
+>>> sink = MemorySink()
+>>> export(registry, sink)
+>>> sink.records[0]
+{'type': 'counter', 'name': 'bounds.kernel_calls', 'value': 4}
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MemorySink", "JsonLinesSink", "TableSink", "export"]
+
+
+class MemorySink:
+    """Collects records in :attr:`records`, in arrival order."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        """No-op; the records stay available."""
+
+
+class JsonLinesSink:
+    """Writes one compact JSON object per record.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for writing, creating parent directories) or an
+        open text stream.  Streams passed in are flushed but not closed.
+    """
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._stream = target
+            self._owns_stream = False
+        else:
+            path = os.fspath(target)
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._stream = open(path, "w", encoding="utf-8")
+            self._owns_stream = True
+
+    def write(self, record: dict) -> None:
+        json.dump(record, self._stream, separators=(",", ":"), sort_keys=True)
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TableSink:
+    """Buffers records and renders them as aligned text tables on close."""
+
+    def __init__(self, out=None) -> None:
+        self._out = out if out is not None else sys.stdout
+        self._records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self._records.append(record)
+
+    def render(self) -> str:
+        """The formatted tables, without writing them anywhere."""
+        buffer = io.StringIO()
+        self._render_section(
+            buffer,
+            "counters",
+            ("name", "value"),
+            [
+                (r["name"], r["value"])
+                for r in self._records
+                if r["type"] == "counter"
+            ],
+        )
+        self._render_section(
+            buffer,
+            "gauges",
+            ("name", "value"),
+            [
+                (r["name"], r["value"])
+                for r in self._records
+                if r["type"] == "gauge"
+            ],
+        )
+        self._render_section(
+            buffer,
+            "histograms",
+            ("name", "count", "mean", "p50", "p95", "max"),
+            [
+                (
+                    r["name"],
+                    r["count"],
+                    f"{r['mean']:.6g}",
+                    f"{r['p50']:.6g}",
+                    f"{r['p95']:.6g}",
+                    f"{r['max']:.6g}",
+                )
+                for r in self._records
+                if r["type"] == "histogram"
+            ],
+        )
+        return buffer.getvalue()
+
+    @staticmethod
+    def _render_section(buffer, title, headers, rows) -> None:
+        if not rows:
+            return
+        table = [tuple(str(cell) for cell in row) for row in rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in table))
+            for i, header in enumerate(headers)
+        ]
+        print(f"-- {title} --", file=buffer)
+        print(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            file=buffer,
+        )
+        for row in table:
+            print(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths)),
+                file=buffer,
+            )
+
+    def close(self) -> None:
+        self._out.write(self.render())
+
+
+def export(registry: MetricsRegistry, sink) -> None:
+    """Replay every metric and span event of ``registry`` into ``sink``."""
+    for record in registry.records():
+        sink.write(record)

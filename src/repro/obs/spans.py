@@ -1,0 +1,100 @@
+"""Nested wall-clock spans.
+
+``span(name)`` times a block of work and files the duration under the
+span's *path* — the dot-joined names of every span currently open on the
+same thread — so the same stage name nested under different parents
+stays distinguishable::
+
+    with span("miner.similar"):
+        ...
+        with span("index.search"):   # recorded as miner.similar.index.search
+            ...
+
+Each completed span
+
+* feeds a latency histogram named ``span.<path>`` (so p50/p95 per stage
+  come for free), and
+* appends one event record ``{"type": "span", "name": <path>,
+  "seconds": ..., "depth": ...}`` to the registry's event buffer for the
+  JSON-lines trace.
+
+When observability is disabled, ``span`` returns a shared no-op context
+manager: the cost is one ``None`` check and no allocation.
+
+>>> from repro.obs.metrics import observed
+>>> with observed() as registry:
+...     with span("outer"):
+...         with span("inner"):
+...             pass
+>>> [event["name"] for event in registry.events]
+['outer.inner', 'outer']
+>>> registry.histogram("span.outer").count
+1
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["span"]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("registry", "name", "path", "started")
+
+    def __init__(self, registry: _metrics.MetricsRegistry, name: str) -> None:
+        self.registry = registry
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self.registry.span_stack
+        stack.append(self.name)
+        self.path = ".".join(stack)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        seconds = time.perf_counter() - self.started
+        stack = self.registry.span_stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.registry.histogram(
+            f"span.{self.path}", _metrics.LATENCY_BUCKETS_S
+        ).observe(seconds)
+        self.registry.record_event(
+            {
+                "type": "span",
+                "name": self.path,
+                "seconds": seconds,
+                "depth": len(stack),
+            }
+        )
+
+
+def span(name: str):
+    """Context manager timing one named stage of work.
+
+    Returns a no-op object when observability is disabled, so it is safe
+    (and cheap) to leave in hot paths unconditionally.
+    """
+    registry = _metrics.get_registry()
+    if registry is None:
+        return _NULL_SPAN
+    return _Span(registry, name)

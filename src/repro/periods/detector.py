@@ -17,6 +17,18 @@ Any periodogram bin above :math:`T_p` is reported as a significant period
 The module also exposes :func:`exponential_fit`, the goodness-of-fit
 helper behind figure 12's claim that non-periodic spectra look
 exponential.
+
+Example
+-------
+A pure 16-sample cycle is the only significant period found:
+
+>>> import numpy as np
+>>> series = np.sin(2 * np.pi * np.arange(128) / 16)
+>>> result = PeriodDetector(confidence=0.99).detect(series)
+>>> [round(p.period, 1) for p in result]
+[16.0]
+>>> result.periods[0].power > result.threshold
+True
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from repro import obs
 from repro.exceptions import SeriesLengthError
 from repro.spectral.dft import Spectrum
 from repro.spectral.periodogram import Periodogram, periodogram
@@ -162,6 +175,13 @@ class PeriodDetector:
             raise SeriesLengthError(
                 "period detection needs at least 4 samples"
             )
+        with obs.span("periods.detect"):
+            result = self._detect(arr)
+        obs.add("periods.series_analyzed")
+        obs.add("periods.detected", len(result))
+        return result
+
+    def _detect(self, arr: np.ndarray) -> PeriodDetectionResult:
         complex_spectrum = Spectrum.from_series(arr)
         spectrum = periodogram(complex_spectrum)
         band = spectrum.power[self.min_index :]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator
 
+from repro import obs
 from repro.exceptions import KeyNotFoundError
 
 __all__ = ["BPlusTree"]
@@ -96,10 +97,13 @@ class BPlusTree:
     def _find_leaf(self, key) -> tuple[_Node, int]:
         """Leaf that should contain ``key`` and the key's insertion point."""
         node = self._root
+        visits = 1
         while not node.is_leaf:
             # Child i holds keys < keys[i]; keys equal to a separator go right.
             idx = bisect.bisect_right(node.keys, key)
             node = node.children[idx]
+            visits += 1
+        obs.add("btree.node_visits", visits)
         return node, bisect.bisect_left(node.keys, key)
 
     def _leftmost_leaf(self) -> _Node:

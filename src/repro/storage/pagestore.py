@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import KeyNotFoundError, StorageError
 from repro.timeseries.preprocessing import as_float_array
 
@@ -48,8 +49,11 @@ class IOStats:
         """Record one read of ``page_count`` pages starting at ``first_page``."""
         self.read_calls += 1
         self.pages_read += page_count
+        obs.add("storage.read_calls")
+        obs.add("storage.pages_read", page_count)
         if self._last_page is None or first_page != self._last_page:
             self.seeks += 1
+            obs.add("storage.seeks")
         self._last_page = first_page + page_count
 
     def reset(self) -> None:
@@ -176,6 +180,7 @@ class SequencePageStore:
         padding = self._pages_per_sequence * self.page_size - len(payload)
         if padding:
             self._file.write(b"\x00" * padding)
+        obs.add("storage.page_writes", self._pages_per_sequence)
         self._count += 1
         return seq_id
 
@@ -239,6 +244,10 @@ class MemorySequenceStore:
         if not 0 <= seq_id < len(self._rows):
             raise KeyNotFoundError(seq_id)
         self.stats.read_calls += 1
+        # Charge zero pages so the page counter exists (and stays zero)
+        # for in-memory runs — reports can show "0 pages" explicitly.
+        obs.add("storage.read_calls")
+        obs.add("storage.pages_read", 0)
         return self._rows[seq_id]
 
     def close(self) -> None:

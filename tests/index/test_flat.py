@@ -83,6 +83,16 @@ class TestKnn:
         assert stats.full_retrievals <= stats.candidates_after_sub_filter
         assert stats.bound_computations == len(matrix)
 
+    def test_pruning_accounts_for_every_object(self, matrix, index):
+        """Each database member is either pruned or retrieved, exactly once."""
+        rng = np.random.default_rng(7)
+        for k in (1, 3, 10):
+            query = zscore(rng.normal(size=64))
+            _, stats = index.search(query, k=k)
+            assert (
+                stats.candidates_pruned + stats.full_retrievals == len(matrix)
+            )
+
 
 class TestRange:
     def test_matches_brute_force(self, matrix, index):

@@ -91,15 +91,18 @@ class TestSearch:
         totals = []
         for row in matrix[:10]:
             _, stats = index.search(row, k=1)
-            totals.append(stats.distance_computations)
+            totals.append(stats.full_retrievals)
         assert np.mean(totals) < len(matrix)
 
-    def test_parent_filter_fires(self, matrix, index):
-        fired = 0
+    def test_filters_fire(self, matrix, index):
+        """The triangle-inequality filters must prune real work."""
+        evaluated = pruned = 0
         for row in matrix[:10]:
             _, stats = index.search(row, k=1)
-            fired += stats.parent_filter_hits
-        assert fired > 0
+            evaluated += stats.bound_computations
+            pruned += stats.candidates_pruned + stats.subtrees_pruned
+        assert evaluated > 0
+        assert pruned > 0
 
     def test_names(self, matrix):
         names = [f"q{i}" for i in range(len(matrix))]

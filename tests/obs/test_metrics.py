@@ -1,0 +1,175 @@
+"""Tests for the metrics primitives and the module-global registry."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("work")
+        assert counter.value == 0
+        counter.add()
+        counter.add(41)
+        assert counter.value == 42
+
+    def test_rejects_decrease(self):
+        counter = Counter("work")
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_count_total_mean_min_max(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(15.0)
+        assert hist.mean == pytest.approx(3.75)
+        assert hist.min == 0.5
+        assert hist.max == 10.0
+
+    def test_bucket_assignment_includes_overflow(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for value in (0.1, 1.0, 1.5, 5.0):
+            hist.observe(value)
+        # <=1.0 gets two (0.1 and the edge-inclusive 1.0), <=2.0 one,
+        # overflow one.
+        assert hist.counts == [2, 1, 1]
+
+    def test_percentiles_are_clamped_and_ordered(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 1.6, 2.5, 3.0, 7.0):
+            hist.observe(value)
+        assert hist.percentile(0.0) == hist.min
+        assert hist.percentile(1.0) == hist.max
+        assert hist.min <= hist.p50 <= hist.p95 <= hist.max
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(100):
+            hist.observe(1.5)
+        # All mass in (1, 2]; the estimate must stay inside that bucket.
+        assert 1.0 <= hist.p50 <= 2.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_invalid_quantile_rejected(self):
+        hist = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestRegistry:
+    def test_instruments_are_lazy_and_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_records_are_flat_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.record_event({"type": "span", "name": "x", "seconds": 0.1})
+        types = {record["type"] for record in registry.records()}
+        assert types == {"counter", "span"}
+
+    def test_event_cap_counts_drops(self):
+        registry = MetricsRegistry(max_events=2)
+        for i in range(5):
+            registry.record_event({"type": "span", "name": str(i)})
+        assert len(registry.events) == 2
+        assert registry.dropped_events == 3
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.record_event({"type": "span", "name": "x"})
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        assert registry.events == ()
+
+
+class TestGlobalState:
+    def test_disabled_helpers_are_noops(self):
+        assert not obs.is_enabled()
+        obs.add("nope")
+        obs.observe("nope", 1.0)
+        obs.set_gauge("nope", 1.0)
+        assert obs.get_registry() is None
+
+    def test_enable_disable_roundtrip(self):
+        registry = obs.enable()
+        assert obs.is_enabled()
+        obs.add("seen", 3)
+        assert registry.counter("seen").value == 3
+        assert obs.disable() is registry
+        assert not obs.is_enabled()
+
+    def test_observed_restores_previous_registry(self):
+        outer = obs.enable()
+        with obs.observed() as inner:
+            assert obs.get_registry() is inner
+            assert inner is not outer
+        assert obs.get_registry() is outer
+
+    def test_observed_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_span_stack_is_thread_local(self):
+        registry = obs.enable()
+        registry.span_stack.append("main-thread")
+        seen = {}
+
+        def worker():
+            seen["stack"] = list(registry.span_stack)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["stack"] == []

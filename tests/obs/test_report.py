@@ -1,0 +1,162 @@
+"""Tests for sinks, derived metrics and the run reports."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    JsonLinesSink,
+    MemorySink,
+    MetricsRegistry,
+    TableSink,
+    derived_metrics,
+    export,
+    render_report,
+    render_table,
+    span,
+    write_json_lines,
+)
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("index.flat.search.full_retrievals").add(25)
+    registry.counter("index.flat.search.candidates_pruned").add(75)
+    registry.counter("bounds.kernel_calls").add(4)
+    registry.counter("bounds.pairs").add(4096)
+    registry.counter("storage.read_calls").add(10)
+    registry.counter("storage.pages_read").add(20)
+    registry.gauge("tree.height").set(5)
+    registry.histogram("span.index.flat.search", (0.001, 0.01)).observe(0.002)
+    registry.record_event(
+        {"type": "span", "name": "index.flat.search", "seconds": 0.002,
+         "depth": 0}
+    )
+    return registry
+
+
+class TestSinks:
+    def test_memory_sink_receives_all_records(self):
+        registry = populated_registry()
+        sink = MemorySink()
+        export(registry, sink)
+        types = [record["type"] for record in sink.records]
+        assert types.count("counter") == 6
+        assert types.count("gauge") == 1
+        assert types.count("histogram") == 1
+        assert types.count("span") == 1
+
+    def test_json_lines_sink_writes_valid_json(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "run.jsonl"
+        with JsonLinesSink(path) as sink:
+            export(registry, sink)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 9
+        counter = next(
+            r for r in records if r.get("name") == "bounds.pairs"
+        )
+        assert counter == {
+            "type": "counter", "name": "bounds.pairs", "value": 4096,
+        }
+
+    def test_json_lines_sink_accepts_stream(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.write({"type": "counter", "name": "c", "value": 1})
+        sink.close()
+        assert json.loads(stream.getvalue()) == {
+            "type": "counter", "name": "c", "value": 1,
+        }
+
+    def test_table_sink_renders_sections(self):
+        registry = populated_registry()
+        sink = TableSink(out=io.StringIO())
+        export(registry, sink)
+        rendered = sink.render()
+        assert "-- counters --" in rendered
+        assert "-- gauges --" in rendered
+        assert "-- histograms --" in rendered
+        assert "bounds.kernel_calls" in rendered
+
+
+class TestDerivedMetrics:
+    def test_prune_ratio_per_prefix(self):
+        derived = derived_metrics(populated_registry())
+        assert derived["index.flat.search.prune_ratio"] == pytest.approx(0.75)
+
+    def test_kernel_and_page_densities(self):
+        derived = derived_metrics(populated_registry())
+        assert derived["bounds.pairs_per_kernel_call"] == pytest.approx(1024)
+        assert derived["storage.pages_per_read"] == pytest.approx(2.0)
+
+    def test_empty_registry_yields_nothing(self):
+        assert derived_metrics(MetricsRegistry()) == {}
+
+    def test_zero_denominators_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("index.x.candidates_pruned")  # value 0
+        registry.counter("bounds.kernel_calls")  # value 0
+        assert derived_metrics(registry) == {}
+
+
+class TestReports:
+    def test_render_report_mentions_all_sections(self):
+        report = render_report(populated_registry())
+        assert "stage latencies" in report
+        assert "index.flat.search.prune_ratio" in report
+        assert "bounds.kernel_calls" in report
+
+    def test_render_table_roundtrip(self):
+        assert "bounds.pairs" in render_table(populated_registry())
+
+    def test_write_json_lines_includes_derived(self, tmp_path):
+        path = tmp_path / "report.jsonl"
+        write_json_lines(populated_registry(), path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        derived = {
+            r["name"]: r["value"] for r in records if r["type"] == "derived"
+        }
+        assert derived["index.flat.search.prune_ratio"] == pytest.approx(0.75)
+        assert {r["type"] for r in records} >= {
+            "counter", "gauge", "histogram", "span", "derived",
+        }
+
+
+class TestEndToEnd:
+    def test_observed_index_run_produces_report(self, tmp_path):
+        """The whole loop: observe a real search, write and reread it."""
+        import numpy as np
+
+        from repro.index.flat import FlatSketchIndex
+
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(64, 32))
+        index = FlatSketchIndex(matrix)
+        with obs.observed() as registry:
+            with span("run"):
+                index.search(matrix[3], k=2)
+        path = tmp_path / "run.jsonl"
+        write_json_lines(registry, path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        names = {r.get("name") for r in records}
+        assert "bounds.kernel_calls" in names
+        assert "index.flat.search.queries" in names
+        assert "index.flat.search.prune_ratio" in names
+        assert "storage.read_calls" in names
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "run.index.flat.search" in span_names

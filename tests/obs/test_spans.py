@@ -1,0 +1,82 @@
+"""Tests for nested wall-clock spans."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import span
+from repro.obs.spans import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestDisabled:
+    def test_returns_shared_null_span(self):
+        assert span("anything") is _NULL_SPAN
+        assert span("other") is span("something")
+
+    def test_null_span_is_reentrant(self):
+        with span("a"):
+            with span("b"):
+                pass  # nothing recorded, nothing raised
+
+
+class TestEnabled:
+    def test_records_histogram_and_event(self):
+        with obs.observed() as registry:
+            with span("stage"):
+                time.sleep(0.001)
+        hist = registry.histogram("span.stage")
+        assert hist.count == 1
+        assert hist.total >= 0.001
+        (event,) = registry.events
+        assert event["type"] == "span"
+        assert event["name"] == "stage"
+        assert event["depth"] == 0
+        assert event["seconds"] >= 0.001
+
+    def test_nesting_builds_dotted_paths(self):
+        with obs.observed() as registry:
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        names = [event["name"] for event in registry.events]
+        # Children close before the parent; same path aggregates.
+        assert names == ["outer.inner", "outer.inner", "outer"]
+        assert registry.histogram("span.outer.inner").count == 2
+        assert registry.histogram("span.outer").count == 1
+
+    def test_depth_reflects_remaining_stack(self):
+        with obs.observed() as registry:
+            with span("a"):
+                with span("b"):
+                    pass
+        by_name = {event["name"]: event for event in registry.events}
+        assert by_name["a.b"]["depth"] == 1
+        assert by_name["a"]["depth"] == 0
+
+    def test_stack_unwinds_on_exception(self):
+        with obs.observed() as registry:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+            assert registry.span_stack == []
+            # The failed span is still timed.
+            assert registry.histogram("span.failing").count == 1
+
+    def test_sequential_spans_do_not_nest(self):
+        with obs.observed() as registry:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        names = sorted(event["name"] for event in registry.events)
+        assert names == ["first", "second"]

@@ -6,6 +6,8 @@ exercised at reduced scale elsewhere (their building blocks are covered
 by the benchmarks), so only the fast ones run here.
 """
 
+import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,12 +17,16 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name, *args, timeout=240):
+def run_example(name, *args, timeout=240, env=None):
+    merged_env = None
+    if env:
+        merged_env = {**os.environ, **env}
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=merged_env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
@@ -55,3 +61,20 @@ class TestExamples:
         out = run_example("s2_explorer.py", "--demo")
         assert "P1 = 7.0" in out
         assert "[error]" not in out
+
+    def test_quickstart_observed(self, tmp_path):
+        """REPRO_OBS_JSON turns on the metrics layer and writes the trace."""
+        obs_json = tmp_path / "quickstart.jsonl"
+        out = run_example(
+            "quickstart.py", env={"REPRO_OBS_JSON": str(obs_json)}
+        )
+        assert "similarity search" in out  # normal output is untouched
+        assert f"observability records written to {obs_json}" in out
+        records = [
+            json.loads(line) for line in obs_json.read_text().splitlines()
+        ]
+        names = {record.get("name") for record in records}
+        assert "bounds.kernel_calls" in names
+        assert "index.vptree.search.prune_ratio" in names
+        assert "storage.pages_read" in names
+        assert any(record["type"] == "span" for record in records)
