@@ -17,16 +17,14 @@ Run:  python examples/baseline_faceoff.py
 
 import time
 
-import numpy as np
-
-from repro import QueryLogGenerator, StorageBudget
+from repro import QueryLogGenerator, StorageBudget, get_index
 from repro.bursts import (
     BurstDetector,
     ElasticBurstDetector,
     KleinbergDetector,
     compact_bursts,
 )
-from repro.index import GeminiRTreeIndex, MTreeIndex, VPTreeIndex, distances_to_query
+from repro.index import distances_to_query
 
 
 def index_faceoff() -> None:
@@ -37,13 +35,18 @@ def index_faceoff() -> None:
     budget = StorageBudget(16)
 
     contenders = {
-        "vp-tree over best-coefficient sketches (the paper)": VPTreeIndex(
-            matrix, compressor=budget.compressor("best_min_error"), seed=1
+        "vp-tree over best-coefficient sketches (the paper)": get_index(
+            "vptree",
+            matrix,
+            compressor=budget.compressor("best_min_error"),
+            seed=1,
         ),
-        "gemini r-tree over first-coefficient features": GeminiRTreeIndex(
-            matrix, k=budget.first_k
+        "gemini r-tree over first-coefficient features": get_index(
+            "rtree", matrix, k=budget.first_k
         ),
-        "m-tree over uncompressed sequences": MTreeIndex(matrix, capacity=16),
+        "m-tree over uncompressed sequences": get_index(
+            "mtree", matrix, capacity=16
+        ),
     }
     for label, index in contenders.items():
         touches = 0

@@ -27,10 +27,10 @@ import numpy as np
 
 from repro import (
     AdaptiveEnergyCompressor,
-    LinearScanIndex,
     QueryLogGenerator,
     StorageBudget,
-    VPTreeIndex,
+    get_index,
+    search_many,
 )
 from repro.spectral import Spectrum
 from repro.storage import SequencePageStore
@@ -69,7 +69,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\n=== VP-tree vs linear scan (10 x 1-NN queries) ===")
     started = time.perf_counter()
-    index = VPTreeIndex(
+    index = get_index(
+        "vptree",
         matrix,
         compressor=budget.compressor("best_min_error"),
         bound_method="best_min_error_safe",
@@ -83,11 +84,15 @@ def main() -> None:
         f"{compression:.0f}x smaller than the raw data"
     )
 
-    scan = LinearScanIndex(matrix, names=list(database.names))
+    # Both structures answer the whole workload through the engine's
+    # batched entry point; results are identical to per-query search.
+    scan = get_index("scan", matrix, names=list(database.names))
     index_examined = scan_examined = 0
-    for query in queries:
-        tree_hits, tree_stats = index.search(query, k=1)
-        scan_hits, scan_stats = scan.search(query, k=1)
+    tree_results = search_many(index, queries, k=1)
+    scan_results = search_many(scan, queries, k=1)
+    for (tree_hits, tree_stats), (scan_hits, scan_stats) in zip(
+        tree_results, scan_results
+    ):
         assert abs(tree_hits[0].distance - scan_hits[0].distance) < 1e-6
         index_examined += tree_stats.full_retrievals
         scan_examined += scan_stats.full_retrievals
@@ -106,7 +111,7 @@ def main() -> None:
         store = SequencePageStore(
             os.path.join(tmp, "scan.dat"), matrix.shape[1]
         )
-        disk_scan = LinearScanIndex(matrix[:512], store=store)
+        disk_scan = get_index("scan", matrix[:512], store=store)
         store.stats.reset()
         disk_scan.search(queries[0], k=1)
         print(
@@ -127,7 +132,8 @@ def main() -> None:
         f"  95% energy needs k between {min(sizes)} and {max(sizes)} "
         f"(median {int(np.median(sizes))}) - periodic series compress hardest"
     )
-    adaptive_index = VPTreeIndex(
+    adaptive_index = get_index(
+        "vptree",
         matrix[:512],
         compressor=adaptive,
         bound_method="best_min_error_safe",

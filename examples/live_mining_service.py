@@ -55,8 +55,13 @@ def main() -> None:
     )
 
     print("=== question 1: recommendations (similar demand shapes) ===")
-    for hit in miner.similar("cinema", k=3):
-        print(f"  cinema ~ {hit.name:<20s} (distance {hit.distance:6.2f})")
+    # One batched call answers every probe (the engine's search_many).
+    probes = ["cinema", "christmas"]
+    for probe, hits in zip(probes, miner.similar_many(probes, k=3)):
+        for hit in hits:
+            print(
+                f"  {probe} ~ {hit.name:<20s} (distance {hit.distance:6.2f})"
+            )
     shared = miner.shared_periods_of_similar("cinema", k=3)
     if shared:
         print(

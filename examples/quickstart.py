@@ -23,9 +23,9 @@ from repro import (
     BurstDatabase,
     BurstDetector,
     QueryLogGenerator,
-    VPTreeIndex,
     compact_bursts,
     detect_periods,
+    get_index,
 )
 from repro.tools import burst_chart, line_chart
 
@@ -41,8 +41,11 @@ def main() -> None:
     # 1. Similarity search over compressed representations
     # ------------------------------------------------------------------
     print("=== similarity search: which queries look like 'cinema'? ===")
-    index = VPTreeIndex(
-        standardized.as_matrix(), names=list(standardized.names), seed=0
+    index = get_index(
+        "vptree",
+        standardized.as_matrix(),
+        names=list(standardized.names),
+        seed=0,
     )
     neighbors, stats = index.search(standardized["cinema"].values, k=4)
     for neighbor in neighbors:

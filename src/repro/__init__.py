@@ -14,6 +14,9 @@ The package mirrors the paper's structure:
   BestError, BestMinError) plus vectorised batch kernels;
 * :mod:`repro.index` — the compressed-vantage-point VP-tree of section 4
   and the linear-scan baseline;
+* :mod:`repro.engine` — the shared query-execution core: one verifier
+  behind every index, a string-keyed registry (``get_index``) and the
+  batched ``search_many`` entry point;
 * :mod:`repro.periods` — the exponential-threshold period detector of
   section 5;
 * :mod:`repro.bursts` — burst detection, compaction, similarity and
@@ -62,6 +65,10 @@ from repro.compression import (
 from repro.datagen import CATALOG, QueryLogGenerator
 from repro.exceptions import ReproError
 from repro.index import LinearScanIndex, Neighbor, SearchStats, VPTreeIndex
+
+# The index structures import the engine's verification core, so the
+# index package must initialise before the engine package does.
+from repro.engine import available_indexes, get_index, search_many
 from repro.miner import QueryLogMiner
 from repro.obs import MetricsRegistry, observed, span
 from repro.placement import PlacementPlan, plan_placement
@@ -96,6 +103,9 @@ __all__ = [
     "VPTreeIndex",
     "Neighbor",
     "SearchStats",
+    "available_indexes",
+    "get_index",
+    "search_many",
     "PeriodDetector",
     "detect_periods",
     "BurstDetector",

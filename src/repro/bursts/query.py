@@ -260,3 +260,21 @@ class BurstDatabase:
         obs.add("bursts.queries")
         obs.add("bursts.candidate_sequences", len(candidates))
         return matches[:top]
+
+    def query_many(
+        self,
+        queries: Sequence,
+        top: int = 10,
+        window: int | None = None,
+    ) -> list[list[BurstMatch]]:
+        """:meth:`query` for a batch of queries, one result list each.
+
+        The batched companion to the engine's ``search_many``: one span
+        covers the whole batch, and named queries exclude themselves
+        exactly as in :meth:`query`.
+        """
+        with obs.span("bursts.query_many"):
+            return [
+                self.query(values, top=top, window=window)
+                for values in queries
+            ]

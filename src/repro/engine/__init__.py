@@ -1,0 +1,30 @@
+"""The unified query-execution engine.
+
+One shared verification/accounting core (:mod:`repro.engine.core`), a
+string-keyed registry of the six index structures
+(:mod:`repro.engine.registry`), and a batched multi-query entry point
+(:mod:`repro.engine.batch`).  See ``docs/ENGINE.md``.
+"""
+
+from repro.engine.batch import search_many
+from repro.engine.core import (
+    RANGE_SLACK,
+    CandidateSet,
+    EngineIndex,
+    SigmaTracker,
+    execute_knn,
+    execute_range,
+)
+from repro.engine.registry import available_indexes, get_index
+
+__all__ = [
+    "RANGE_SLACK",
+    "CandidateSet",
+    "EngineIndex",
+    "SigmaTracker",
+    "available_indexes",
+    "execute_knn",
+    "execute_range",
+    "get_index",
+    "search_many",
+]

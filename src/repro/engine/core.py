@@ -1,0 +1,389 @@
+"""The shared query-execution core: one verifier for every index.
+
+Every structure in :mod:`repro.index` runs the same two-phase discipline
+from fig. 11 of the paper — generate candidates from cheap (compressed or
+feature-space) bounds, then verify the survivors exactly, cheapest first.
+Before this package existed each of the six modules carried its own copy
+of the verification loop, the :math:`\\sigma_{UB}` bookkeeping and the
+statistics accounting; the Lernaean Hydra index evaluations (Echihabi et
+al.) argue that fair cross-index comparison requires exactly one such
+core, shared.  This module is that core:
+
+* :class:`CandidateSet` — what a *candidate generator* (the index-specific
+  half: a compressed-domain or feature-space traversal) hands to the
+  verifier: ``(LB^2, seq_id)`` survivors, the :math:`\\sigma_{UB}` filter
+  value used, and any exact distances the traversal already paid for;
+* :class:`SigmaTracker` — maintenance of the k-th smallest upper bound
+  seen so far, which drives both tree pruning and the SUB filter;
+* :func:`execute_knn` / :func:`execute_range` — the engine entry points:
+  validation, the obs span, the verification loop, the stats invariant,
+  result construction.  Index ``search``/``range_search`` methods are thin
+  wrappers over these two calls.
+
+Distances travel through the verifier **squared**: comparing running
+squared sums avoids ``sqrt`` round-trips, so exact duplicate rows produce
+bit-identical keys and distance ties are always broken by sequence id —
+every index returns byte-identical neighbour lists on tied inputs.
+
+The invariant the verifier enforces (and the tests relied on one index at
+a time before): every database member is either pruned or retrieved,
+exactly once — ``candidates_pruned + full_retrievals == database_size``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import SeriesMismatchError
+from repro.index.distance import euclidean_early_abandon_sq
+from repro.index.results import Neighbor, SearchStats
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = [
+    "RANGE_SLACK",
+    "CandidateSet",
+    "EngineIndex",
+    "SigmaTracker",
+    "candidates_from_bound_arrays",
+    "execute_knn",
+    "execute_range",
+    "fetch_block",
+]
+
+#: Floating-point slack for range-search rejections: a computed lower
+#: bound may exceed the true distance by rounding error, so rejection
+#: requires clearing the radius by this margin.
+RANGE_SLACK = 1e-7
+
+
+@runtime_checkable
+class EngineIndex(Protocol):
+    """What a structure must provide to run on the shared engine.
+
+    The split: the index owns *candidate generation* (its traversal, its
+    bounds, its pruning rules); the engine owns *verification* (SUB
+    filtering, LB-ordered exact refinement with early abandoning, stats
+    accounting, obs spans).  All six structures in :mod:`repro.index`
+    implement this protocol; :func:`repro.engine.get_index` builds any of
+    them by name.
+    """
+
+    #: Prefix for obs spans and published counters, e.g. ``"index.flat"``.
+    obs_name: str
+
+    def __len__(self) -> int:
+        """Number of live database members."""
+        ...
+
+    @property
+    def sequence_length(self) -> int:
+        """Length of the indexed sequences (and of any valid query)."""
+        ...
+
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> "CandidateSet":
+        """Compressed-domain traversal emitting k-NN candidates."""
+        ...
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> "CandidateSet":
+        """Traversal emitting all candidates possibly within ``radius``."""
+        ...
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        """The uncompressed sequence, for exact verification."""
+        ...
+
+    def result_name(self, seq_id: int) -> str | None:
+        """Optional display name attached to results."""
+        ...
+
+
+@dataclass
+class CandidateSet:
+    """What one traversal hands to the shared verifier.
+
+    Attributes
+    ----------
+    entries:
+        ``(LB^2, seq_id)`` pairs surviving the generator's filter
+        (:math:`LB \\le \\sigma_{UB}` for k-NN, :math:`LB \\le r` for
+        range search), sorted ascending.  Lower bounds are *squared*
+        distances.
+    generated:
+        Candidates bounded during the traversal, before the SUB filter
+        (for the k-NN accounting).  ``None`` marks a streaming generator
+        (see ``stream``).
+    sigma_sq:
+        The squared smallest-k-th-upper-bound used as the SUB filter.
+    paid:
+        Exact squared distances the traversal already computed (and
+        already counted as ``full_retrievals``), keyed by sequence id.
+        The verifier reuses them instead of re-fetching.
+    stream:
+        Alternative to ``entries`` for incremental generators (the GEMINI
+        R-tree): an iterator yielding ``(LB^2, seq_id)`` in increasing
+        order, consumed lazily so unvisited members are never bounded.
+    """
+
+    entries: list[tuple[float, int]] = field(default_factory=list)
+    generated: int | None = 0
+    sigma_sq: float = math.inf
+    paid: dict[int, float] = field(default_factory=dict)
+    stream: Iterator[tuple[float, int]] | None = None
+
+
+class SigmaTracker:
+    """The k-th smallest upper bound seen so far (:math:`\\sigma_{UB}`).
+
+    Tree traversals feed every candidate's upper bound through
+    :meth:`offer`; :meth:`sigma` is then the pruning threshold of the
+    paper's fig. 11 rules, and :meth:`sigma_sq` the squared form the
+    verifier filters with.  Bounds are tracked in plain distance space
+    (tree pruning arithmetic — medians, annuli — lives there).
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._heap: list[float] = []  # max-heap (negated) of k smallest UBs
+
+    def offer(self, upper: float) -> None:
+        """Consider one candidate's upper bound."""
+        if not math.isfinite(upper):
+            return
+        heapq.heappush(self._heap, -upper)
+        if len(self._heap) > self._k:
+            heapq.heappop(self._heap)
+
+    def sigma(self) -> float:
+        """The k-th smallest upper bound, or ``inf`` before k are seen."""
+        if len(self._heap) < self._k:
+            return math.inf
+        return -self._heap[0]
+
+    def sigma_sq(self) -> float:
+        sigma = self.sigma()
+        return sigma * sigma
+
+
+def candidates_from_bound_arrays(
+    lower: np.ndarray, upper: np.ndarray, k: int
+) -> CandidateSet:
+    """Vectorised SUB filter over whole-database bound arrays.
+
+    The flat index bounds every member with one kernel call; this helper
+    applies the smallest-k-th-upper-bound filter and the increasing-LB
+    ordering in a handful of numpy operations, producing the same
+    :class:`CandidateSet` a tree traversal would.
+    """
+    count = int(lower.size)
+    finite = upper[np.isfinite(upper)]
+    if finite.size >= k:
+        sigma = float(np.partition(finite, k - 1)[k - 1])
+        survivor_ids = np.flatnonzero(lower <= sigma)
+    else:
+        sigma = math.inf
+        survivor_ids = np.arange(count)
+    lb = lower[survivor_ids]
+    order = np.argsort(lb, kind="stable")
+    lb_sq = lb[order] ** 2
+    ids = survivor_ids[order]
+    return CandidateSet(
+        entries=list(zip(lb_sq.tolist(), ids.tolist())),
+        generated=count,
+        sigma_sq=sigma * sigma,
+    )
+
+
+def fetch_block(index, ids) -> np.ndarray:
+    """Fetch many sequences at once, preferring a store's batched read."""
+    store = getattr(index, "store", None)
+    read_many = getattr(store, "read_many", None)
+    if read_many is not None:
+        return read_many(ids)
+    return np.stack([index.fetch(int(i)) for i in ids])
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def _validate_query(index, query) -> np.ndarray:
+    query = as_float_array(query)
+    if query.size != index.sequence_length:
+        raise SeriesMismatchError(
+            f"query length {query.size} does not match database "
+            f"sequences of length {index.sequence_length}"
+        )
+    return query
+
+
+def _check_invariant(stats: SearchStats, size: int, index) -> None:
+    # The uniform-accounting contract: every member pruned or retrieved,
+    # exactly once.  A failure means a generator double-emitted or lost a
+    # candidate — surface it loudly instead of skewing fig. 22 metrics.
+    assert stats.candidates_pruned + stats.full_retrievals == size, (
+        f"{index.obs_name}: accounting drift — "
+        f"{stats.candidates_pruned} pruned + "
+        f"{stats.full_retrievals} retrieved != {size} members"
+    )
+
+
+# ----------------------------------------------------------------------
+# k-NN execution
+# ----------------------------------------------------------------------
+def execute_knn(
+    index: EngineIndex, query, k: int = 1
+) -> tuple[list[Neighbor], SearchStats]:
+    """The ``k`` nearest neighbours of ``query`` (exact under sound bounds)."""
+    query = _validate_query(index, query)
+    size = len(index)
+    if not 1 <= k <= size:
+        raise ValueError(f"k must be in [1, {size}], got {k}")
+    stats = SearchStats()
+    with obs.span(f"{index.obs_name}.search"):
+        cands = index.knn_candidates(query, k, stats)
+        best = _refine_knn(index, query, k, cands, stats, size)
+    _check_invariant(stats, size, index)
+    stats.publish(f"{index.obs_name}.search")
+    neighbors = sorted(
+        Neighbor(math.sqrt(d_sq), seq_id, index.result_name(seq_id))
+        for d_sq, seq_id in best
+    )
+    return neighbors, stats
+
+
+def _refine_knn(
+    index, query, k: int, cands: CandidateSet, stats: SearchStats, size: int
+) -> list[tuple[float, int]]:
+    """LB-ordered exact refinement; returns ``(distance^2, seq_id)`` pairs.
+
+    Candidates are compared in increasing-lower-bound order against the
+    uncompressed sequences, with early abandoning against the running
+    k-th best distance and termination as soon as the next lower bound
+    exceeds it.  Ties on exact distance are broken by sequence id, so the
+    result is the canonical k smallest ``(distance, seq_id)`` pairs no
+    matter what order a traversal emitted the candidates in.
+    """
+    paid = cands.paid
+    if cands.stream is not None:
+        ordered: Iterator[tuple[float, int]] = cands.stream
+    else:
+        ordered = iter(cands.entries)
+        stats.candidates_after_traversal = cands.generated
+        stats.candidates_after_sub_filter = len(cands.entries)
+        # Members never bounded (pruned subtrees) plus those the SUB
+        # filter discarded.  Traversal-paid members are all in `entries`.
+        stats.candidates_pruned += size - cands.generated
+        stats.candidates_pruned += cands.generated - len(cands.entries)
+
+    best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
+    cutoff_sq = math.inf
+    cutoff_id = -1
+    consumed = 0
+    terminated = False
+    for lb_sq, seq_id in ordered:
+        if len(best) == k and lb_sq > cutoff_sq:
+            # Increasing-LB order: every remaining candidate is at least
+            # as far, and cannot even tie (its distance is strictly
+            # above the cutoff).
+            terminated = True
+            break
+        consumed += 1
+        if seq_id in paid:
+            d_sq = paid[seq_id]  # already fetched and counted
+        else:
+            row = index.fetch(seq_id)
+            stats.full_retrievals += 1
+            d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
+            if d_sq == math.inf:
+                stats.early_abandons += 1
+                continue
+        if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
+            continue  # not better than the incumbent k-th, ties included
+        heapq.heappush(best, (-d_sq, -seq_id))
+        if len(best) > k:
+            heapq.heappop(best)
+        if len(best) == k:
+            cutoff_sq = -best[0][0]
+            cutoff_id = -best[0][1]
+
+    if cands.stream is not None:
+        # Streaming generators bound members lazily; everything not
+        # consumed before termination was pruned by the stream's own
+        # increasing-LB guarantee.  (Streams never carry paid entries.)
+        stats.candidates_pruned += size - consumed
+    elif terminated:
+        remaining = cands.entries[consumed:]
+        stats.candidates_pruned += sum(
+            1 for _, seq_id in remaining if seq_id not in paid
+        )
+    return [(-neg_d, -neg_id) for neg_d, neg_id in best]
+
+
+# ----------------------------------------------------------------------
+# Range execution
+# ----------------------------------------------------------------------
+def execute_range(
+    index: EngineIndex, query, radius: float
+) -> tuple[list[Neighbor], SearchStats]:
+    """All sequences within ``radius`` of ``query`` (epsilon search)."""
+    query = _validate_query(index, query)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    size = len(index)
+    stats = SearchStats()
+    with obs.span(f"{index.obs_name}.range_search"):
+        cands = index.range_candidates(query, radius, stats)
+        hits = _refine_range(index, query, radius, cands, stats, size)
+    _check_invariant(stats, size, index)
+    stats.publish(f"{index.obs_name}.range_search")
+    return sorted(hits), stats
+
+
+def _refine_range(
+    index,
+    query,
+    radius: float,
+    cands: CandidateSet,
+    stats: SearchStats,
+    size: int,
+) -> list[Neighbor]:
+    slack_sq = (radius + RANGE_SLACK) ** 2
+    radius_sq = radius * radius
+    if cands.stream is not None:
+        entries = list(cands.stream)
+    else:
+        entries = cands.entries
+    stats.candidates_after_traversal = (
+        cands.generated if cands.generated is not None else len(entries)
+    )
+    stats.candidates_after_sub_filter = len(entries)
+    stats.candidates_pruned += size - len(entries)
+
+    paid = cands.paid
+    hits: list[Neighbor] = []
+    for lb_sq, seq_id in entries:
+        if seq_id in paid:
+            d_sq = paid[seq_id]
+        else:
+            row = index.fetch(seq_id)
+            stats.full_retrievals += 1
+            d_sq = euclidean_early_abandon_sq(query, row, slack_sq)
+            if d_sq == math.inf:
+                stats.early_abandons += 1
+                continue
+        if d_sq <= radius_sq:
+            hits.append(
+                Neighbor(
+                    math.sqrt(d_sq), seq_id, index.result_name(seq_id)
+                )
+            )
+    return hits

@@ -34,9 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import get_index
 from repro.evaluation.reporting import format_table
-from repro.index.linear_scan import LinearScanIndex
-from repro.index.vptree import VPTreeIndex
 from repro.storage.pagestore import SequencePageStore
 
 __all__ = ["TimingRow", "TimingResult", "index_vs_scan_experiment"]
@@ -123,7 +122,7 @@ class TimingResult:
         )
 
 
-def _sketch_pages(index: VPTreeIndex, bound_computations: int) -> int:
+def _sketch_pages(index, bound_computations: int) -> int:
     """Pages of compressed features the on-disk index streams.
 
     Sketches are packed contiguously; each bound evaluation reads its
@@ -147,9 +146,11 @@ def index_vs_scan_experiment(
     queries = np.asarray(queries, dtype=np.float64)
     n = matrix.shape[1]
 
-    # Linear scan over uncompressed sequences.
+    # Linear scan over uncompressed sequences.  Both structures come out
+    # of the engine registry; per-query (not batched) search keeps the
+    # operation counts faithful to the paper's sequential protocol.
     scan_store = SequencePageStore(f"{tmp_dir}/scan.dat", n)
-    scan = LinearScanIndex(matrix, store=scan_store)
+    scan = get_index("scan", matrix, store=scan_store)
     scan_store.stats.reset()
     started = time.perf_counter()
     scan_full = 0
@@ -168,7 +169,9 @@ def index_vs_scan_experiment(
     # One index, costed twice: the in-memory configuration holds the
     # compressed features resident; the on-disk one re-streams them.
     index_store = SequencePageStore(f"{tmp_dir}/index.dat", n)
-    index = VPTreeIndex(matrix, compressor=compressor, store=index_store, seed=seed)
+    index = get_index(
+        "vptree", matrix, compressor=compressor, store=index_store, seed=seed
+    )
     index_store.stats.reset()
     started = time.perf_counter()
     index_full = 0

@@ -1,9 +1,16 @@
-"""Similarity-search structures: VP-tree index and linear-scan baseline."""
+"""Similarity-search structures: VP-tree index and linear-scan baseline.
+
+All structures are candidate generators over the shared execution core
+in :mod:`repro.engine`, which owns verification, accounting and the
+batched ``search_many`` path; :func:`repro.engine.get_index` builds any
+of them by registry name.
+"""
 
 from repro.index.distance import (
     distances_to_query,
     euclidean,
     euclidean_early_abandon,
+    euclidean_early_abandon_sq,
 )
 from repro.index.flat import FlatSketchIndex
 from repro.index.linear_scan import LinearScanIndex
@@ -16,6 +23,7 @@ from repro.index.vptree import VPTreeIndex
 __all__ = [
     "euclidean",
     "euclidean_early_abandon",
+    "euclidean_early_abandon_sq",
     "distances_to_query",
     "LinearScanIndex",
     "FlatSketchIndex",

@@ -16,7 +16,18 @@ import numpy as np
 
 from repro.exceptions import SeriesMismatchError
 
-__all__ = ["euclidean", "euclidean_early_abandon", "distances_to_query"]
+__all__ = [
+    "VERIFY_CHUNK",
+    "euclidean",
+    "euclidean_early_abandon",
+    "euclidean_early_abandon_sq",
+    "distances_to_query",
+]
+
+#: Chunk width of the squared-distance verification kernel.  The blocked
+#: batch verifier accumulates over the same chunk boundaries with the
+#: same einsum reduction, so both paths produce bit-identical sums.
+VERIFY_CHUNK = 64
 
 
 def euclidean(a: np.ndarray, b: np.ndarray) -> float:
@@ -58,6 +69,48 @@ def euclidean_early_abandon(
         if total >= cutoff_sq:
             return float("inf")
     return math.sqrt(total)
+
+
+def euclidean_early_abandon_sq(
+    a: np.ndarray,
+    b: np.ndarray,
+    cutoff_sq: float,
+    chunk: int = VERIFY_CHUNK,
+) -> float:
+    """Squared Euclidean distance, abandoned once it exceeds ``cutoff_sq``.
+
+    The shared verifier (:mod:`repro.engine.core`) works entirely in
+    squared-distance space: running squared sums compare without ``sqrt``
+    round-trips, so bit-identical rows produce bit-identical keys and
+    distance ties break deterministically by sequence id.  Abandonment is
+    *strict* (``total > cutoff_sq``): a candidate that exactly ties the
+    incumbent k-th distance survives to the tie-breaking comparison
+    instead of being dropped mid-sum.  Returns the exact squared distance
+    when ``<= cutoff_sq`` and ``inf`` otherwise.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise SeriesMismatchError(
+            f"cannot compare vectors of shapes {a.shape} and {b.shape}"
+        )
+    # Always accumulate chunk by chunk, even with an infinite cutoff: the
+    # running sum is then the same left-to-right float64 arithmetic on
+    # every call, so identical vectors produce bit-identical squared
+    # distances no matter which cutoff was active — which is what lets
+    # the cross-index agreement guarantee extend to exact distance ties.
+    # The per-chunk reduction is einsum, not BLAS dot: numpy's einsum
+    # reduces a row of a 2-D operand and a 1-D operand identically, so
+    # the batch verifier's row-wise chunked einsum reproduces this sum
+    # bit for bit, while BLAS may order the accumulation differently.
+    abandon = math.isfinite(cutoff_sq)
+    total = 0.0
+    for start in range(0, a.size, chunk):
+        diff = a[start : start + chunk] - b[start : start + chunk]
+        total += float(np.einsum("i,i->", diff, diff))
+        if abandon and total > cutoff_sq:
+            return float("inf")
+    return total
 
 
 def distances_to_query(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:

@@ -20,6 +20,10 @@ When to choose which:
 
 The ablation benchmark compares them head to head.
 
+This module only *generates* candidates (the vectorised bound pass and
+SUB filter); exact verification runs in the shared engine core
+(:mod:`repro.engine.core`), like every other structure.
+
 Example
 -------
 A database member is its own nearest neighbour, and every object is
@@ -38,21 +42,24 @@ True
 
 from __future__ import annotations
 
-import heapq
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
+from repro.engine.core import (
+    RANGE_SLACK,
+    CandidateSet,
+    candidates_from_bound_arrays,
+    execute_knn,
+    execute_range,
+)
 from repro.exceptions import SeriesMismatchError
-from repro.index.distance import euclidean_early_abandon
 from repro.index.results import Neighbor, SearchStats
 from repro.spectral.dft import Spectrum
 from repro.storage.pagestore import MemorySequenceStore
-from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["FlatSketchIndex"]
 
@@ -63,6 +70,8 @@ class FlatSketchIndex:
     Parameters mirror :class:`~repro.index.VPTreeIndex` (minus the
     tree-construction knobs).
     """
+
+    obs_name = "index.flat"
 
     def __init__(
         self,
@@ -96,103 +105,54 @@ class FlatSketchIndex:
         return self._count
 
     @property
+    def sequence_length(self) -> int:
+        return self._n
+
+    @property
     def store(self):
         return self._store
 
-    def _name(self, seq_id: int) -> str | None:
+    def result_name(self, seq_id: int) -> str | None:
         return self._names[seq_id] if self._names is not None else None
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        return self._store.read(seq_id)
 
     def _bounds(self, query: np.ndarray):
         spectrum = Spectrum.from_series(query)
         return self._kernel(BatchBounds(spectrum), self._sketch_db)
 
     # ------------------------------------------------------------------
+    # Candidate generation (the engine owns verification)
+    # ------------------------------------------------------------------
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        lower, upper = self._bounds(query)
+        stats.bound_computations = len(self)
+        return candidates_from_bound_arrays(lower, upper, k)
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        lower, _ = self._bounds(query)
+        stats.bound_computations = len(self)
+        survivor_ids = np.flatnonzero(lower <= radius + RANGE_SLACK)
+        lb_sq = lower[survivor_ids] ** 2
+        return CandidateSet(
+            entries=list(zip(lb_sq.tolist(), survivor_ids.tolist())),
+            generated=len(self),
+        )
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
         """The ``k`` nearest neighbours (exact under sound bounds)."""
-        query = as_float_array(query)
-        if query.size != self._n:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._n}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
-
-        stats = SearchStats()
-        with obs.span("index.flat.search"):
-            lower, upper = self._bounds(query)
-            stats.bound_computations = len(self)
-            stats.candidates_after_traversal = len(self)
-
-            finite = upper[np.isfinite(upper)]
-            if finite.size >= k:
-                sub = float(np.partition(finite, k - 1)[k - 1])
-                survivor_ids = np.flatnonzero(lower <= sub)
-            else:
-                survivor_ids = np.arange(len(self))
-            stats.candidates_after_sub_filter = int(survivor_ids.size)
-            stats.candidates_pruned += len(self) - int(survivor_ids.size)
-            order = survivor_ids[np.argsort(lower[survivor_ids], kind="stable")]
-
-            best: list[tuple[float, int]] = []
-            cutoff = float("inf")
-            for position, seq_id in enumerate(order):
-                seq_id = int(seq_id)
-                if len(best) == k and lower[seq_id] > cutoff:
-                    # Every remaining candidate has an even larger LB.
-                    stats.candidates_pruned += int(order.size) - position
-                    break
-                row = self._store.read(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(query, row, cutoff)
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                    continue
-                heapq.heappush(best, (-distance, seq_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-                if len(best) == k:
-                    cutoff = -best[0][0]
-
-        stats.publish("index.flat.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
-        )
-        return neighbors, stats
+        return execute_knn(self, query, k)
 
     def range_search(
         self, query, radius: float
     ) -> tuple[list[Neighbor], SearchStats]:
         """All sequences within ``radius`` of the query."""
-        query = as_float_array(query)
-        if query.size != self._n:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._n}"
-            )
-        if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
-
-        stats = SearchStats()
-        with obs.span("index.flat.range_search"):
-            lower, _ = self._bounds(query)
-            stats.bound_computations = len(self)
-            survivor_ids = np.flatnonzero(lower <= radius + 1e-7)
-            stats.candidates_after_traversal = len(self)
-            stats.candidates_after_sub_filter = int(survivor_ids.size)
-            stats.candidates_pruned = len(self) - int(survivor_ids.size)
-
-            hits: list[Neighbor] = []
-            for seq_id in survivor_ids:
-                seq_id = int(seq_id)
-                row = self._store.read(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(query, row, radius + 1e-7)
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                if distance <= radius:
-                    hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
-        stats.publish("index.flat.range_search")
-        return sorted(hits), stats
+        return execute_range(self, query, radius)

@@ -5,26 +5,32 @@ both contenders in the paper use.  When constructed over a sequence store,
 every comparison first *reads* the sequence, charging the store's I/O
 counters — which is how the fig. 23 experiment measures the scan's
 dominant cost without 2004-era hardware.
+
+The scan is the degenerate candidate generator of the shared engine
+(:mod:`repro.engine.core`): every member is a candidate with a trivial
+lower bound of zero, so the engine's verifier — the same loop every
+index uses — retrieves and compares all of them.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro.engine.core import (
+    CandidateSet,
+    execute_knn,
+    execute_range,
+)
 from repro.exceptions import SeriesMismatchError
-from repro.index.distance import euclidean_early_abandon
 from repro.index.results import Neighbor, SearchStats
-from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["LinearScanIndex"]
 
 
 class LinearScanIndex:
-    """Brute-force k-NN over uncompressed sequences.
+    """Brute-force k-NN and range search over uncompressed sequences.
 
     Parameters
     ----------
@@ -39,6 +45,8 @@ class LinearScanIndex:
         comparison fetches the sequence through the store so its I/O is
         accounted; when omitted the matrix rows are used directly.
     """
+
+    obs_name = "index.scan"
 
     def __init__(
         self,
@@ -62,49 +70,53 @@ class LinearScanIndex:
         return int(self._matrix.shape[0])
 
     @property
+    def sequence_length(self) -> int:
+        return int(self._matrix.shape[1])
+
+    @property
     def store(self):
         return self._store
 
-    def _fetch(self, seq_id: int) -> np.ndarray:
+    def fetch(self, seq_id: int) -> np.ndarray:
         if self._store is not None:
             return self._store.read(seq_id)
         return self._matrix[seq_id]
 
-    def _name(self, seq_id: int) -> str | None:
+    def result_name(self, seq_id: int) -> str | None:
         return self._names[seq_id] if self._names is not None else None
 
+    # ------------------------------------------------------------------
+    # Candidate generation (the engine owns verification)
+    # ------------------------------------------------------------------
+    def _all_candidates(self) -> CandidateSet:
+        # Every member, trivially bounded from below by zero, in id order:
+        # the verifier then scans them all with early abandoning.
+        return CandidateSet(
+            entries=[(0.0, seq_id) for seq_id in range(len(self))],
+            generated=len(self),
+        )
+
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        return self._all_candidates()
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        return self._all_candidates()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
     def search(
         self, query, k: int = 1
     ) -> tuple[list[Neighbor], SearchStats]:
         """The ``k`` nearest neighbours of ``query``, with cost statistics."""
-        query = as_float_array(query)
-        if query.size != self._matrix.shape[1]:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._matrix.shape[1]}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+        return execute_knn(self, query, k)
 
-        stats = SearchStats()
-        with obs.span("index.scan.search"):
-            # Max-heap of the k best (negated) distances seen so far.
-            best: list[tuple[float, int]] = []
-            cutoff = float("inf")
-            for seq_id in range(len(self)):
-                candidate = self._fetch(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(query, candidate, cutoff)
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                    continue  # abandoned: provably not among the k best
-                heapq.heappush(best, (-distance, seq_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-                if len(best) == k:
-                    cutoff = -best[0][0]
-        stats.publish("index.scan.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
-        )
-        return neighbors, stats
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query."""
+        return execute_range(self, query, radius)

@@ -31,15 +31,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro.engine.core import (
+    RANGE_SLACK,
+    CandidateSet,
+    SigmaTracker,
+    execute_knn,
+    execute_range,
+)
 from repro.exceptions import SeriesMismatchError
+from repro.index.distance import euclidean_early_abandon_sq
 from repro.index.results import Neighbor, SearchStats
-from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["MTreeStats", "MTreeIndex"]
 
@@ -78,6 +85,8 @@ class MTreeIndex:
     names:
         Optional per-sequence names attached to results.
     """
+
+    obs_name = "index.mtree"
 
     def __init__(
         self,
@@ -230,81 +239,154 @@ class MTreeIndex:
         return left_entry, right_entry
 
     # ------------------------------------------------------------------
-    # Search
+    # Candidate generation (the engine owns verification)
     # ------------------------------------------------------------------
-    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
-        """The ``k`` nearest neighbours by exact best-first search."""
-        query = as_float_array(query)
-        if query.size != self._matrix.shape[1]:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._matrix.shape[1]}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+    @property
+    def sequence_length(self) -> int:
+        return int(self._matrix.shape[1])
 
-        stats = SearchStats()
+    def result_name(self, seq_id: int) -> str | None:
+        return self._name(seq_id)
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        return self._matrix[seq_id]
+
+    def _traverse(
+        self, query: np.ndarray, prune_bound, offer, stats: SearchStats
+    ) -> tuple[list[tuple[float, int]], dict[int, float]]:
+        """Best-first traversal shared by the k-NN and range generators.
+
+        ``prune_bound()`` is the current pruning threshold — the k-th
+        smallest upper bound for k-NN, the (fixed) radius for range
+        search — and ``offer(upper)`` feeds upper bounds back into it.
+        Returns the emitted ``(lb^2, seq_id)`` candidates and the
+        exact squared distances already paid for routing pivots (each
+        pivot is also emitted as a candidate, so the verifier's accounting
+        stays whole: paid candidates never re-fetch, never re-count).
+        """
+        exact_sq: dict[int, float] = {}
+        candidates: list[tuple[float, int]] = []
 
         def query_distance(seq_id: int) -> float:
             # Exact distance on the uncompressed object: the M-tree's
-            # analogue of a full retrieval.
-            stats.full_retrievals += 1
-            return float(np.linalg.norm(query - self._matrix[seq_id]))
-
-        best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
-
-        def cutoff() -> float:
-            return -best[0][0] if len(best) == k else float("inf")
+            # analogue of a full retrieval.  Cached, so a pivot reused at
+            # several levels is fetched and counted exactly once.
+            if seq_id not in exact_sq:
+                stats.full_retrievals += 1
+                d_sq = euclidean_early_abandon_sq(
+                    query, self._matrix[seq_id], math.inf
+                )
+                exact_sq[seq_id] = d_sq
+                candidates.append((d_sq, seq_id))
+            return math.sqrt(exact_sq[seq_id])
 
         counter = itertools.count()
         frontier: list[tuple[float, int, _Node, float]] = []
         heapq.heappush(frontier, (0.0, next(counter), self._root, 0.0))
-        with obs.span("index.mtree.search"):
-            while frontier:
-                d_min, _, node, parent_q_distance = heapq.heappop(frontier)
-                if d_min > cutoff():
-                    # Min-heap order: every other frontier entry is at
-                    # least as far, so all of them are pruned at once.
-                    stats.subtrees_pruned += 1 + len(frontier)
-                    break
-                stats.nodes_visited += 1
-                for entry in node.entries:
-                    # Parent-distance prefilter (triangle inequality through
-                    # the shared parent pivot): cheap, no new distance needed.
-                    if node.parent_entry is not None:
-                        stats.bound_computations += 1
-                        gap = abs(parent_q_distance - entry.parent_distance)
-                        if gap - entry.radius > cutoff():
-                            if node.is_leaf:
-                                stats.candidates_pruned += 1
-                            else:
-                                stats.subtrees_pruned += 1
-                            continue
-                    distance = query_distance(entry.pivot_id)
-                    if node.is_leaf:
-                        if distance < cutoff():
-                            heapq.heappush(best, (-distance, entry.pivot_id))
-                            if len(best) > k:
-                                heapq.heappop(best)
-                    else:
-                        child_d_min = max(0.0, distance - entry.radius)
-                        if child_d_min <= cutoff():
-                            heapq.heappush(
-                                frontier,
-                                (child_d_min, next(counter), entry.child,
-                                 distance),
-                            )
+        while frontier:
+            d_min, _, node, parent_q_distance = heapq.heappop(frontier)
+            if d_min > prune_bound():
+                # Min-heap order: every other frontier entry is at
+                # least as far, so all of them are pruned at once.
+                stats.subtrees_pruned += 1 + len(frontier)
+                break
+            stats.nodes_visited += 1
+            for entry in node.entries:
+                # Parent-distance prefilter (triangle inequality through
+                # the shared parent pivot): cheap, no new distance needed.
+                gap = 0.0
+                if node.parent_entry is not None:
+                    stats.bound_computations += 1
+                    gap = abs(parent_q_distance - entry.parent_distance)
+                    if gap - entry.radius > prune_bound():
+                        if node.is_leaf:
+                            if entry.pivot_id in exact_sq:
+                                continue  # already a (paid) candidate
+                            # Implicitly pruned: never emitted, so the
+                            # engine's complement accounting covers it.
                         else:
                             stats.subtrees_pruned += 1
-                        # The pivot itself is a database object too; it is
-                        # represented in a descendant leaf, so it is not
-                        # scored here (avoids duplicates).
+                        continue
+                if node.is_leaf:
+                    if entry.pivot_id in exact_sq:
+                        continue  # its routing occurrence already paid
+                    # Emit with the triangle bounds; the exact comparison
+                    # is the engine's job.
+                    if node.parent_entry is not None:
+                        candidates.append((gap * gap, entry.pivot_id))
+                        offer(parent_q_distance + entry.parent_distance)
+                    else:
+                        candidates.append((0.0, entry.pivot_id))
+                else:
+                    distance = query_distance(entry.pivot_id)
+                    # The pivot is a database object (it reappears in a
+                    # descendant leaf); its exact distance is an upper
+                    # bound for the subtree.
+                    offer(distance)
+                    child_d_min = max(0.0, distance - entry.radius)
+                    if child_d_min <= prune_bound():
+                        heapq.heappush(
+                            frontier,
+                            (child_d_min, next(counter), entry.child,
+                             distance),
+                        )
+                    else:
+                        stats.subtrees_pruned += 1
+        return candidates, exact_sq
 
-        stats.publish("index.mtree.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        tracker = SigmaTracker(k)
+        candidates, exact_sq = self._traverse(
+            query, tracker.sigma, tracker.offer, stats
         )
-        return neighbors, stats
+        sigma_sq = tracker.sigma_sq()
+        # SUB filter — but paid candidates always survive: their exact
+        # distance is already on the books, so dropping them would break
+        # the pruned+retrieved accounting (and costs nothing to keep).
+        survivors = sorted(
+            (lb_sq, seq_id)
+            for lb_sq, seq_id in candidates
+            if lb_sq <= sigma_sq or seq_id in exact_sq
+        )
+        return CandidateSet(
+            entries=survivors,
+            generated=len(candidates),
+            sigma_sq=sigma_sq,
+            paid=exact_sq,
+        )
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        bound = radius + RANGE_SLACK
+        candidates, exact_sq = self._traverse(
+            query, lambda: bound, lambda upper: None, stats
+        )
+        survivors = sorted(
+            (lb_sq, seq_id)
+            for lb_sq, seq_id in candidates
+            if lb_sq <= bound * bound or seq_id in exact_sq
+        )
+        return CandidateSet(
+            entries=survivors,
+            generated=len(candidates),
+            paid=exact_sq,
+        )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
+        """The ``k`` nearest neighbours by exact best-first search."""
+        return execute_knn(self, query, k)
+
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query."""
+        return execute_range(self, query, radius)
 
     # ------------------------------------------------------------------
     # Diagnostics

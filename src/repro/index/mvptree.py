@@ -21,22 +21,26 @@ VP-tree at identical storage.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
+from repro.engine.core import (
+    RANGE_SLACK,
+    CandidateSet,
+    SigmaTracker,
+    execute_knn,
+    execute_range,
+)
 from repro.exceptions import SeriesMismatchError
-from repro.index.distance import distances_to_query, euclidean_early_abandon
+from repro.index.distance import distances_to_query
 from repro.index.results import Neighbor, SearchStats
 from repro.spectral.dft import Spectrum
 from repro.storage.pagestore import MemorySequenceStore
-from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["MVPTreeIndex"]
 
@@ -68,7 +72,12 @@ class MVPTreeIndex:
     """Four-way MVP-tree with compressed vantage points.
 
     The constructor arguments mirror :class:`repro.index.VPTreeIndex`.
+    Like every structure here, it only *generates* candidates; exact
+    verification runs in the shared engine core
+    (:mod:`repro.engine.core`).
     """
+
+    obs_name = "index.mvptree"
 
     def __init__(
         self,
@@ -200,38 +209,30 @@ class MVPTreeIndex:
             return lower - median
         return median - upper  # d(x, vp) > median  =>  D >= median - UB
 
-    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
-        """The ``k`` nearest neighbours of an uncompressed query."""
-        query = as_float_array(query)
-        if query.size != self._n:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._n}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+    @property
+    def sequence_length(self) -> int:
+        return self._n
 
-        spectrum = Spectrum.from_series(query)
-        batch = BatchBounds(spectrum)
-        stats = SearchStats()
-        sigma_heap: list[float] = []
-        candidates: list[tuple[float, float, int]] = []
+    def result_name(self, seq_id: int) -> str | None:
+        return self._name(seq_id)
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        return self._store.read(seq_id)
+
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        batch = BatchBounds(Spectrum.from_series(query))
+        tracker = SigmaTracker(k)
+        candidates: list[tuple[float, int]] = []
 
         def note(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             lower, upper = self._kernel(batch, self._sketch_db.take(rows))
             stats.bound_computations += int(rows.size)
             for seq_id, lb, ub in zip(rows, lower, upper):
-                candidates.append((float(lb), float(ub), int(seq_id)))
-                if np.isfinite(ub):
-                    heapq.heappush(sigma_heap, -float(ub))
-                    if len(sigma_heap) > k:
-                        heapq.heappop(sigma_heap)
+                candidates.append((float(lb), int(seq_id)))
+                tracker.offer(float(ub))
             return lower, upper
-
-        def sigma_ub() -> float:
-            if len(sigma_heap) < k:
-                return float("inf")
-            return -sigma_heap[0]
 
         def traverse(node) -> None:
             stats.nodes_visited += 1
@@ -244,7 +245,7 @@ class MVPTreeIndex:
             lb1, ub1 = float(lowers[0]), float(uppers[0])
             lb2, ub2 = float(lowers[1]), float(uppers[1])
             for quadrant in node.quadrants:
-                sigma = sigma_ub()  # refreshed: earlier quadrants tighten it
+                sigma = tracker.sigma()  # earlier quadrants tighten it
                 by_first = self._side_min_distance(
                     lb1, ub1, node.first_median, quadrant.first_side_low
                 )
@@ -256,36 +257,68 @@ class MVPTreeIndex:
                     continue
                 traverse(quadrant.child)
 
-        with obs.span("index.mvptree.search"):
-            traverse(self._root)
-            stats.candidates_after_traversal = len(candidates)
-            stats.candidates_pruned += len(self) - len(candidates)
-
-            sub = sigma_ub()
-            survivors = sorted(c for c in candidates if c[0] <= sub)
-            stats.candidates_after_sub_filter = len(survivors)
-            stats.candidates_pruned += len(candidates) - len(survivors)
-
-            best: list[tuple[float, int]] = []
-            cutoff = float("inf")
-            for position, (lower, _, seq_id) in enumerate(survivors):
-                if len(best) == k and lower > cutoff:
-                    stats.candidates_pruned += len(survivors) - position
-                    break
-                row = self._store.read(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(query, row, cutoff)
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                    continue
-                heapq.heappush(best, (-distance, seq_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-                if len(best) == k:
-                    cutoff = -best[0][0]
-
-        stats.publish("index.mvptree.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
+        traverse(self._root)
+        sigma = tracker.sigma()
+        survivors = sorted(
+            (lb * lb, seq_id) for lb, seq_id in candidates if lb <= sigma
         )
-        return neighbors, stats
+        return CandidateSet(
+            entries=survivors,
+            generated=len(candidates),
+            sigma_sq=sigma * sigma,
+        )
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        """Fixed-radius traversal: a quadrant is skipped when *either*
+        vantage point's annulus condition proves every member farther
+        than ``radius``."""
+        batch = BatchBounds(Spectrum.from_series(query))
+        bound = radius + RANGE_SLACK
+        to_verify: list[tuple[float, int]] = []
+
+        def consider(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            lower, upper = self._kernel(batch, self._sketch_db.take(rows))
+            stats.bound_computations += int(rows.size)
+            for seq_id, lb in zip(rows, lower):
+                lb = float(lb)
+                if lb > bound:
+                    continue
+                to_verify.append((lb * lb, int(seq_id)))
+            return lower, upper
+
+        def traverse(node) -> None:
+            stats.nodes_visited += 1
+            if isinstance(node, _Leaf):
+                consider(node.rows)
+                return
+            lowers, uppers = consider(
+                np.array([node.first_id, node.second_id])
+            )
+            lb1, ub1 = float(lowers[0]), float(uppers[0])
+            lb2, ub2 = float(lowers[1]), float(uppers[1])
+            for quadrant in node.quadrants:
+                by_first = self._side_min_distance(
+                    lb1, ub1, node.first_median, quadrant.first_side_low
+                )
+                by_second = self._side_min_distance(
+                    lb2, ub2, quadrant.second_median, quadrant.second_side_low
+                )
+                if max(by_first, by_second) > bound:
+                    stats.subtrees_pruned += 1
+                    continue
+                traverse(quadrant.child)
+
+        traverse(self._root)
+        return CandidateSet(entries=sorted(to_verify), generated=None)
+
+    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
+        """The ``k`` nearest neighbours of an uncompressed query."""
+        return execute_knn(self, query, k)
+
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query."""
+        return execute_range(self, query, radius)

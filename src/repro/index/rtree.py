@@ -27,11 +27,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro.engine.core import (
+    RANGE_SLACK,
+    CandidateSet,
+    execute_knn,
+    execute_range,
+)
 from repro.index.results import Neighbor, SearchStats
 from repro.exceptions import SeriesMismatchError
 from repro.spectral.dft import Spectrum
@@ -317,7 +322,14 @@ class GeminiRTreeIndex:
     never exceed true distances, so walking candidates in increasing
     feature distance and stopping when it exceeds the best-so-far true
     distance cannot miss the true neighbours.
+
+    This is the engine's one *streaming* candidate generator: the
+    incremental iterator hands ``(LB^2, seq_id)`` pairs to the shared
+    verifier (:mod:`repro.engine.core`) lazily, so unvisited members are
+    never even bounded.
     """
+
+    obs_name = "index.rtree"
 
     def __init__(
         self,
@@ -348,35 +360,53 @@ class GeminiRTreeIndex:
     def _name(self, seq_id: int) -> str | None:
         return self._names[seq_id] if self._names is not None else None
 
+    @property
+    def sequence_length(self) -> int:
+        return int(self._matrix.shape[1])
+
+    def result_name(self, seq_id: int) -> str | None:
+        return self._name(seq_id)
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        return self._matrix[seq_id]
+
+    def _feature_stream(
+        self, query: np.ndarray, stats: SearchStats
+    ) -> Iterator[tuple[float, int]]:
+        """``(feature_distance^2, seq_id)`` in increasing order, lazily."""
+        features = gemini_features(query, self.k)
+        for lower, row_id in self._tree.nearest_iter(features, stats):
+            stats.bound_computations += 1
+            yield lower * lower, row_id
+
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        # Incremental NN yields in increasing feature distance, so the
+        # verifier stops (and prunes every unvisited member) as soon as a
+        # feature distance exceeds the best k-th true distance.
+        return CandidateSet(
+            generated=None, stream=self._feature_stream(query, stats)
+        )
+
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        bound_sq = (radius + RANGE_SLACK) ** 2
+        return CandidateSet(
+            generated=None,
+            stream=itertools.takewhile(
+                lambda pair: pair[0] <= bound_sq,
+                self._feature_stream(query, stats),
+            ),
+        )
+
     def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
         """Exact k-NN via incremental feature-space NN + verification."""
-        query = as_float_array(query)
-        if query.size != self._matrix.shape[1]:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._matrix.shape[1]}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+        return execute_knn(self, query, k)
 
-        stats = SearchStats()
-        with obs.span("index.rtree.search"):
-            features = gemini_features(query, self.k)
-            best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
-            for lower, row_id in self._tree.nearest_iter(features, stats):
-                stats.bound_computations += 1
-                if len(best) == k and lower > -best[0][0]:
-                    # Incremental NN yields in increasing feature distance,
-                    # so every unvisited member is pruned by this bound.
-                    break
-                true = float(np.linalg.norm(query - self._matrix[row_id]))
-                stats.full_retrievals += 1
-                heapq.heappush(best, (-true, row_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-            stats.candidates_pruned = len(self) - stats.full_retrievals
-        stats.publish("index.rtree.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
-        )
-        return neighbors, stats
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query."""
+        return execute_range(self, query, radius)

@@ -36,29 +36,29 @@ results — the test suite checks this against brute force.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
 from repro.bounds.batch import BatchBounds, get_batch_kernel
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.compression.database import SketchDatabase
+from repro.engine.core import (
+    RANGE_SLACK as _RANGE_SLACK,
+    CandidateSet,
+    SigmaTracker,
+    execute_knn,
+    execute_range,
+)
 from repro.exceptions import SeriesMismatchError
-from repro.index.distance import distances_to_query, euclidean_early_abandon
+from repro.index.distance import distances_to_query
 from repro.index.results import Neighbor, SearchStats
 from repro.spectral.dft import Spectrum
 from repro.storage.pagestore import MemorySequenceStore
 from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["VPTreeIndex"]
-
-#: Floating-point slack for range-search rejections: a computed lower
-#: bound may exceed the true distance by rounding error, so rejection
-#: requires clearing the radius by this margin.
-_RANGE_SLACK = 1e-7
 
 
 @dataclass
@@ -107,7 +107,13 @@ class VPTreeIndex:
         Enable the "most promising child first" traversal heuristic.
     seed:
         Seed for the sampling randomness, for reproducible builds.
+
+    This class only *generates* candidates (the compressed-domain
+    traversal of fig. 11); exact verification runs in the shared engine
+    core (:mod:`repro.engine.core`).
     """
+
+    obs_name = "index.vptree"
 
     def __init__(
         self,
@@ -291,27 +297,30 @@ class VPTreeIndex:
         self._deleted.add(seq_id)
 
     # ------------------------------------------------------------------
-    # Search
+    # Candidate generation (the engine owns verification)
     # ------------------------------------------------------------------
-    def search(
-        self, query, k: int = 1
-    ) -> tuple[list[Neighbor], SearchStats]:
-        """The ``k`` nearest neighbours of an *uncompressed* query."""
-        query = as_float_array(query)
-        if query.size != self._n:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._n}"
-            )
-        if not 1 <= k <= len(self):
-            raise ValueError(f"k must be in [1, {len(self)}], got {k}")
+    @property
+    def sequence_length(self) -> int:
+        return self._n
 
-        spectrum = Spectrum.from_series(query)
-        batch = BatchBounds(spectrum)
-        stats = SearchStats()
-        # Max-heap (negated) of the k smallest upper bounds seen so far.
-        sigma_heap: list[float] = []
-        candidates: list[tuple[float, float, int]] = []  # (lb, ub, seq_id)
+    def result_name(self, seq_id: int) -> str | None:
+        return self._name(seq_id)
+
+    def fetch(self, seq_id: int) -> np.ndarray:
+        return self._store.read(seq_id)
+
+    def knn_candidates(
+        self, query: np.ndarray, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        """Fig. 11 traversal: bound every vantage point / leaf object met.
+
+        ``sigma`` — the k-th smallest upper bound seen so far — drives the
+        subtree pruning rules; the engine applies the final SUB filter and
+        verifies the survivors.
+        """
+        batch = BatchBounds(Spectrum.from_series(query))
+        tracker = SigmaTracker(k)
+        candidates: list[tuple[float, int]] = []  # (lb, seq_id)
 
         def note(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             """Bound a group of rows with one vectorised kernel call.
@@ -324,17 +333,9 @@ class VPTreeIndex:
             for seq_id, lb, ub in zip(rows, lower, upper):
                 if int(seq_id) in self._deleted:
                     continue
-                candidates.append((float(lb), float(ub), int(seq_id)))
-                if np.isfinite(ub):
-                    heapq.heappush(sigma_heap, -float(ub))
-                    if len(sigma_heap) > k:
-                        heapq.heappop(sigma_heap)
+                candidates.append((float(lb), int(seq_id)))
+                tracker.offer(float(ub))
             return lower, upper
-
-        def sigma_ub() -> float:
-            if len(sigma_heap) < k:
-                return float("inf")
-            return -sigma_heap[0]
 
         def traverse(node) -> None:
             stats.nodes_visited += 1
@@ -344,7 +345,7 @@ class VPTreeIndex:
             lower_arr, upper_arr = note(np.array([node.vantage_id]))
             lower, upper = float(lower_arr[0]), float(upper_arr[0])
 
-            sigma = sigma_ub()
+            sigma = tracker.sigma()
             visit_left = lower <= node.median + sigma
             visit_right = upper >= node.median - sigma
             if not visit_left and not visit_right:
@@ -366,66 +367,27 @@ class VPTreeIndex:
             for child in order:
                 traverse(child)
 
-        with obs.span("index.vptree.search"):
-            traverse(self._root)
-            stats.candidates_after_traversal = len(candidates)
-            # Members of pruned subtrees were never even bounded.
-            stats.candidates_pruned += len(self) - len(candidates)
-
-            # Phase 2: SUB filter, then verify in increasing-LB order.
-            sub = sigma_ub()
-            survivors = sorted(c for c in candidates if c[0] <= sub)
-            stats.candidates_after_sub_filter = len(survivors)
-            stats.candidates_pruned += len(candidates) - len(survivors)
-
-            best: list[tuple[float, int]] = []  # max-heap of (-distance, id)
-            cutoff = float("inf")
-            for position, (lower, _, seq_id) in enumerate(survivors):
-                if len(best) == k and lower > cutoff:
-                    stats.candidates_pruned += len(survivors) - position
-                    break
-                row = self._store.read(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(query, row, cutoff)
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                    continue
-                heapq.heappush(best, (-distance, seq_id))
-                if len(best) > k:
-                    heapq.heappop(best)
-                if len(best) == k:
-                    cutoff = -best[0][0]
-
-        stats.publish("index.vptree.search")
-        neighbors = sorted(
-            Neighbor(-neg, seq_id, self._name(seq_id)) for neg, seq_id in best
+        traverse(self._root)
+        sigma = tracker.sigma()
+        survivors = sorted(
+            (lb * lb, seq_id) for lb, seq_id in candidates if lb <= sigma
         )
-        return neighbors, stats
+        return CandidateSet(
+            entries=survivors,
+            generated=len(candidates),
+            sigma_sq=sigma * sigma,
+        )
 
-    def range_search(
-        self, query, radius: float
-    ) -> tuple[list[Neighbor], SearchStats]:
-        """All sequences within ``radius`` of the query (epsilon search).
+    def range_candidates(
+        self, query: np.ndarray, radius: float, stats: SearchStats
+    ) -> CandidateSet:
+        """Fixed-radius specialisation of the k-NN pruning rules.
 
-        The pruning rules are the fixed-radius specialisation of the k-NN
-        rules: a subtree is skipped when every member is provably farther
-        than ``radius``; a candidate whose *upper* bound is already within
-        ``radius`` is accepted without touching its uncompressed form, and
-        one whose lower bound exceeds ``radius`` is rejected likewise.
+        A subtree is skipped when every member is provably farther than
+        ``radius``; a candidate whose lower bound exceeds ``radius`` is
+        rejected without touching its uncompressed form.
         """
-        query = as_float_array(query)
-        if query.size != self._n:
-            raise SeriesMismatchError(
-                f"query length {query.size} does not match database "
-                f"sequences of length {self._n}"
-            )
-        if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
-
-        spectrum = Spectrum.from_series(query)
-        batch = BatchBounds(spectrum)
-        stats = SearchStats()
-        hits: list[Neighbor] = []
+        batch = BatchBounds(Spectrum.from_series(query))
         to_verify: list[tuple[float, int]] = []
 
         def consider(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -439,7 +401,7 @@ class VPTreeIndex:
                 # verified exactly.
                 if seq_id in self._deleted or lb > radius + _RANGE_SLACK:
                     continue
-                to_verify.append((float(lb), seq_id))
+                to_verify.append((float(lb) ** 2, seq_id))
             return lower, upper
 
         def traverse(node) -> None:
@@ -460,24 +422,23 @@ class VPTreeIndex:
             else:
                 stats.subtrees_pruned += 1
 
-        with obs.span("index.vptree.range_search"):
-            traverse(self._root)
-            stats.candidates_after_traversal = len(to_verify)
-            stats.candidates_after_sub_filter = len(to_verify)
-            stats.candidates_pruned = len(self) - len(to_verify)
+        traverse(self._root)
+        return CandidateSet(entries=sorted(to_verify), generated=None)
 
-            for _, seq_id in sorted(to_verify):
-                row = self._store.read(seq_id)
-                stats.full_retrievals += 1
-                distance = euclidean_early_abandon(
-                    query, row, radius + _RANGE_SLACK
-                )
-                if distance == float("inf"):
-                    stats.early_abandons += 1
-                if distance <= radius:
-                    hits.append(Neighbor(distance, seq_id, self._name(seq_id)))
-        stats.publish("index.vptree.range_search")
-        return sorted(hits), stats
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self, query, k: int = 1
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """The ``k`` nearest neighbours of an *uncompressed* query."""
+        return execute_knn(self, query, k)
+
+    def range_search(
+        self, query, radius: float
+    ) -> tuple[list[Neighbor], SearchStats]:
+        """All sequences within ``radius`` of the query (epsilon search)."""
+        return execute_range(self, query, radius)
 
     # ------------------------------------------------------------------
     # Persistence

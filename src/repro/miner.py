@@ -36,9 +36,9 @@ from repro.compression.best_k import BestMinErrorCompressor
 from repro.datagen.components import DayGrid
 from repro.datagen.events import LogAggregator, LogRecord
 from repro.dtw.search import DTWSearch
+from repro.engine import available_indexes, get_index, search_many
 from repro.exceptions import SeriesMismatchError, UnknownQueryError
 from repro.index.results import Neighbor
-from repro.index.vptree import VPTreeIndex
 from repro.periods.aggregate import SharedPeriod, shared_periods
 from repro.periods.detector import PeriodDetector
 from repro.timeseries.preprocessing import zscore
@@ -66,7 +66,17 @@ class QueryLogMiner:
         long/short-term pair at 2 sigma).
     seed:
         Seed for the index-construction randomness.
+    index_backend:
+        Engine registry name of the similarity structure (see
+        :func:`repro.engine.get_index`); defaults to the paper's
+        ``"vptree"``.  Backends without dynamic insertion are rebuilt
+        lazily after ingestion instead of updated in place.
     """
+
+    #: Backends that take the miner's compressor (sketch-based ones).
+    _SKETCH_BACKENDS = frozenset({"flat", "vptree", "mvptree"})
+    #: Backends with seeded construction randomness.
+    _SEEDED_BACKENDS = frozenset({"vptree", "mvptree"})
 
     def __init__(
         self,
@@ -75,17 +85,24 @@ class QueryLogMiner:
         compressor_k: int = 14,
         detectors: Sequence[BurstDetector] | None = None,
         seed: int = 0,
+        index_backend: str = "vptree",
     ) -> None:
         if days < 4:
             raise SeriesMismatchError(f"need at least 4 days, got {days}")
+        if index_backend not in available_indexes():
+            raise SeriesMismatchError(
+                f"unknown index backend {index_backend!r}; "
+                f"available: {', '.join(available_indexes())}"
+            )
         self.grid = DayGrid(start, days)
         self._seed = seed
+        self._backend = index_backend
         self._compressor = BestMinErrorCompressor(compressor_k)
         self._period_detector = PeriodDetector(interpolate=True)
         self._burst_db = BurstDatabase(detectors=detectors)
         self._series: dict[str, TimeSeries] = {}
         self._order: list[str] = []
-        self._index: VPTreeIndex | None = None
+        self._index = None
         self._indexed_count = 0
         self._dtw: DTWSearch | None = None
 
@@ -130,9 +147,13 @@ class QueryLogMiner:
             self._burst_db.add(series)
             self._dtw = None  # envelopes are stale
             if self._index is not None:
-                self._index.insert(zscore(series.values), name=series.name)
-                if len(self._order) > _REBUILD_GROWTH * self._indexed_count:
-                    self._index = None  # force a balanced rebuild on next use
+                if not hasattr(self._index, "insert"):
+                    # Static backend: rebuild lazily on next search.
+                    self._index = None
+                else:
+                    self._index.insert(zscore(series.values), name=series.name)
+                    if len(self._order) > _REBUILD_GROWTH * self._indexed_count:
+                        self._index = None  # force a balanced rebuild on next use
         obs.add("miner.series_ingested")
 
     def add_records(self, records: Iterable[LogRecord]) -> tuple[str, ...]:
@@ -160,14 +181,16 @@ class QueryLogMiner:
             [zscore(self._series[name].values) for name in self._order]
         )
 
-    def _live_index(self) -> VPTreeIndex:
+    def _live_index(self):
         if self._index is None:
+            kwargs: dict = {"names": list(self._order)}
+            if self._backend in self._SKETCH_BACKENDS:
+                kwargs["compressor"] = self._compressor
+            if self._backend in self._SEEDED_BACKENDS:
+                kwargs["seed"] = self._seed
             with obs.span("miner.index_build"):
-                self._index = VPTreeIndex(
-                    self._matrix(),
-                    compressor=self._compressor,
-                    names=list(self._order),
-                    seed=self._seed,
+                self._index = get_index(
+                    self._backend, self._matrix(), **kwargs
                 )
             self._indexed_count = len(self._order)
         return self._index
@@ -203,6 +226,33 @@ class QueryLogMiner:
                 values, k=min(k + extra, len(self))
             )
             return [hit for hit in hits if hit.name != exclude][:k]
+
+    def similar_many(
+        self, queries: Sequence, k: int = 5, *, workers: int | None = None
+    ) -> list[list[Neighbor]]:
+        """:meth:`similar` for a whole batch of queries at once.
+
+        Runs through the engine's batched
+        :func:`~repro.engine.search_many` path (optionally over a worker
+        pool), which amortises validation and verifies candidates in
+        vectorised blocks; per-query results and exclusion semantics are
+        identical to calling :meth:`similar` in a loop.
+        """
+        with obs.span("miner.similar_many"):
+            excludes = [
+                query if isinstance(query, str) else None for query in queries
+            ]
+            matrix = np.stack(
+                [self._standardized_query(query) for query in queries]
+            )
+            depth = min(k + 1 if any(excludes) else k, len(self))
+            batched = search_many(
+                self._live_index(), matrix, k=depth, workers=workers
+            )
+            return [
+                [hit for hit in hits if hit.name != exclude][:k]
+                for (hits, _), exclude in zip(batched, excludes)
+            ]
 
     def dtw_similar(self, query, k: int = 5) -> list[Neighbor]:
         """Like :meth:`similar`, under banded dynamic time warping."""

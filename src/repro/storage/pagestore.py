@@ -205,6 +205,16 @@ class SequencePageStore:
         payload = self._file.read(self.sequence_length * 8)
         return np.frombuffer(payload, dtype=np.float64).copy()
 
+    def read_many(self, seq_ids) -> np.ndarray:
+        """Fetch several sequences as a ``(len(seq_ids), n)`` matrix.
+
+        I/O accounting is identical to calling :meth:`read` per id (one
+        read call and ``pages_per_sequence`` pages each) — batching is a
+        CPU-side optimisation for the engine's blocked verifier, not a
+        page-count discount.
+        """
+        return np.stack([self.read(int(seq_id)) for seq_id in seq_ids])
+
 
 class MemorySequenceStore:
     """Drop-in replacement for :class:`SequencePageStore` held in RAM.
@@ -249,6 +259,10 @@ class MemorySequenceStore:
         obs.add("storage.read_calls")
         obs.add("storage.pages_read", 0)
         return self._rows[seq_id]
+
+    def read_many(self, seq_ids) -> np.ndarray:
+        """Fetch several sequences as one matrix; counts one call per id."""
+        return np.stack([self.read(int(seq_id)) for seq_id in seq_ids])
 
     def close(self) -> None:
         """No-op, for interface parity with :class:`SequencePageStore`."""

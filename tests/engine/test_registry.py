@@ -1,0 +1,57 @@
+"""The string-keyed index registry (mirror of ``bounds/registry.py``)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import available_indexes, get_index
+from repro.exceptions import ReproError
+from repro.index import distances_to_query
+
+ALL_NAMES = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan")
+
+
+class TestRegistry:
+    def test_available_indexes(self):
+        assert available_indexes() == ALL_NAMES
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_name_constructs_and_searches(self, matrix, name):
+        index = get_index(name, matrix)
+        assert len(index) == len(matrix)
+        query = matrix[3]
+        hits, stats = index.search(query, k=1)
+        truth = float(distances_to_query(matrix, query).min())
+        assert hits[0].distance == pytest.approx(truth, abs=1e-9)
+        assert stats.candidates_pruned + stats.full_retrievals == len(matrix)
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [("linear_scan", "scan"), ("vp", "vptree"), ("mvp", "mvptree")],
+    )
+    def test_aliases(self, matrix, alias, canonical):
+        built = get_index(alias, matrix)
+        assert type(built) is type(get_index(canonical, matrix))
+
+    def test_unknown_name_lists_available(self, matrix):
+        with pytest.raises(ReproError, match="unknown index 'kd'"):
+            get_index("kd", matrix)
+
+    def test_kwargs_forwarded(self, matrix):
+        names = [f"q{i}" for i in range(len(matrix))]
+        index = get_index("vptree", matrix, names=names, seed=3)
+        hits, _ = index.search(matrix[5], k=1)
+        assert hits[0].name == "q5"
+
+    def test_seed_forwarded_deterministically(self, matrix):
+        a = get_index("vptree", matrix, seed=9)
+        b = get_index("vptree", matrix, seed=9)
+        assert a.height() == b.height()
+
+    def test_search_depends_only_on_matrix_not_structure(self, matrix):
+        query = np.asarray(matrix[10])
+        baseline, _ = get_index("scan", matrix).search(query, k=4)
+        for name in ALL_NAMES:
+            hits, _ = get_index(name, matrix).search(query, k=4)
+            assert [h.seq_id for h in hits] == [
+                h.seq_id for h in baseline
+            ], name
