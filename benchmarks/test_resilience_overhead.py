@@ -1,0 +1,82 @@
+"""Micro-benchmark: the resilience layer must be ~free when dormant.
+
+Every verified candidate now flows through the engine's guarded fetch —
+a quarantine lookup plus a ``try``/``except`` around the raw ``fetch``.
+When no faults are being injected and nothing is quarantined (the
+steady state of every healthy run), that wrapper must cost a negligible
+slice of a query.  This benchmark prices the dormant guard directly:
+the per-fetch delta between the guarded and raw paths, multiplied by
+how many fetches one query actually performs, against the per-query
+latency — and asserts the product stays under the 3% budget the
+observability layer already lives by.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.compression import StorageBudget
+from repro.engine.core import _guarded_fetch
+from repro.index import FlatSketchIndex
+from repro.index.results import SearchStats
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def test_resilience_overhead_dormant(database_matrix, query_matrix, report):
+    matrix = database_matrix[:1024]
+    queries = query_matrix[:10]
+    index = FlatSketchIndex(
+        matrix, compressor=StorageBudget(16).compressor("best_min_error")
+    )
+
+    # Per-query latency on the production path (guards included).
+    for query in queries:  # warm-up
+        index.search(query, k=1)
+    rounds = 5
+    started = time.perf_counter()
+    retrievals = 0
+    for _ in range(rounds):
+        for query in queries:
+            _, stats = index.search(query, k=1)
+            retrievals += stats.full_retrievals
+    per_query = (time.perf_counter() - started) / (rounds * len(queries))
+    fetches_per_query = retrievals / (rounds * len(queries))
+
+    # Price the dormant guard: guarded fetch vs raw fetch, per call.
+    probes = 50_000
+    stats = SearchStats()
+    started = time.perf_counter()
+    for i in range(probes):
+        _guarded_fetch(index, i % 64, stats)
+    per_guarded = (time.perf_counter() - started) / probes
+    started = time.perf_counter()
+    for i in range(probes):
+        index.fetch(i % 64)
+    per_raw = (time.perf_counter() - started) / probes
+    per_guard = max(per_guarded - per_raw, 0.0)
+
+    overhead = fetches_per_query * per_guard / per_query
+    report(
+        "resilience overhead, dormant (flat index, 1024 x %d, k=1):"
+        % (matrix.shape[1],),
+        f"  per-query latency:            {per_query * 1e3:8.3f} ms",
+        f"  verified fetches/query:       {fetches_per_query:8.1f}",
+        f"  guarded fetch:                {per_guarded * 1e9:8.1f} ns",
+        f"  raw fetch:                    {per_raw * 1e9:8.1f} ns",
+        f"  guard cost/fetch:             {per_guard * 1e9:8.1f} ns",
+        f"  estimated dormant overhead:   {overhead * 100:8.4f} %",
+    )
+    assert per_guard < 5e-6, "a dormant guard must stay in the microseconds"
+    assert overhead < 0.03, (
+        f"dormant resilience guards cost {overhead:.2%} of a query, "
+        f"over the 3% budget"
+    )

@@ -108,17 +108,17 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\n=== page I/O of an on-disk linear scan (fig. 23's cost) ===")
     with tempfile.TemporaryDirectory() as tmp:
-        store = SequencePageStore(
+        with SequencePageStore(
             os.path.join(tmp, "scan.dat"), matrix.shape[1]
-        )
-        disk_scan = get_index("scan", matrix[:512], store=store)
-        store.stats.reset()
-        disk_scan.search(queries[0], k=1)
-        print(
-            f"  one query touched {store.stats.pages_read} pages in "
-            f"{store.stats.read_calls} reads ({store.stats.seeks} seeks); "
-            f"the index reads only the few survivors"
-        )
+        ) as store:
+            disk_scan = get_index("scan", matrix[:512], store=store)
+            store.stats.reset()
+            disk_scan.search(queries[0], k=1)
+            print(
+                f"  one query touched {store.stats.pages_read} pages in "
+                f"{store.stats.read_calls} reads ({store.stats.seeks} "
+                f"seeks); the index reads only the few survivors"
+            )
 
     # ------------------------------------------------------------------
     # The future-work extension: adaptive number of coefficients

@@ -38,11 +38,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro import obs
 from repro.bursts.compaction import Burst, compact_bursts
 from repro.bursts.detection import BurstDetector
 from repro.bursts.similarity import burst_similarity
-from repro.exceptions import UnknownQueryError
+from repro.exceptions import IngestionError, UnknownQueryError
 from repro.storage.table import Table, ge, le
 from repro.timeseries.preprocessing import zscore
 from repro.timeseries.series import TimeSeries
@@ -115,9 +117,22 @@ class BurstDatabase:
         return tuple(self._known)
 
     def _features(self, values) -> dict[int, list[Burst]]:
-        """Burst triplets per detector window for one sequence."""
+        """Burst triplets per detector window for one sequence.
+
+        Rejects non-finite input with a typed
+        :class:`~repro.exceptions.IngestionError` before anything lands
+        in the relational table — a NaN would otherwise corrupt the
+        standardisation, the detector thresholds and every stored row.
+        """
         if isinstance(values, TimeSeries):
             values = values.values
+        values = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(values).all():
+            bad = int(np.flatnonzero(~np.isfinite(values))[0])
+            raise IngestionError(
+                f"burst features need finite values; got "
+                f"{values[bad]!r} at position {bad}"
+            )
         prepared = zscore(values) if self.standardize else values
         features: dict[int, list[Burst]] = {}
         for detector in self.detectors:

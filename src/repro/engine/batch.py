@@ -34,10 +34,12 @@ import numpy as np
 from repro import obs
 from repro.engine.core import (
     _check_invariant,
+    _generate_guarded,
+    _guarded_fetch,
     _refine_knn,
     fetch_block,
 )
-from repro.exceptions import SeriesMismatchError
+from repro.exceptions import SeriesMismatchError, StorageError
 from repro.index.distance import VERIFY_CHUNK
 from repro.index.results import Neighbor, SearchStats
 
@@ -70,17 +72,20 @@ def _blocked_refine(index, query, k, cands, stats, size):
             break
         block = entries[position : position + BLOCK]
         ids = [seq_id for _, seq_id in block]
-        rows = fetch_block(index, ids)
-        stats.full_retrievals += len(ids)
+        rows, kept_ids = _fetch_block_guarded(index, ids, stats)
+        stats.full_retrievals += len(kept_ids)
+        if not kept_ids:
+            position += len(block)
+            continue
         diff = rows - query
         # Accumulate over the scalar kernel's chunk boundaries with the
         # same einsum reduction, so blocked and single-query verification
         # produce bit-identical squared distances (ties and all).
-        d_sq_block = np.zeros(len(ids))
+        d_sq_block = np.zeros(len(kept_ids))
         for start in range(0, diff.shape[1], VERIFY_CHUNK):
             chunk = diff[:, start : start + VERIFY_CHUNK]
             d_sq_block += np.einsum("ij,ij->i", chunk, chunk)
-        for (_, seq_id), d_sq in zip(block, d_sq_block):
+        for seq_id, d_sq in zip(kept_ids, d_sq_block):
             d_sq = float(d_sq)
             if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
                 continue
@@ -94,11 +99,40 @@ def _blocked_refine(index, query, k, cands, stats, size):
     return [(-neg_d, -neg_id) for neg_d, neg_id in best]
 
 
+def _fetch_block_guarded(index, ids, stats):
+    """Fetch a verification block, degrading per-id on storage faults.
+
+    The happy path is one batched ``read_many``; if it (or a plain
+    ``fetch``) raises, the block is re-fetched id by id through the
+    engine's guarded path, so transient faults are retried and
+    permanently failing members are quarantined rather than sinking the
+    whole block.  Returns ``(rows, kept_ids)``.
+    """
+    quarantine = getattr(index, "_resilience_quarantine", None)
+    try:
+        if quarantine is None or not any(i in quarantine for i in ids):
+            return fetch_block(index, ids), list(ids)
+    except (StorageError, OSError):
+        pass
+    kept_ids: list[int] = []
+    rows: list[np.ndarray] = []
+    for seq_id in ids:
+        row = _guarded_fetch(index, seq_id, stats)
+        if row is not None:
+            kept_ids.append(seq_id)
+            rows.append(row)
+    if not rows:
+        return np.empty((0, index.sequence_length)), kept_ids
+    return np.stack(rows), kept_ids
+
+
 def _search_one(index, query, k: int) -> tuple[list[Neighbor], SearchStats]:
     """One query through the generator + the appropriate verifier."""
     size = len(index)
     stats = SearchStats()
-    cands = index.knn_candidates(query, k, stats)
+    cands, stats = _generate_guarded(
+        index, lambda s: index.knn_candidates(query, k, s), stats, size
+    )
     if cands.stream is not None or cands.paid:
         best = _refine_knn(index, query, k, cands, stats, size)
     else:

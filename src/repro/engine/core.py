@@ -40,9 +40,11 @@ from typing import Iterator, Protocol, runtime_checkable
 import numpy as np
 
 from repro import obs
-from repro.exceptions import SeriesMismatchError
+from repro.exceptions import ReproError, SeriesMismatchError, StorageError
 from repro.index.distance import euclidean_early_abandon_sq
 from repro.index.results import Neighbor, SearchStats
+from repro.resilience.quarantine import quarantine_of
+from repro.resilience.retry import active_policy
 from repro.timeseries.preprocessing import as_float_array
 
 __all__ = [
@@ -226,14 +228,116 @@ def _validate_query(index, query) -> np.ndarray:
 
 
 def _check_invariant(stats: SearchStats, size: int, index) -> None:
-    # The uniform-accounting contract: every member pruned or retrieved,
-    # exactly once.  A failure means a generator double-emitted or lost a
-    # candidate — surface it loudly instead of skewing fig. 22 metrics.
-    assert stats.candidates_pruned + stats.full_retrievals == size, (
+    # The uniform-accounting contract: every member pruned, retrieved or
+    # quarantined, exactly once.  A failure means a generator
+    # double-emitted or lost a candidate — surface it loudly instead of
+    # skewing fig. 22 metrics.
+    accounted = (
+        stats.candidates_pruned + stats.full_retrievals + stats.quarantined
+    )
+    assert accounted == size, (
         f"{index.obs_name}: accounting drift — "
         f"{stats.candidates_pruned} pruned + "
-        f"{stats.full_retrievals} retrieved != {size} members"
+        f"{stats.full_retrievals} retrieved + "
+        f"{stats.quarantined} quarantined != {size} members"
     )
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode serving (see docs/RESILIENCE.md)
+# ----------------------------------------------------------------------
+def _guarded_fetch(index, seq_id: int, stats: SearchStats):
+    """Fetch one sequence for verification, absorbing storage faults.
+
+    The fast path is a plain ``index.fetch`` — one ``try`` frame and no
+    allocations beyond the call itself.  On a transient fault
+    (:class:`OSError`) the active :class:`~repro.resilience.RetryPolicy`
+    retries with bounded backoff; on a permanent fault (corruption, or
+    retries exhausted) the sequence is quarantined, the query is marked
+    degraded, and ``None`` is returned so the verifier skips the member
+    instead of crashing the query.
+    """
+    quarantine = getattr(index, "_resilience_quarantine", None)
+    if quarantine is not None and seq_id in quarantine:
+        stats.quarantined += 1
+        stats.degraded = True
+        stats.quarantined_ids += (seq_id,)
+        return None
+    try:
+        return index.fetch(seq_id)
+    except StorageError as exc:
+        if isinstance(exc, OSError):
+            result = _retry_fetch(index, seq_id, exc)
+        else:
+            result = (False, exc)  # corruption &co are permanent
+    except OSError as exc:
+        result = _retry_fetch(index, seq_id, exc)
+    recovered, outcome = result
+    if recovered:
+        return outcome
+    policy = active_policy()
+    if not policy.degrade:
+        raise outcome
+    quarantine_of(index).add(seq_id, outcome)
+    stats.quarantined += 1
+    stats.degraded = True
+    stats.quarantined_ids += (seq_id,)
+    obs.add("resilience.degraded_fetches")
+    return None
+
+
+def _retry_fetch(index, seq_id: int, first_error: OSError):
+    """Retry a faulted fetch per the active policy.
+
+    Returns ``(True, row)`` on recovery or ``(False, error)`` once the
+    budget is exhausted.  The first failed attempt has already happened.
+    """
+    policy = active_policy()
+    error: Exception = first_error
+    for retry_index in range(policy.max_attempts - 1):
+        obs.add("resilience.retries")
+        policy.sleep(policy.delay_s(retry_index))
+        try:
+            return True, index.fetch(seq_id)
+        except StorageError as exc:
+            if not isinstance(exc, OSError):
+                return False, exc  # went permanent mid-retry
+            error = exc
+        except OSError as exc:
+            error = exc
+    obs.add("resilience.giveups")
+    return False, error
+
+
+def _fallback_candidates(size: int) -> CandidateSet:
+    """The degenerate exhaustive candidate set (linear-scan fallback)."""
+    return CandidateSet(
+        entries=[(0.0, seq_id) for seq_id in range(size)], generated=size
+    )
+
+
+def _generate_guarded(index, generate, stats: SearchStats, size: int):
+    """Run a candidate generator; fall back to a linear scan on failure.
+
+    A generator failure (a tree traversal hitting a corrupt vantage
+    read, a broken bound kernel) abandons whatever partial accounting
+    the generator wrote and restarts the query as an exhaustive scan —
+    the answer stays correct over every readable member, just without
+    pruning.  Returns ``(candidates, stats)``; the stats object is
+    *replaced* on fallback so partial traversal counts cannot corrupt
+    the accounting invariant.
+    """
+    try:
+        return generate(stats), stats
+    except (ReproError, OSError) as exc:
+        policy = active_policy()
+        if not policy.degrade:
+            raise
+        quarantine_of(index).note_generator_failure(exc)
+        obs.add("resilience.fallback_scans")
+        fresh = SearchStats()
+        fresh.degraded = True
+        return _fallback_candidates(size), fresh
 
 
 # ----------------------------------------------------------------------
@@ -249,7 +353,12 @@ def execute_knn(
         raise ValueError(f"k must be in [1, {size}], got {k}")
     stats = SearchStats()
     with obs.span(f"{index.obs_name}.search"):
-        cands = index.knn_candidates(query, k, stats)
+        cands, stats = _generate_guarded(
+            index,
+            lambda s: index.knn_candidates(query, k, s),
+            stats,
+            size,
+        )
         best = _refine_knn(index, query, k, cands, stats, size)
     _check_invariant(stats, size, index)
     stats.publish(f"{index.obs_name}.search")
@@ -300,7 +409,9 @@ def _refine_knn(
         if seq_id in paid:
             d_sq = paid[seq_id]  # already fetched and counted
         else:
-            row = index.fetch(seq_id)
+            row = _guarded_fetch(index, seq_id, stats)
+            if row is None:
+                continue  # quarantined: served degraded, not retrieved
             stats.full_retrievals += 1
             d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
             if d_sq == math.inf:
@@ -341,7 +452,12 @@ def execute_range(
     size = len(index)
     stats = SearchStats()
     with obs.span(f"{index.obs_name}.range_search"):
-        cands = index.range_candidates(query, radius, stats)
+        cands, stats = _generate_guarded(
+            index,
+            lambda s: index.range_candidates(query, radius, s),
+            stats,
+            size,
+        )
         hits = _refine_range(index, query, radius, cands, stats, size)
     _check_invariant(stats, size, index)
     stats.publish(f"{index.obs_name}.range_search")
@@ -374,7 +490,9 @@ def _refine_range(
         if seq_id in paid:
             d_sq = paid[seq_id]
         else:
-            row = index.fetch(seq_id)
+            row = _guarded_fetch(index, seq_id, stats)
+            if row is None:
+                continue  # quarantined: served degraded, not retrieved
             stats.full_retrievals += 1
             d_sq = euclidean_early_abandon_sq(query, row, slack_sq)
             if d_sq == math.inf:

@@ -1,0 +1,220 @@
+"""Operational fault drill: ``python -m repro.evaluation --faults [SEED]``.
+
+The drill is the resilience layer's end-to-end acceptance run, scripted
+so an operator (or CI) can replay it with one flag:
+
+1. **baseline** — every registered index backend answers a kNN workload
+   fault-free;
+2. **transient faults** — the same workload through a seeded
+   :class:`~repro.resilience.FaultPlan` of bounded transient streaks;
+   the engine's retry path must absorb every hiccup and the answers
+   must be *identical* to the baseline;
+3. **permanent corruption** — one sequence is corrupted for good; every
+   backend must keep answering (``degraded`` results, the victim
+   quarantined and reported) instead of raising;
+4. **on-disk corruption** — a real :class:`~repro.storage.SequencePageStore`
+   file gets a flipped byte; the page CRC must surface it as a typed
+   :class:`~repro.exceptions.CorruptionError` and the store's
+   :meth:`~repro.storage.SequencePageStore.scrub` must locate the victim.
+
+Everything is deterministic in the seed; the printed obs counters
+(retries, giveups, quarantines, faults injected) come from the same
+``resilience.*`` instrumentation production would report.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import obs
+from repro.datagen.generator import QueryLogGenerator
+from repro.engine.registry import available_indexes, get_index
+from repro.exceptions import CorruptionError
+from repro.resilience import (
+    FaultPlan,
+    FaultyIndex,
+    FaultyStore,
+    RetryingStore,
+    quarantine_of,
+)
+from repro.storage.pagestore import SequencePageStore
+
+__all__ = ["fault_drill"]
+
+_RESILIENCE_COUNTERS = (
+    "resilience.faults_injected",
+    "resilience.retries",
+    "resilience.giveups",
+    "resilience.quarantines",
+    "resilience.degraded_fetches",
+    "resilience.fallback_scans",
+    "resilience.corrupt_pages",
+    "resilience.scrub_failures",
+)
+
+
+def _answers(index, queries, k):
+    """The drill's comparable view of a workload: (id, distance) pairs."""
+    out = []
+    for query in queries:
+        neighbors, stats = index.search(query, k)
+        out.append(
+            (
+                tuple((n.seq_id, round(n.distance, 12)) for n in neighbors),
+                stats.degraded,
+                stats.quarantined_ids,
+            )
+        )
+    return out
+
+
+def fault_drill(
+    db_size: int = 256,
+    days: int = 128,
+    queries: int = 5,
+    seed: int = 11,
+    k: int = 5,
+    out=None,
+) -> bool:
+    """Run the resilience acceptance drill; ``True`` when all checks pass.
+
+    Prints one section per backend plus the on-disk corruption round
+    trip and the run's ``resilience.*`` counters.  Importable for tests
+    and scripts; the CLI entry is ``python -m repro.evaluation --faults``.
+    """
+    out = out or sys.stdout
+    failures: list[str] = []
+
+    generator = QueryLogGenerator(seed=seed, days=days)
+    matrix = generator.synthetic_database(db_size).standardize().as_matrix()
+    query_matrix = (
+        generator.queries_outside_database(queries).standardize().as_matrix()
+    )
+    victim = db_size // 2
+
+    print(
+        f"fault drill: {db_size} sequences x {days} days, "
+        f"{queries} queries, k={k}, seed {seed}",
+        file=out,
+    )
+
+    with obs.observed() as registry:
+        for name in available_indexes():
+            clean = get_index(name, matrix)
+            baseline = _answers(clean, query_matrix, k)
+
+            # Transient streaks: retries must make the faults invisible.
+            noisy = FaultyIndex(
+                get_index(name, matrix),
+                FaultPlan(seed=seed, transient_rate=0.2),
+            )
+            transient = _answers(noisy, query_matrix, k)
+            identical = [b[0] for b in baseline] == [t[0] for t in transient]
+            absorbed = not any(t[1] for t in transient)
+
+            # Permanent corruption: degraded answers, victim quarantined.
+            # The victim's own sequence rides along as one extra probe —
+            # it is always its own best candidate, so every backend is
+            # guaranteed to attempt (and fail) the corrupted fetch.
+            probes = np.vstack([query_matrix, matrix[victim : victim + 1]])
+            broken = FaultyIndex(get_index(name, matrix), FaultPlan(), [victim])
+            degraded = _answers(broken, probes, k)
+            # Quarantining one id may cost each answer at most one slot:
+            # the victim can already have crowded a candidate out of the
+            # generator's shortlist, and degradation cannot resurrect it.
+            served = all(len(d[0]) >= k - 1 for d in degraded)
+            # A query that pruned the victim away is legitimately clean;
+            # every query that *did* touch it must carry the degraded
+            # flag and name the victim.  Matrix-backed traversals (the
+            # M-tree) may instead pay the victim's exact distance from
+            # their in-memory copy — the fetch seam the harness corrupts
+            # is then never exercised, which the drill accepts as "fault
+            # not reachable" rather than a degradation failure.
+            hits = [d for d in degraded if d[1]]
+            flagged = all(victim in d[2] for d in hits)
+            quarantined = victim in quarantine_of(broken)
+            paid_path = any(
+                victim in {seq_id for seq_id, _ in d[0]} for d in degraded
+            )
+            contained = (bool(hits) and quarantined) or (
+                not hits and paid_path
+            )
+
+            verdicts = {
+                "transient answers identical": identical,
+                "transient faults absorbed": absorbed,
+                "degraded queries served": served,
+                "victim flagged": flagged,
+                "victim contained": contained,
+            }
+            for check, passed in verdicts.items():
+                if not passed:
+                    failures.append(f"{name}: {check}")
+            status = "ok" if all(verdicts.values()) else "FAIL"
+            print(f"  {name:<8s} {status:<4s} " + ", ".join(
+                f"{check}={'yes' if passed else 'NO'}"
+                for check, passed in verdicts.items()
+            ), file=out)
+
+        # On-disk corruption: CRC catches a flipped byte, scrub finds it.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "drill.pages")
+            with SequencePageStore(path, matrix.shape[1]) as store:
+                store.append_matrix(matrix)
+                offset = store._offset_of(victim) + 11
+            with open(path, "r+b") as raw:
+                raw.seek(offset)
+                byte = raw.read(1)
+                raw.seek(offset)
+                raw.write(bytes([byte[0] ^ 0x40]))
+            with SequencePageStore.open(path) as store:
+                try:
+                    store.read(victim)
+                    crc_caught = False
+                except CorruptionError:
+                    crc_caught = True
+                scrub_found = store.scrub() == (victim,)
+                others_fine = store.read(0) is not None
+        if not (crc_caught and scrub_found and others_fine):
+            failures.append("on-disk corruption round trip")
+        print(
+            f"  on-disk  {'ok' if crc_caught and scrub_found else 'FAIL':<4s} "
+            f"crc_caught={'yes' if crc_caught else 'NO'}, "
+            f"scrub_found={'yes' if scrub_found else 'NO'}, "
+            f"healthy_reads_ok={'yes' if others_fine else 'NO'}",
+            file=out,
+        )
+
+        # Store-level composition: RetryingStore over a FaultyStore must
+        # read every sequence despite transient streaks.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "retry.pages")
+            with SequencePageStore(path, matrix.shape[1]) as store:
+                ids = store.append_matrix(matrix[:32])
+                retrying = RetryingStore(
+                    FaultyStore(store, FaultPlan(seed=seed, transient_rate=0.3))
+                )
+                reads_ok = all(
+                    retrying.read(i).shape == (matrix.shape[1],) for i in ids
+                )
+        if not reads_ok:
+            failures.append("retrying store reads")
+        print(
+            f"  retry    {'ok' if reads_ok else 'FAIL':<4s} "
+            f"all_reads_served={'yes' if reads_ok else 'NO'}",
+            file=out,
+        )
+
+    print("\n  resilience counters:", file=out)
+    for counter in _RESILIENCE_COUNTERS:
+        print(f"    {counter:<32s} {registry.counter(counter).value}", file=out)
+
+    if failures:
+        print("\nDRILL FAILED: " + "; ".join(failures), file=out)
+        return False
+    print("\ndrill passed: all backends degrade gracefully", file=out)
+    return True

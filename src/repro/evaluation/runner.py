@@ -13,6 +13,11 @@ Example::
 ``--obs`` appends the observability run summary (stage latencies, prune
 ratios, I/O counters) to the report; ``--obs-json PATH`` additionally
 writes the full metric/span record as JSON lines.
+
+``--faults [SEED]`` skips the report and runs the resilience drill
+instead (see :func:`repro.evaluation.fault_drill.fault_drill`): every
+index backend under seeded transient faults and permanent corruption,
+plus an on-disk CRC round trip.  Exit status reflects the drill verdict.
 """
 
 from __future__ import annotations
@@ -152,6 +157,16 @@ def main(argv=None) -> int:
         help="storage budgets as the paper's c in '2*(c)+1 doubles'",
     )
     parser.add_argument(
+        "--faults",
+        nargs="?",
+        type=int,
+        const=11,
+        default=None,
+        metavar="SEED",
+        help="run the resilience fault drill (optionally seeded) instead "
+        "of the evaluation report",
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help="collect metrics/spans and print the run summary",
@@ -163,6 +178,12 @@ def main(argv=None) -> int:
         help="write the raw metric/span records as JSON lines (implies --obs)",
     )
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        from repro.evaluation.fault_drill import fault_drill
+
+        _section(f"resilience fault drill (seed {args.faults})", sys.stdout)
+        return 0 if fault_drill(seed=args.faults) else 1
 
     watch = args.obs or args.obs_json is not None
     registry = obs.enable() if watch else None

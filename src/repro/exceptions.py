@@ -34,6 +34,40 @@ class StorageError(ReproError):
     """A failure inside the relational/storage substrate."""
 
 
+class CorruptionError(StorageError):
+    """Stored bytes fail validation (checksum mismatch, bad magic/header).
+
+    Permanent by definition: retrying the read returns the same bad
+    bytes, so the retry policy never retries it — the engine quarantines
+    the affected sequence instead (see ``docs/RESILIENCE.md``).
+    """
+
+
+class TornWriteError(CorruptionError):
+    """A write was interrupted mid-page (truncated file, half-written or
+    never-written page where data was expected)."""
+
+
+class TransientStorageError(StorageError, OSError):
+    """A storage fault that may succeed on retry (I/O hiccup, EINTR-like).
+
+    Subclasses :class:`OSError` so generic ``except OSError`` handlers —
+    and the retry policy, which retries all :class:`OSError` — treat it
+    like any other transient I/O failure.  The fault-injection harness
+    raises it for injected transient faults.
+    """
+
+
+class IngestionError(ReproError, ValueError):
+    """Dirty input was rejected at an ingestion boundary.
+
+    Raised (and dead-lettered) by :class:`repro.miner.QueryLogMiner` and
+    :class:`repro.bursts.query.BurstDatabase` for NaN/infinite values,
+    negative counts, or otherwise unusable records — instead of letting
+    them poison the live index or the burst table.
+    """
+
+
 class KeyNotFoundError(StorageError, KeyError):
     """A key was not present in a storage structure (B-tree, table, store)."""
 

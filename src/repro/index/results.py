@@ -61,6 +61,20 @@ class SearchStats:
         smallest-upper-bound (SUB) filter.
     candidates_after_sub_filter:
         Candidates left after discarding those with LB > SUB.
+    quarantined:
+        Members skipped because a permanent storage fault (corruption,
+        retries exhausted) put them in the index's quarantine — neither
+        pruned nor retrieved; the accounting invariant becomes
+        ``pruned + retrievals + quarantined == database_size``.
+    degraded:
+        ``True`` when this answer is best-effort: at least one member
+        was quarantined mid-query or the candidate generator failed and
+        the engine fell back to a linear scan.  A non-degraded result
+        is exact; a degraded one is exact over every readable member
+        (see ``docs/RESILIENCE.md``).
+    quarantined_ids:
+        The quarantined members this query skipped, for the caller's
+        report.
     """
 
     full_retrievals: int = 0
@@ -71,6 +85,9 @@ class SearchStats:
     early_abandons: int = 0
     candidates_after_traversal: int = 0
     candidates_after_sub_filter: int = 0
+    quarantined: int = 0
+    degraded: bool = False
+    quarantined_ids: tuple[int, ...] = ()
 
     def fraction_examined(self, database_size: int) -> float:
         """Fraction of the database compared uncompressed (fig. 22 metric)."""
@@ -88,22 +105,35 @@ class SearchStats:
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's counters into this one."""
         for spec in fields(self):
-            setattr(
-                self,
-                spec.name,
-                getattr(self, spec.name) + getattr(other, spec.name),
-            )
+            if spec.name == "degraded":
+                self.degraded = self.degraded or other.degraded
+            elif spec.name == "quarantined_ids":
+                self.quarantined_ids = self.quarantined_ids + tuple(
+                    i for i in other.quarantined_ids
+                    if i not in self.quarantined_ids
+                )
+            else:
+                setattr(
+                    self,
+                    spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name),
+                )
 
     def publish(self, prefix: str) -> None:
         """Add these counters to the active metrics registry, if any.
 
-        Counter names are ``{prefix}.{field}`` plus ``{prefix}.queries``;
-        the indexes call this once per search with prefixes like
+        Counter names are ``{prefix}.{field}`` plus ``{prefix}.queries``
+        (and ``{prefix}.degraded_queries`` for degraded answers); the
+        indexes call this once per search with prefixes like
         ``index.vptree.search`` (see ``docs/OBSERVABILITY.md``).  A no-op
         when observability is disabled.
         """
         if not obs.is_enabled():
             return
         obs.add(f"{prefix}.queries")
+        if self.degraded:
+            obs.add(f"{prefix}.degraded_queries")
         for spec in fields(self):
-            obs.add(f"{prefix}.{spec.name}", getattr(self, spec.name))
+            value = getattr(self, spec.name)
+            if isinstance(value, int) and not isinstance(value, bool):
+                obs.add(f"{prefix}.{spec.name}", value)

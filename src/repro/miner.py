@@ -37,8 +37,13 @@ from repro.datagen.components import DayGrid
 from repro.datagen.events import LogAggregator, LogRecord
 from repro.dtw.search import DTWSearch
 from repro.engine import available_indexes, get_index, search_many
-from repro.exceptions import SeriesMismatchError, UnknownQueryError
+from repro.exceptions import (
+    IngestionError,
+    SeriesMismatchError,
+    UnknownQueryError,
+)
 from repro.index.results import Neighbor
+from repro.resilience import DeadLetter, validate_counts
 from repro.periods.aggregate import SharedPeriod, shared_periods
 from repro.periods.detector import PeriodDetector
 from repro.timeseries.preprocessing import zscore
@@ -105,6 +110,7 @@ class QueryLogMiner:
         self._index = None
         self._indexed_count = 0
         self._dtw: DTWSearch | None = None
+        self._dead_letters: list[DeadLetter] = []
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -126,21 +132,61 @@ class QueryLogMiner:
         except KeyError:
             raise UnknownQueryError(name) from None
 
-    def add_series(self, series: TimeSeries) -> None:
-        """Ingest one fully aggregated daily-count series."""
+    @property
+    def dead_letters(self) -> tuple[DeadLetter, ...]:
+        """Rejected ingestion records, oldest first (audit/re-ingest)."""
+        return tuple(self._dead_letters)
+
+    def _reject(self, name: str, error: Exception):
+        """Dead-letter a rejected series and re-raise the typed error."""
+        self._dead_letters.append(
+            DeadLetter(
+                name=name or "<unnamed>",
+                reason=str(error),
+                error=type(error).__name__,
+            )
+        )
+        obs.add("miner.dead_letters")
+        raise error
+
+    def add_series(self, series: TimeSeries, *, counts: bool = False) -> None:
+        """Ingest one fully aggregated daily-count series.
+
+        Validation happens *before* any state mutates: NaN/infinite
+        values, a mismatched window, a missing or duplicate name are
+        rejected with a typed error
+        (:class:`~repro.exceptions.IngestionError`,
+        :class:`~repro.exceptions.SeriesMismatchError`, ...) and
+        recorded in :attr:`dead_letters` — the live VP-tree, the burst
+        table and the ingestion order never see the bad record.
+        ``counts=True`` additionally rejects negative values (always on
+        for the raw-log :meth:`add_records` path, where a negative
+        daily count is impossible; off here because callers also ingest
+        already-transformed, legitimately negative series).
+        """
         if not series.name:
-            raise UnknownQueryError("ingested series must be named")
+            self._reject("", UnknownQueryError("ingested series must be named"))
         if series.name in self._series:
-            raise UnknownQueryError(
-                f"query {series.name!r} is already ingested; "
-                f"build a new miner for a new window"
+            self._reject(
+                series.name,
+                UnknownQueryError(
+                    f"query {series.name!r} is already ingested; "
+                    f"build a new miner for a new window"
+                ),
             )
         if len(series) != len(self.grid) or series.start != self.grid.start:
-            raise SeriesMismatchError(
-                f"series {series.name!r} covers "
-                f"{series.start.isoformat()}+{len(series)}d, the miner "
-                f"covers {self.grid.start.isoformat()}+{len(self.grid)}d"
+            self._reject(
+                series.name,
+                SeriesMismatchError(
+                    f"series {series.name!r} covers "
+                    f"{series.start.isoformat()}+{len(series)}d, the miner "
+                    f"covers {self.grid.start.isoformat()}+{len(self.grid)}d"
+                ),
             )
+        try:
+            validate_counts(series.values, name=series.name, counts=counts)
+        except IngestionError as exc:
+            self._reject(series.name, exc)
         with obs.span("miner.add_series"):
             self._series[series.name] = series
             self._order.append(series.name)
@@ -161,13 +207,20 @@ class QueryLogMiner:
 
         Aggregates the stream into daily counts over the miner's window
         (the storage-efficient, privacy-preserving reduction the paper
-        advocates) and ingests each aggregated series.
+        advocates) and ingests each aggregated series.  Raw logs arrive
+        dirty, so this batch path is resilient: a series that fails
+        validation (or duplicates an ingested name) lands in
+        :attr:`dead_letters` and the rest of the batch proceeds — one
+        malformed query never sinks the ingest.
         """
         aggregator = LogAggregator(self.grid)
         aggregator.consume(records)
         added = []
         for name in aggregator.queries:
-            self.add_series(aggregator.series(name))
+            try:
+                self.add_series(aggregator.series(name), counts=True)
+            except (IngestionError, SeriesMismatchError, UnknownQueryError):
+                continue  # dead-lettered by add_series; keep the batch going
             added.append(name)
         return tuple(added)
 

@@ -1,0 +1,64 @@
+"""Ingestion validation and the dead-letter record.
+
+The paper's service ingests raw query logs — exactly the kind of input
+that arrives dirty: NaNs from upstream joins, negative counts from
+broken aggregation, sequences of the wrong length.  One malformed
+series must not poison the live VP-tree or the relational burst table,
+so the ingestion boundaries validate first and reject into a
+dead-letter buffer with a typed
+:class:`~repro.exceptions.IngestionError` instead of mutating state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import IngestionError
+
+__all__ = ["DeadLetter", "validate_counts"]
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One rejected ingestion record, kept for audit / re-ingestion."""
+
+    name: str  #: the series name (or a placeholder for anonymous input)
+    reason: str  #: human-readable rejection reason
+    error: str  #: the exception class name that carried the rejection
+
+
+def validate_counts(
+    values, name: str = "", *, counts: bool = False
+) -> np.ndarray:
+    """Validate a daily-count series; returns it as a float array.
+
+    Rejects (with :class:`~repro.exceptions.IngestionError`):
+
+    * non-finite values (NaN / ±inf) — they poison standardisation and
+      every distance downstream;
+    * empty input;
+    * with ``counts=True``, negative values — impossible for raw query
+      counts, a sure sign of a broken upstream aggregation.  Off by
+      default because already-transformed series (z-scored, detrended)
+      are legitimately negative.
+    """
+    label = f"series {name!r}" if name else "series"
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if arr.size == 0:
+        raise IngestionError(f"{label}: empty input")
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite)[0])
+        raise IngestionError(
+            f"{label}: non-finite value {arr[bad]!r} at day {bad}"
+        )
+    if counts and (arr < 0).any():
+        bad = int(np.flatnonzero(arr < 0)[0])
+        raise IngestionError(
+            f"{label}: negative count {arr[bad]!r} at day {bad}"
+        )
+    return arr

@@ -1,0 +1,90 @@
+"""Quarantine bookkeeping for degraded-mode query serving.
+
+When the shared verifier hits a permanent fault — a corrupt page, a
+retry budget exhausted — it does not raise: it records the offending
+sequence id here, skips it, and tags the query result ``degraded``.
+Subsequent queries consult the quarantine *before* fetching, so a dead
+sequence costs one failure ever, not one per query (the self-healing
+half: the service keeps answering from everything that still reads
+cleanly, and an operator can re-ingest the quarantined ids from the
+source of truth and :meth:`Quarantine.clear`).
+
+One :class:`Quarantine` is lazily attached per index structure
+(:func:`quarantine_of`); it also counts candidate-generator failures,
+which the engine answers with a linear-scan fallback.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+__all__ = ["Quarantine", "quarantine_of"]
+
+_ATTR = "_resilience_quarantine"
+
+
+class Quarantine:
+    """Sequence ids (and generator failures) excluded from serving."""
+
+    def __init__(self) -> None:
+        self._members: dict[int, str] = {}
+        self.generator_failures = 0
+        self.last_generator_error: str | None = None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._members
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def ids(self) -> tuple[int, ...]:
+        """The quarantined sequence ids, in quarantine order."""
+        return tuple(self._members)
+
+    def reason(self, seq_id: int) -> str | None:
+        """Why a sequence was quarantined (``None`` if it was not)."""
+        return self._members.get(seq_id)
+
+    def add(self, seq_id: int, error: BaseException | str) -> bool:
+        """Quarantine one sequence; returns ``True`` if newly added."""
+        seq_id = int(seq_id)
+        if seq_id in self._members:
+            return False
+        self._members[seq_id] = (
+            error if isinstance(error, str) else f"{type(error).__name__}: {error}"
+        )
+        obs.add("resilience.quarantines")
+        return True
+
+    def note_generator_failure(self, error: BaseException) -> None:
+        """Record a candidate-generator failure (engine falls back to scan)."""
+        self.generator_failures += 1
+        self.last_generator_error = f"{type(error).__name__}: {error}"
+        obs.add("resilience.generator_failures")
+
+    def clear(self) -> None:
+        """Lift the quarantine (after repair / re-ingestion)."""
+        self._members.clear()
+        self.generator_failures = 0
+        self.last_generator_error = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Quarantine({len(self._members)} sequences, "
+            f"{self.generator_failures} generator failures)"
+        )
+
+
+def quarantine_of(index) -> Quarantine:
+    """The quarantine attached to an index (created on first use)."""
+    quarantine = getattr(index, _ATTR, None)
+    if quarantine is None:
+        quarantine = Quarantine()
+        try:
+            setattr(index, _ATTR, quarantine)
+        except AttributeError:  # __slots__ structures keep an unattached one
+            pass
+    return quarantine

@@ -1,0 +1,206 @@
+"""Bounded exponential-backoff retry for transient storage faults.
+
+The policy draws a hard line through the exception hierarchy:
+
+* **transient** — :class:`OSError` (including the harness's
+  :class:`~repro.exceptions.TransientStorageError`): retried up to
+  ``max_attempts`` with exponentially growing, capped delays;
+* **permanent** — :class:`~repro.exceptions.CorruptionError` and every
+  other :class:`~repro.exceptions.StorageError`: never retried (the
+  same bad bytes would come back), surfaced immediately so the engine
+  can quarantine and degrade instead.
+
+Every retry increments the ``resilience.retries`` obs counter; a retry
+budget exhausted increments ``resilience.giveups`` and re-raises the
+last error.  The active policy is process-global (like the obs
+registry): :func:`active_policy` / :func:`set_policy` /
+:func:`policy_context`.
+
+>>> calls = []
+>>> def flaky():
+...     calls.append(1)
+...     if len(calls) < 3:
+...         raise OSError("hiccup")
+...     return "ok"
+>>> call_with_retry(flaky, RetryPolicy(max_attempts=4, sleep=lambda s: None))
+'ok'
+>>> len(calls)
+3
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import CorruptionError
+
+__all__ = [
+    "RetryPolicy",
+    "call_with_retry",
+    "active_policy",
+    "set_policy",
+    "policy_context",
+    "RetryingStore",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the system responds to storage faults.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per operation (first call included).  The default 4
+        out-waits the fault harness's default streak bound of 2.
+    base_delay_s / multiplier / max_delay_s:
+        Bounded exponential backoff: attempt ``i`` (0-based retry index)
+        sleeps ``min(base * multiplier**i, max_delay_s)``.
+    degrade:
+        When a fault is permanent (corruption, retries exhausted), the
+        engine quarantines the sequence and serves a degraded answer
+        instead of raising.  ``False`` restores fail-stop behaviour —
+        useful in tests that assert the raw error surfaces.
+    sleep:
+        Injection point for the delay (tests pass a recorder; the
+        default blocks the calling thread).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 0.050
+    degrade: bool = True
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_s(self, retry_index: int) -> float:
+        """The bounded backoff delay before retry ``retry_index`` (0-based)."""
+        return min(
+            self.base_delay_s * self.multiplier**retry_index, self.max_delay_s
+        )
+
+    def with_(self, **changes) -> "RetryPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The process-wide default: absorb short transient streaks, degrade on
+#: permanent faults.  Swap it with :func:`set_policy`.
+DEFAULT_POLICY = RetryPolicy()
+
+_active: RetryPolicy = DEFAULT_POLICY
+
+
+def active_policy() -> RetryPolicy:
+    """The policy the engine and retrying wrappers currently consult."""
+    return _active
+
+
+def set_policy(policy: RetryPolicy) -> RetryPolicy:
+    """Install ``policy`` as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = policy
+    return previous
+
+
+@contextmanager
+def policy_context(policy: RetryPolicy):
+    """Temporarily install ``policy`` (restores the previous on exit)."""
+    previous = set_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_policy(previous)
+
+
+def call_with_retry(fn, policy: RetryPolicy | None = None, op: str = "storage"):
+    """Run ``fn()``; retry transient :class:`OSError` faults per policy.
+
+    Permanent faults (:class:`~repro.exceptions.CorruptionError`, or any
+    non-``OSError``) propagate immediately.  When the retry budget runs
+    out the last transient error is re-raised and
+    ``resilience.giveups`` is incremented.
+    """
+    policy = policy if policy is not None else _active
+    retry_index = 0
+    while True:
+        try:
+            return fn()
+        except CorruptionError:
+            raise  # permanent: the same bytes would fail again
+        except OSError:
+            if retry_index + 1 >= policy.max_attempts:
+                obs.add("resilience.giveups")
+                raise
+            obs.add("resilience.retries")
+            policy.sleep(policy.delay_s(retry_index))
+            retry_index += 1
+
+
+class RetryingStore:
+    """A sequence-store wrapper that retries transient faults.
+
+    Composes with :class:`~repro.resilience.faults.FaultyStore` (or any
+    store whose reads may raise :class:`OSError`) to absorb bounded
+    transient streaks below the index traversals — tree vantage reads
+    included — so callers above never see the hiccup.
+    """
+
+    def __init__(self, inner, policy: RetryPolicy | None = None) -> None:
+        self._inner = inner
+        self._policy = policy
+
+    @property
+    def sequence_length(self) -> int:
+        return self._inner.sequence_length
+
+    @property
+    def pages_per_sequence(self) -> int:
+        return self._inner.pages_per_sequence
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def append(self, values) -> int:
+        return call_with_retry(
+            lambda: self._inner.append(values), self._policy, "store.append"
+        )
+
+    def append_matrix(self, matrix):
+        return [self.append(row) for row in np.asarray(matrix, dtype=np.float64)]
+
+    def read(self, seq_id: int) -> np.ndarray:
+        return call_with_retry(
+            lambda: self._inner.read(seq_id), self._policy, "store.read"
+        )
+
+    def read_many(self, seq_ids) -> np.ndarray:
+        return np.stack([self.read(int(seq_id)) for seq_id in seq_ids])
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __enter__(self) -> "RetryingStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,27 +13,49 @@ touched and (an estimate of) random seeks.
 cost, so "index in memory" and "index on disk" are the same code path with
 a different store plugged in.
 
-File layout: a small header (magic, page size, sequence length), then each
-sequence serialised as consecutive float64 pages, aligned to page
-boundaries so that sequence ``i`` starts at a deterministic offset.
+File layout (format 2, the default): a checksummed header page (magic,
+page size, sequence length, header CRC32), then each sequence serialised
+as consecutive float64 pages.  Every data page reserves its final four
+bytes for a CRC32 of the page payload, so a flipped bit, a half-written
+page or a truncated file surfaces as a typed
+:class:`~repro.exceptions.CorruptionError` /
+:class:`~repro.exceptions.TornWriteError` instead of silently feeding
+garbage floats to the query engine.  Format-1 files (the pre-checksum
+layout) remain fully readable; they simply have no checksums to verify.
+See ``docs/RESILIENCE.md`` for the fault model.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
-from repro.exceptions import KeyNotFoundError, StorageError
+from repro.exceptions import (
+    CorruptionError,
+    KeyNotFoundError,
+    StorageError,
+    TornWriteError,
+)
 from repro.timeseries.preprocessing import as_float_array
 
 __all__ = ["IOStats", "SequencePageStore", "MemorySequenceStore"]
 
-_MAGIC = b"RPRSEQ1\x00"
-_HEADER = struct.Struct("<8sIQ")  # magic, page_size, sequence_length
+_MAGIC_V1 = b"RPRSEQ1\x00"
+_MAGIC_V2 = b"RPRSEQ2\x00"
+_HEADER_V1 = struct.Struct("<8sIQ")  # magic, page_size, sequence_length
+_HEADER_V2 = struct.Struct("<8sIQI")  # ... + CRC32 of the preceding fields
+#: Bytes reserved at the end of every format-2 data page for its CRC32.
+_PAGE_CRC_BYTES = 4
+_PAGE_CRC = struct.Struct("<I")
+#: Upper sanity bound for header fields — a corrupted header must not be
+#: able to request absurd allocations before the CRC check existed (v1).
+_MAX_PAGE_SIZE = 1 << 24
+_MAX_SEQUENCE_LENGTH = 1 << 40
 
 
 @dataclass
@@ -73,50 +95,133 @@ class SequencePageStore:
     sequence_length:
         Length of every stored sequence (fixed per store).
     page_size:
-        Simulated disk page size in bytes (default 4096).
+        Simulated disk page size in bytes (default 4096).  In the
+        checksummed format each page carries ``page_size - 4`` bytes of
+        payload; the final four hold the page's CRC32.
+    verify_checksums:
+        Verify every data page's CRC32 on read (default).  Turning it
+        off trades integrity detection for a little CPU — the overhead
+        benchmark prices both paths.
     """
 
-    def __init__(self, path, sequence_length: int, page_size: int = 4096) -> None:
-        if sequence_length <= 0:
-            raise StorageError("sequence_length must be positive")
-        if page_size < 64:
-            raise StorageError("page_size must be at least 64 bytes")
+    def __init__(
+        self,
+        path,
+        sequence_length: int,
+        page_size: int = 4096,
+        verify_checksums: bool = True,
+    ) -> None:
+        self._validate_geometry(sequence_length, page_size)
         self.path = os.fspath(path)
         self.sequence_length = int(sequence_length)
         self.page_size = int(page_size)
+        self.format_version = 2
+        self.verify_checksums = bool(verify_checksums)
         self.stats = IOStats()
-        bytes_per_sequence = self.sequence_length * 8
-        self._pages_per_sequence = -(-bytes_per_sequence // self.page_size)
+        self._init_geometry()
         self._count = 0
         self._file = open(self.path, "w+b")
-        self._file.write(_HEADER.pack(_MAGIC, self.page_size, self.sequence_length))
-        self._data_offset = self._align(_HEADER.size)
-        self._file.write(b"\x00" * (self._data_offset - _HEADER.size))
+        header = _HEADER_V2.pack(
+            _MAGIC_V2,
+            self.page_size,
+            self.sequence_length,
+            zlib.crc32(
+                _HEADER_V1.pack(_MAGIC_V2, self.page_size, self.sequence_length)
+            ),
+        )
+        self._file.write(header)
+        self._data_offset = self._align(_HEADER_V2.size)
+        self._file.write(b"\x00" * (self._data_offset - _HEADER_V2.size))
         self._file.flush()
 
+    @staticmethod
+    def _validate_geometry(sequence_length: int, page_size: int) -> None:
+        if not 0 < sequence_length <= _MAX_SEQUENCE_LENGTH:
+            raise StorageError(
+                f"sequence_length must be in (0, {_MAX_SEQUENCE_LENGTH}], "
+                f"got {sequence_length}"
+            )
+        if not 64 <= page_size <= _MAX_PAGE_SIZE:
+            raise StorageError(
+                f"page_size must be in [64, {_MAX_PAGE_SIZE}] bytes, "
+                f"got {page_size}"
+            )
+
+    def _init_geometry(self) -> None:
+        bytes_per_sequence = self.sequence_length * 8
+        payload = self.page_size
+        if self.format_version >= 2:
+            payload -= _PAGE_CRC_BYTES
+        self._payload_per_page = payload
+        self._pages_per_sequence = -(-bytes_per_sequence // payload)
+
     @classmethod
-    def open(cls, path, page_size: int | None = None) -> "SequencePageStore":
+    def open(
+        cls,
+        path,
+        page_size: int | None = None,
+        *,
+        repair: bool = False,
+        verify_checksums: bool = True,
+    ) -> "SequencePageStore":
         """Reopen an existing store file, validating its header.
 
-        The sequence length and page size are read back from the header;
-        passing ``page_size`` asserts the expectation.  The sequence count
-        is recovered from the file size, so a store survives process
-        restarts.
+        The sequence length and page size are read back from the
+        (checksummed, for format-2 files) header; passing ``page_size``
+        asserts the expectation.  The sequence count is recovered from
+        the file size, so a store survives process restarts.
+
+        A format-2 file whose size is not a whole number of sequences
+        records a torn write — a crash mid-append.  By default that
+        raises :class:`~repro.exceptions.TornWriteError`; with
+        ``repair=True`` the partial trailing sequence is truncated away
+        (the self-healing path: everything fully written stays
+        readable).  Format-1 files keep their historical
+        floor-to-whole-sequences behaviour.
         """
         path = os.fspath(path)
         try:
             with open(path, "rb") as probe:
-                header = probe.read(_HEADER.size)
+                raw_header = probe.read(_HEADER_V2.size)
                 file_size = os.path.getsize(path)
         except OSError as exc:
             raise StorageError(f"cannot open store file {path!r}: {exc}")
-        if len(header) < _HEADER.size:
-            raise StorageError(f"{path!r} is too short to be a sequence store")
-        magic, stored_page_size, sequence_length = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise StorageError(
+        if len(raw_header) < _HEADER_V1.size:
+            raise TornWriteError(
+                f"{path!r} is too short to be a sequence store"
+            )
+        magic = raw_header[:8]
+        if magic == _MAGIC_V2:
+            if len(raw_header) < _HEADER_V2.size:
+                raise TornWriteError(
+                    f"{path!r}: truncated format-2 header"
+                )
+            magic, stored_page_size, sequence_length, stored_crc = (
+                _HEADER_V2.unpack(raw_header)
+            )
+            expected_crc = zlib.crc32(raw_header[: _HEADER_V1.size])
+            if stored_crc != expected_crc:
+                raise CorruptionError(
+                    f"{path!r}: header CRC mismatch "
+                    f"(stored {stored_crc:#010x}, "
+                    f"computed {expected_crc:#010x})"
+                )
+            version = 2
+        elif magic == _MAGIC_V1:
+            magic, stored_page_size, sequence_length = _HEADER_V1.unpack(
+                raw_header[: _HEADER_V1.size]
+            )
+            version = 1
+        else:
+            raise CorruptionError(
                 f"{path!r} is not a sequence store (bad magic {magic!r})"
             )
+        try:
+            cls._validate_geometry(sequence_length, stored_page_size)
+        except StorageError as exc:
+            raise CorruptionError(
+                f"{path!r}: implausible header fields: {exc}"
+            ) from None
         if page_size is not None and page_size != stored_page_size:
             raise StorageError(
                 f"store {path!r} uses page size {stored_page_size}, "
@@ -127,14 +232,30 @@ class SequencePageStore:
         store.path = path
         store.sequence_length = int(sequence_length)
         store.page_size = int(stored_page_size)
+        store.format_version = version
+        store.verify_checksums = bool(verify_checksums)
         store.stats = IOStats()
-        bytes_per_sequence = store.sequence_length * 8
-        store._pages_per_sequence = -(-bytes_per_sequence // store.page_size)
+        store._init_geometry()
         store._file = open(path, "r+b")
-        store._data_offset = store._align(_HEADER.size)
+        header_size = _HEADER_V2.size if version == 2 else _HEADER_V1.size
+        store._data_offset = store._align(header_size)
         payload_bytes = max(file_size - store._data_offset, 0)
         sequence_bytes = store._pages_per_sequence * store.page_size
         store._count = payload_bytes // sequence_bytes
+        if version == 2 and payload_bytes % sequence_bytes:
+            if not repair:
+                store._file.close()
+                raise TornWriteError(
+                    f"{path!r}: trailing partial sequence "
+                    f"({payload_bytes % sequence_bytes} bytes past the "
+                    f"last whole sequence) — reopen with repair=True to "
+                    f"truncate it"
+                )
+            store._file.truncate(
+                store._data_offset + store._count * sequence_bytes
+            )
+            store._file.flush()
+            obs.add("resilience.storage_repairs")
         return store
 
     def _align(self, offset: int) -> int:
@@ -143,7 +264,12 @@ class SequencePageStore:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
     def close(self) -> None:
+        """Release the backing file descriptor; safe to call repeatedly."""
         if not self._file.closed:
             self._file.close()
 
@@ -173,13 +299,8 @@ class SequencePageStore:
                 f"got {arr.size}"
             )
         seq_id = self._count
-        offset = self._offset_of(seq_id)
-        self._file.seek(offset)
-        payload = arr.tobytes()
-        self._file.write(payload)
-        padding = self._pages_per_sequence * self.page_size - len(payload)
-        if padding:
-            self._file.write(b"\x00" * padding)
+        self._file.seek(self._offset_of(seq_id))
+        self._file.write(self._encode_block(arr.tobytes()))
         obs.add("storage.page_writes", self._pages_per_sequence)
         self._count += 1
         return seq_id
@@ -194,16 +315,76 @@ class SequencePageStore:
             + seq_id * self._pages_per_sequence * self.page_size
         )
 
+    def _encode_block(self, payload: bytes) -> bytes:
+        """Serialise one sequence as zero-padded, checksummed pages."""
+        if self.format_version == 1:
+            block_size = self._pages_per_sequence * self.page_size
+            return payload + b"\x00" * (block_size - len(payload))
+        block = bytearray()
+        for start in range(0, self._payload_per_page * self._pages_per_sequence,
+                           self._payload_per_page):
+            chunk = payload[start : start + self._payload_per_page]
+            if len(chunk) < self._payload_per_page:
+                chunk = chunk + b"\x00" * (self._payload_per_page - len(chunk))
+            block += chunk
+            block += _PAGE_CRC.pack(zlib.crc32(chunk))
+        return bytes(block)
+
+    def _decode_block(self, seq_id: int, block: bytes) -> np.ndarray:
+        """Validate a sequence's pages and strip the checksums."""
+        expected = self._pages_per_sequence * self.page_size
+        if len(block) < expected:
+            raise TornWriteError(
+                f"store {self.path!r}: sequence {seq_id} is truncated "
+                f"({len(block)} of {expected} bytes on disk)"
+            )
+        if self.format_version == 1:
+            payload = block[: self.sequence_length * 8]
+            return np.frombuffer(payload, dtype=np.float64).copy()
+        payload = bytearray()
+        verify = self.verify_checksums
+        for page in range(self._pages_per_sequence):
+            start = page * self.page_size
+            chunk = block[start : start + self._payload_per_page]
+            if verify:
+                stored = _PAGE_CRC.unpack_from(
+                    block, start + self._payload_per_page
+                )[0]
+                computed = zlib.crc32(chunk)
+                if stored != computed:
+                    page_bytes = block[start : start + self.page_size]
+                    obs.add("resilience.corrupt_pages")
+                    if not any(page_bytes):
+                        raise TornWriteError(
+                            f"store {self.path!r}: sequence {seq_id} page "
+                            f"{page} was never written (torn write)"
+                        )
+                    raise CorruptionError(
+                        f"store {self.path!r}: sequence {seq_id} page "
+                        f"{page} CRC mismatch (stored {stored:#010x}, "
+                        f"computed {computed:#010x})"
+                    )
+            payload += chunk
+        return np.frombuffer(
+            bytes(payload[: self.sequence_length * 8]), dtype=np.float64
+        ).copy()
+
+    def _read_block(self, seq_id: int) -> bytes:
+        self._file.seek(self._offset_of(seq_id))
+        return self._file.read(self._pages_per_sequence * self.page_size)
+
     def read(self, seq_id: int) -> np.ndarray:
-        """Fetch a sequence by id, charging its pages to :attr:`stats`."""
+        """Fetch a sequence by id, charging its pages to :attr:`stats`.
+
+        Raises :class:`~repro.exceptions.CorruptionError` (or its
+        subclass :class:`~repro.exceptions.TornWriteError`) when a
+        format-2 page fails validation.
+        """
         if not 0 <= seq_id < self._count:
             raise KeyNotFoundError(seq_id)
         offset = self._offset_of(seq_id)
-        first_page = offset // self.page_size
-        self.stats.charge(first_page, self._pages_per_sequence)
-        self._file.seek(offset)
-        payload = self._file.read(self.sequence_length * 8)
-        return np.frombuffer(payload, dtype=np.float64).copy()
+        self.stats.charge(offset // self.page_size, self._pages_per_sequence)
+        return self._decode_block(seq_id, self._read_block(seq_id))
 
     def read_many(self, seq_ids) -> np.ndarray:
         """Fetch several sequences as a ``(len(seq_ids), n)`` matrix.
@@ -214,6 +395,25 @@ class SequencePageStore:
         page-count discount.
         """
         return np.stack([self.read(int(seq_id)) for seq_id in seq_ids])
+
+    def scrub(self) -> tuple[int, ...]:
+        """Verify every stored sequence; return the ids that fail.
+
+        A maintenance pass (it bypasses :attr:`stats`, so experiment I/O
+        counters stay meaningful): each sequence's pages are read and
+        checksum-validated, and the ids of corrupt or torn sequences are
+        returned instead of raised — feed them to the engine's
+        quarantine, or re-ingest them from the source of truth.
+        """
+        bad: list[int] = []
+        for seq_id in range(self._count):
+            try:
+                self._decode_block(seq_id, self._read_block(seq_id))
+            except CorruptionError:
+                bad.append(seq_id)
+        if bad:
+            obs.add("resilience.scrub_failures", len(bad))
+        return tuple(bad)
 
 
 class MemorySequenceStore:

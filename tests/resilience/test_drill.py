@@ -1,0 +1,34 @@
+"""The operational fault drill (``python -m repro.evaluation --faults``)."""
+
+import io
+
+import pytest
+
+from repro.evaluation.fault_drill import fault_drill
+from repro.evaluation.runner import main
+
+pytestmark = pytest.mark.faults
+
+
+def test_drill_passes_at_small_scale():
+    out = io.StringIO()
+    assert fault_drill(db_size=48, days=32, queries=2, seed=3, k=2, out=out)
+    text = out.getvalue()
+    assert "drill passed" in text
+    for backend in ("flat", "vptree", "mvptree", "mtree", "rtree", "scan"):
+        assert f"{backend:<8s} ok" in text
+    assert "resilience.retries" in text
+
+
+def test_drill_is_deterministic_in_seed():
+    first, second = io.StringIO(), io.StringIO()
+    assert fault_drill(db_size=48, days=32, queries=2, seed=5, k=2, out=first)
+    assert fault_drill(db_size=48, days=32, queries=2, seed=5, k=2, out=second)
+    assert first.getvalue() == second.getvalue()
+
+
+def test_runner_flag_invokes_drill(capsys):
+    assert main(["--faults", "3"]) == 0
+    captured = capsys.readouterr().out
+    assert "resilience fault drill (seed 3)" in captured
+    assert "drill passed" in captured

@@ -1,0 +1,229 @@
+"""The fault harness itself: determinism, wrappers, typed surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CorruptionError,
+    StorageError,
+    TornWriteError,
+    TransientStorageError,
+)
+from repro.resilience import FaultPlan, FaultyFile, FaultyIndex, FaultyStore
+from repro.storage.pagestore import SequencePageStore
+
+pytestmark = pytest.mark.faults
+
+SPEC = dict(
+    bitflip_rate=0.3,
+    transient_rate=0.2,
+    truncate_rate=0.1,
+    torn_write_rate=0.1,
+    latency_rate=0.05,
+)
+
+
+def drive(plan: FaultPlan):
+    """A fixed operation sequence; returns every decision the plan made."""
+    decisions = []
+    payload = bytes(range(256)) * 4
+    for step in range(50):
+        decisions.append(plan.transient_failures("read"))
+        decisions.append(plan.maybe_flip(payload, "read"))
+        decisions.append(plan.maybe_truncate(payload, "read"))
+        decisions.append(plan.torn_write_prefix(len(payload), "write"))
+        plan.maybe_sleep("op")
+    return decisions
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_decisions(self):
+        first, second = FaultPlan(seed=42, **SPEC), FaultPlan(seed=42, **SPEC)
+        assert drive(first) == drive(second)
+        assert first.events == second.events
+
+    def test_replay_is_bit_reproducible(self):
+        plan = FaultPlan(seed=9, **SPEC)
+        decisions = drive(plan)
+        replayed = plan.replay()
+        assert replayed.events == []  # clean log
+        assert drive(replayed) == decisions
+        assert replayed.events == plan.events
+
+    def test_different_seeds_diverge(self):
+        assert drive(FaultPlan(seed=1, **SPEC)) != drive(
+            FaultPlan(seed=2, **SPEC)
+        )
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(bitflip_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(max_transient_streak=0)
+
+    def test_bitflip_changes_exactly_one_bit(self):
+        plan = FaultPlan(seed=3, bitflip_rate=1.0)
+        data = bytes(64)
+        flipped = plan.maybe_flip(data)
+        delta = [a ^ b for a, b in zip(data, flipped)]
+        assert sum(bin(d).count("1") for d in delta) == 1
+
+    def test_zero_rates_are_silent(self):
+        plan = FaultPlan(seed=4)
+        data = b"untouched"
+        assert plan.maybe_flip(data) == data
+        assert plan.maybe_truncate(data) == data
+        assert plan.torn_write_prefix(len(data)) is None
+        assert plan.transient_failures("read") == 0
+        assert plan.events == []
+
+
+class TestTransientStreaks:
+    def test_streak_bounded_then_succeeds(self):
+        plan = FaultPlan(seed=5, transient_rate=1.0, max_transient_streak=3)
+        store = FaultyStore(_memory_store(), plan)
+        for _ in range(20):
+            failures = 0
+            while True:
+                try:
+                    store.read(0)
+                    break
+                except TransientStorageError:
+                    failures += 1
+            # rate 1.0 always arms a streak; its length never exceeds
+            # the bound, and success always follows.
+            assert 1 <= failures <= 3
+
+    def test_streaks_are_per_target(self):
+        plan = FaultPlan(seed=6, transient_rate=1.0, max_transient_streak=1)
+        store = FaultyStore(_memory_store(), plan)
+        with pytest.raises(TransientStorageError):
+            store.read(0)
+        with pytest.raises(TransientStorageError):
+            store.read(1)  # id 1 arms its own streak
+        assert store.read(0).shape == (8,)
+        assert store.read(1).shape == (8,)
+
+    def test_transient_is_both_storage_and_os_error(self):
+        error = TransientStorageError("hiccup")
+        assert isinstance(error, StorageError)
+        assert isinstance(error, OSError)
+
+
+def _memory_store(count: int = 4, length: int = 8):
+    from repro.storage.pagestore import MemorySequenceStore
+
+    store = MemorySequenceStore(length)
+    store.append_matrix(np.arange(count * length, dtype=float).reshape(count, length))
+    return store
+
+
+class TestFaultyFile:
+    def _store_with_rows(self, tmp_path, plan=None, rows=4, length=512):
+        matrix = np.random.default_rng(0).normal(size=(rows, length))
+        store = SequencePageStore(str(tmp_path / "f.pages"), length)
+        store.append_matrix(matrix)
+        if plan is not None:
+            FaultyFile.under(store, plan)
+        return store, matrix
+
+    def test_bitflip_below_store_is_caught_by_crc(self, tmp_path):
+        plan = FaultPlan(seed=7, bitflip_rate=1.0)
+        store, _ = self._store_with_rows(tmp_path, plan)
+        with pytest.raises(CorruptionError):
+            store.read(1)
+
+    def test_truncated_read_is_torn_write(self, tmp_path):
+        plan = FaultPlan(seed=8, truncate_rate=1.0)
+        store, _ = self._store_with_rows(tmp_path, plan)
+        with pytest.raises(TornWriteError):
+            store.read(2)
+
+    def test_fault_free_plan_is_transparent(self, tmp_path):
+        store, matrix = self._store_with_rows(tmp_path, FaultPlan(seed=9))
+        np.testing.assert_array_equal(store.read(3), matrix[3])
+
+    def test_same_seed_corrupts_identically(self, tmp_path):
+        outcomes = []
+        for run in range(2):
+            plan = FaultPlan(seed=10, bitflip_rate=0.5)
+            run_dir = tmp_path / str(run)
+            run_dir.mkdir()
+            store, _ = self._store_with_rows(run_dir, plan=None)
+            store.close()
+            reopened = SequencePageStore.open(str(tmp_path / str(run) / "f.pages"))
+            FaultyFile.under(reopened, plan)
+            log = []
+            for seq_id in range(4):
+                try:
+                    log.append(("ok", tuple(reopened.read(seq_id)[:4])))
+                except CorruptionError:
+                    log.append(("corrupt", seq_id))
+            outcomes.append((tuple(log), tuple(plan.events)))
+            reopened.close()
+        assert outcomes[0] == outcomes[1]
+
+    def test_torn_write_leaves_detectable_tail(self, tmp_path):
+        length = 512
+        store = SequencePageStore(str(tmp_path / "torn.pages"), length)
+        store.append(np.zeros(length) + 1.0)
+        FaultyFile.under(store, FaultPlan(seed=11, torn_write_rate=1.0))
+        store.append(np.zeros(length) + 2.0)
+        store.close()
+        with pytest.raises(TornWriteError):
+            SequencePageStore.open(str(tmp_path / "torn.pages"))
+        repaired = SequencePageStore.open(
+            str(tmp_path / "torn.pages"), repair=True
+        )
+        assert len(repaired) >= 1
+        np.testing.assert_array_equal(repaired.read(0), np.ones(length))
+        repaired.close()
+
+
+class TestFaultyStore:
+    def test_protocol_passthrough(self):
+        inner = _memory_store()
+        store = FaultyStore(inner, FaultPlan())
+        assert len(store) == 4
+        assert store.sequence_length == 8
+        assert store.pages_per_sequence == inner.pages_per_sequence
+        np.testing.assert_array_equal(store.read_many([0, 2]), inner.read_many([0, 2]))
+        with FaultyStore(_memory_store(), FaultPlan()) as managed:
+            assert managed.read(0) is not None
+
+    def test_corrupt_ids_raise_permanently(self):
+        store = FaultyStore(_memory_store(), FaultPlan(), corrupt_ids=[2])
+        for _ in range(3):
+            with pytest.raises(CorruptionError):
+                store.read(2)
+        assert store.read(1).shape == (8,)
+
+
+class TestFaultyIndex:
+    def _index(self, **kwargs):
+        from repro.engine.registry import get_index
+
+        matrix = np.random.default_rng(1).normal(size=(32, 64))
+        return FaultyIndex(get_index("flat", matrix), **kwargs), matrix
+
+    def test_fetch_respects_corrupt_ids(self):
+        index, matrix = self._index(plan=FaultPlan(), corrupt_ids=[5])
+        with pytest.raises(CorruptionError):
+            index.fetch(5)
+        np.testing.assert_array_equal(index.fetch(6), matrix[6])
+
+    def test_transient_fetch_then_success(self):
+        index, matrix = self._index(
+            plan=FaultPlan(seed=12, transient_rate=1.0, max_transient_streak=1)
+        )
+        with pytest.raises(TransientStorageError):
+            index.fetch(0)
+        np.testing.assert_array_equal(index.fetch(0), matrix[0])
+
+    def test_no_store_attribute(self):
+        # The batched path must funnel through the faulted fetch; a
+        # visible ``store`` would let it bypass the harness.
+        index, _ = self._index(plan=FaultPlan())
+        assert not hasattr(index, "store")

@@ -1,0 +1,182 @@
+"""Bounded exponential backoff: policy maths, absorption, giveups."""
+
+import pytest
+
+import repro.obs as obs
+from repro.exceptions import CorruptionError, TransientStorageError
+from repro.resilience import (
+    DEFAULT_POLICY,
+    FaultPlan,
+    FaultyStore,
+    RetryingStore,
+    RetryPolicy,
+    active_policy,
+    call_with_retry,
+    policy_context,
+    set_policy,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def recorder():
+    delays = []
+    return delays, RetryPolicy(max_attempts=4, sleep=delays.append)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=0.001, multiplier=2.0, max_delay_s=0.005
+        )
+        assert policy.delay_s(0) == 0.001
+        assert policy.delay_s(1) == 0.002
+        assert policy.delay_s(2) == 0.004
+        assert policy.delay_s(3) == 0.005  # capped
+        assert policy.delay_s(10) == 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_with_copies(self):
+        policy = RetryPolicy()
+        louder = policy.with_(max_attempts=9)
+        assert louder.max_attempts == 9
+        assert policy.max_attempts == DEFAULT_POLICY.max_attempts
+
+    def test_default_outwaits_harness_streak_bound(self):
+        # The theorem the drill relies on: default attempts > default
+        # streak bound, so transient faults are always absorbed.
+        assert DEFAULT_POLICY.max_attempts > FaultPlan().max_transient_streak
+
+
+class TestActivePolicy:
+    def test_set_and_restore(self):
+        custom = RetryPolicy(max_attempts=2)
+        previous = set_policy(custom)
+        try:
+            assert active_policy() is custom
+        finally:
+            set_policy(previous)
+        assert active_policy() is previous
+
+    def test_context_restores_on_exit(self):
+        before = active_policy()
+        with policy_context(RetryPolicy(max_attempts=7)) as inside:
+            assert active_policy() is inside
+        assert active_policy() is before
+
+
+class TestCallWithRetry:
+    def test_absorbs_transient_streak(self):
+        delays, policy = recorder()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientStorageError("hiccup")
+            return "served"
+
+        assert call_with_retry(flaky, policy) == "served"
+        assert len(calls) == 3
+        assert delays == [policy.delay_s(0), policy.delay_s(1)]
+
+    def test_gives_up_after_budget(self):
+        delays, policy = recorder()
+
+        def always_down():
+            raise OSError("still down")
+
+        with obs.observed() as registry:
+            with pytest.raises(OSError):
+                call_with_retry(always_down, policy)
+        assert len(delays) == policy.max_attempts - 1
+        assert registry.counter("resilience.giveups").value == 1
+        assert (
+            registry.counter("resilience.retries").value
+            == policy.max_attempts - 1
+        )
+
+    def test_corruption_is_never_retried(self):
+        delays, policy = recorder()
+        calls = []
+
+        def corrupt():
+            calls.append(1)
+            raise CorruptionError("bad page")
+
+        with pytest.raises(CorruptionError):
+            call_with_retry(corrupt, policy)
+        assert len(calls) == 1  # permanent: one attempt, no sleeps
+        assert delays == []
+
+    def test_non_os_errors_propagate(self):
+        def broken():
+            raise ValueError("not a storage fault")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, recorder()[1])
+
+    def test_counts_retries(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("once")
+            return 1
+
+        with obs.observed() as registry:
+            call_with_retry(flaky, recorder()[1])
+        assert registry.counter("resilience.retries").value == 1
+        assert registry.counter("resilience.giveups").value == 0
+
+
+class TestRetryingStore:
+    def _stack(self, seed=0, transient_rate=0.5, **policy_kwargs):
+        import numpy as np
+
+        from repro.storage.pagestore import MemorySequenceStore
+
+        inner = MemorySequenceStore(16)
+        inner.append_matrix(
+            np.arange(8 * 16, dtype=float).reshape(8, 16)
+        )
+        faulty = FaultyStore(
+            inner, FaultPlan(seed=seed, transient_rate=transient_rate)
+        )
+        policy = RetryPolicy(sleep=lambda s: None, **policy_kwargs)
+        return inner, RetryingStore(faulty, policy)
+
+    def test_reads_survive_transient_streaks(self):
+        import numpy as np
+
+        inner, retrying = self._stack(seed=1, transient_rate=0.9)
+        for seq_id in range(8):
+            np.testing.assert_array_equal(
+                retrying.read(seq_id), inner.read(seq_id)
+            )
+        np.testing.assert_array_equal(
+            retrying.read_many(range(8)), inner.read_many(range(8))
+        )
+
+    def test_exhausted_budget_surfaces_error(self):
+        _, retrying = self._stack(
+            seed=2, transient_rate=1.0, max_attempts=1
+        )
+        with pytest.raises(TransientStorageError):
+            retrying.read(0)
+
+    def test_append_retries_too(self):
+        import numpy as np
+
+        inner, retrying = self._stack(seed=3, transient_rate=0.9)
+        new_id = retrying.append(np.zeros(16))
+        assert len(inner) == 9
+        np.testing.assert_array_equal(inner.read(new_id), np.zeros(16))

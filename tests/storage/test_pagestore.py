@@ -1,9 +1,18 @@
 """Tests for the disk-backed sequence store and its I/O accounting."""
 
+import struct
+import zlib
+
 import numpy as np
 import pytest
 
-from repro.exceptions import KeyNotFoundError, StorageError
+import repro.obs as obs
+from repro.exceptions import (
+    CorruptionError,
+    KeyNotFoundError,
+    StorageError,
+    TornWriteError,
+)
 from repro.storage import MemorySequenceStore, SequencePageStore
 
 
@@ -34,21 +43,24 @@ class TestSequencePageStore:
             store.append(np.zeros(100))
 
     def test_pages_per_sequence(self, tmp_path):
-        # 512 float64 = 4096 bytes = exactly one 4096-byte page.
-        with SequencePageStore(tmp_path / "a.dat", 512) as s:
+        # A 4096-byte page carries 4092 payload bytes (4 are the CRC32):
+        # 511 float64 = 4088 bytes fit one page.
+        with SequencePageStore(tmp_path / "a.dat", 511) as s:
             assert s.pages_per_sequence == 1
-        # 513 floats spill into a second page.
-        with SequencePageStore(tmp_path / "b.dat", 513) as s:
+        # 512 floats = 4096 bytes spill into a second page.
+        with SequencePageStore(tmp_path / "b.dat", 512) as s:
             assert s.pages_per_sequence == 2
 
     def test_io_accounting(self, store):
         store.append_matrix(np.zeros((4, 512)))
+        per_seq = store.pages_per_sequence
+        assert per_seq == 2
         assert store.stats.pages_read == 0
         store.read(0)
         store.read(1)  # sequential: no extra seek
         store.read(3)  # skips one: seek
         assert store.stats.read_calls == 3
-        assert store.stats.pages_read == 3
+        assert store.stats.pages_read == 3 * per_seq
         assert store.stats.seeks == 2
 
     def test_stats_reset(self, store):
@@ -58,6 +70,31 @@ class TestSequencePageStore:
         assert store.stats.read_calls == 0
         assert store.stats.pages_read == 0
         assert store.stats.seeks == 0
+
+    def test_stats_reset_clears_seek_position(self, store):
+        # Regression: reset() must also forget the last page touched,
+        # otherwise the first read after a reset can ride the stale
+        # position and be miscounted as sequential (zero seeks).
+        store.append_matrix(np.zeros((3, 512)))
+        store.read(0)
+        store.read(1)
+        store.stats.reset()
+        assert store.stats._last_page is None
+        store.read(2)  # would look sequential against the stale position
+        assert store.stats.seeks == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = SequencePageStore(tmp_path / "c.dat", 16)
+        assert not store.closed
+        store.close()
+        assert store.closed
+        store.close()  # second close: no error
+        assert store.closed
+
+    def test_context_manager_closes(self, tmp_path):
+        with SequencePageStore(tmp_path / "cm.dat", 16) as store:
+            store.append(np.zeros(16))
+        assert store.closed
 
     def test_reads_interleaved_with_appends(self, store):
         first = np.arange(512.0)
@@ -122,6 +159,172 @@ class TestReopen:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(StorageError):
             SequencePageStore.open(tmp_path / "nope.dat")
+
+
+class TestCorruptionDetection:
+    """Round trips through deliberate damage: every fault gets a type."""
+
+    LENGTH = 512  # 2 checksummed pages per sequence
+
+    def _filled(self, tmp_path, rows=4):
+        path = tmp_path / "victim.dat"
+        matrix = np.random.default_rng(5).normal(size=(rows, self.LENGTH))
+        with SequencePageStore(path, self.LENGTH) as store:
+            store.append_matrix(matrix)
+            offsets = [store._offset_of(i) for i in range(rows)]
+        return path, matrix, offsets
+
+    @staticmethod
+    def _damage(path, offset, flip=0x01):
+        with open(path, "r+b") as raw:
+            raw.seek(offset)
+            byte = raw.read(1)[0]
+            raw.seek(offset)
+            raw.write(bytes([byte ^ flip]))
+
+    def test_byte_flip_raises_corruption_error(self, tmp_path):
+        path, matrix, offsets = self._filled(tmp_path)
+        self._damage(path, offsets[2] + 100)
+        with SequencePageStore.open(path) as store:
+            with pytest.raises(CorruptionError):
+                store.read(2)
+            # Only the damaged sequence is lost.
+            np.testing.assert_array_equal(store.read(1), matrix[1])
+
+    def test_flipped_crc_itself_is_detected(self, tmp_path):
+        path, _, offsets = self._filled(tmp_path)
+        with SequencePageStore.open(path) as probe:
+            crc_offset = offsets[1] + probe.page_size - 1
+        self._damage(path, crc_offset)
+        with SequencePageStore.open(path) as store:
+            with pytest.raises(CorruptionError):
+                store.read(1)
+
+    def test_mid_page_truncation_is_torn_write(self, tmp_path):
+        path, matrix, offsets = self._filled(tmp_path)
+        with open(path, "r+b") as raw:
+            raw.truncate(offsets[-1] + 700)  # cut into the last sequence
+        # Reopening without repair refuses the torn tail:
+        with pytest.raises(TornWriteError):
+            SequencePageStore.open(path)
+
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        path, matrix, offsets = self._filled(tmp_path)
+        with open(path, "r+b") as raw:
+            raw.truncate(offsets[-1] + 700)
+        with obs.observed() as registry:
+            with SequencePageStore.open(path, repair=True) as store:
+                assert len(store) == len(matrix) - 1
+                for i in range(len(store)):
+                    np.testing.assert_array_equal(store.read(i), matrix[i])
+                # The healed store accepts fresh appends.
+                new_id = store.append(matrix[-1])
+                np.testing.assert_array_equal(store.read(new_id), matrix[-1])
+        assert registry.counter("resilience.storage_repairs").value == 1
+
+    def test_bad_magic_is_corruption_error(self, tmp_path):
+        path = tmp_path / "junk.dat"
+        path.write_bytes(b"XXXXXXXX" + b"\x00" * 4096)
+        with pytest.raises(CorruptionError):
+            SequencePageStore.open(path)
+
+    def test_header_crc_mismatch_is_corruption_error(self, tmp_path):
+        path, _, _ = self._filled(tmp_path)
+        self._damage(path, 9)  # inside the header's page_size field
+        with pytest.raises(CorruptionError):
+            SequencePageStore.open(path)
+
+    def test_short_header_is_torn_write(self, tmp_path):
+        path = tmp_path / "stub.dat"
+        path.write_bytes(b"abc")
+        with pytest.raises(TornWriteError):
+            SequencePageStore.open(path)
+
+    def test_errors_are_typed_storage_errors(self):
+        assert issubclass(CorruptionError, StorageError)
+        assert issubclass(TornWriteError, CorruptionError)
+
+    def test_scrub_locates_every_victim(self, tmp_path):
+        path, _, offsets = self._filled(tmp_path, rows=6)
+        self._damage(path, offsets[1] + 50)
+        self._damage(path, offsets[4] + 50)
+        with SequencePageStore.open(path) as store:
+            store.stats.reset()
+            assert store.scrub() == (1, 4)
+            # Maintenance reads bypass the experiment's I/O accounting.
+            assert store.stats.pages_read == 0
+
+    def test_verify_checksums_off_skips_detection(self, tmp_path):
+        path, matrix, offsets = self._filled(tmp_path)
+        self._damage(path, offsets[0] + 100)
+        with SequencePageStore.open(path, verify_checksums=False) as store:
+            garbled = store.read(0)  # no raise: caller opted out
+            assert garbled.shape == matrix[0].shape
+            assert not np.array_equal(garbled, matrix[0])
+        with SequencePageStore.open(path) as store:
+            with pytest.raises(CorruptionError):
+                store.read(0)
+
+
+class TestFormatV1Compatibility:
+    """Pre-checksum files stay readable (and keep their floor recovery)."""
+
+    def _write_v1(self, path, matrix, page_size=4096):
+        header = struct.Struct("<8sIQ").pack(
+            b"RPRSEQ1\x00", page_size, matrix.shape[1]
+        )
+        bytes_per_seq = matrix.shape[1] * 8
+        pages = -(-bytes_per_seq // page_size)
+        block_size = pages * page_size
+        with open(path, "wb") as out:
+            out.write(header)
+            out.write(b"\x00" * (page_size - len(header)))
+            for row in matrix:
+                payload = row.astype(np.float64).tobytes()
+                out.write(payload + b"\x00" * (block_size - len(payload)))
+
+    def test_v1_file_reads_back(self, tmp_path):
+        path = tmp_path / "legacy.dat"
+        matrix = np.random.default_rng(6).normal(size=(3, 512))
+        self._write_v1(path, matrix)
+        with SequencePageStore.open(path) as store:
+            assert store.format_version == 1
+            assert len(store) == 3
+            # v1 packs a full 4096-byte payload per page: one page/seq.
+            assert store.pages_per_sequence == 1
+            for i, row in enumerate(matrix):
+                np.testing.assert_array_equal(store.read(i), row)
+
+    def test_v1_partial_tail_floors_silently(self, tmp_path):
+        path = tmp_path / "legacy_torn.dat"
+        matrix = np.random.default_rng(7).normal(size=(2, 512))
+        self._write_v1(path, matrix)
+        with open(path, "r+b") as raw:
+            raw.seek(0, 2)
+            raw.truncate(raw.tell() - 100)
+        with SequencePageStore.open(path) as store:
+            assert len(store) == 1  # historical floor behaviour
+            np.testing.assert_array_equal(store.read(0), matrix[0])
+
+    def test_new_stores_are_v2(self, tmp_path):
+        with SequencePageStore(tmp_path / "new.dat", 16) as store:
+            assert store.format_version == 2
+        with SequencePageStore.open(tmp_path / "new.dat") as reopened:
+            assert reopened.format_version == 2
+
+    def test_zlib_crc_convention(self, tmp_path):
+        # The on-disk CRC is plain zlib.crc32 of the page payload — pin
+        # the convention so other tooling can validate files.
+        with SequencePageStore(tmp_path / "pin.dat", 4) as store:
+            store.append(np.arange(4.0))
+            payload_size = store.page_size - 4
+            offset = store._offset_of(0)
+            page_size = store.page_size
+        with open(tmp_path / "pin.dat", "rb") as raw:
+            raw.seek(offset)
+            page = raw.read(page_size)
+        stored = struct.Struct("<I").unpack(page[payload_size:])[0]
+        assert stored == zlib.crc32(page[:payload_size])
 
 
 class TestMemorySequenceStore:

@@ -12,7 +12,12 @@ from repro.datagen import (
     profile,
     sample_daily_counts,
 )
-from repro.exceptions import SeriesMismatchError, UnknownQueryError
+import repro.obs as obs
+from repro.exceptions import (
+    IngestionError,
+    SeriesMismatchError,
+    UnknownQueryError,
+)
 from repro.miner import QueryLogMiner
 from repro.timeseries import TimeSeries
 
@@ -87,6 +92,113 @@ class TestIngestion:
         np.testing.assert_array_equal(
             miner.series("gingerbread men").values, counts
         )
+
+
+class TestDeadLetters:
+    def _fresh(self):
+        return QueryLogMiner(start=dt.date(2002, 1, 1), days=365, seed=1)
+
+    @staticmethod
+    def _tampered(name, values):
+        """A series whose counts were corrupted *after* construction.
+
+        ``TimeSeries`` itself rejects non-finite values, so the miner's
+        ingestion check is defence in depth: it must still catch a series
+        whose buffer was swapped out by a buggy upstream component.
+        """
+        series = TimeSeries(
+            np.ones(len(values)), name=name, start=dt.date(2002, 1, 1)
+        )
+        object.__setattr__(series, "values", np.asarray(values, dtype=float))
+        return series
+
+    def test_nan_counts_rejected_before_mutation(self):
+        miner = self._fresh()
+        dirty = np.ones(365)
+        dirty[7] = np.nan
+        with pytest.raises(IngestionError):
+            miner.add_series(self._tampered("dirty", dirty))
+        assert "dirty" not in miner
+        assert len(miner) == 0
+        (letter,) = miner.dead_letters
+        assert letter.name == "dirty"
+        assert letter.error == "IngestionError"
+        assert "day 7" in letter.reason
+
+    def test_negative_counts_rejected_on_raw_log_path(self):
+        miner = self._fresh()
+        dirty = np.ones(365)
+        dirty[3] = -2.0
+        with pytest.raises(IngestionError):
+            miner.add_series(
+                TimeSeries(dirty, name="negative", start=dt.date(2002, 1, 1)),
+                counts=True,
+            )
+        assert "negative" not in miner
+        assert miner.dead_letters[-1].name == "negative"
+        assert "day 3" in miner.dead_letters[-1].reason
+
+    def test_transformed_series_may_be_negative(self):
+        # z-scored / detrended series are legitimately negative; only
+        # the raw daily-count path treats negatives as corruption.
+        miner = self._fresh()
+        values = np.sin(np.linspace(0.0, 20.0, 365))
+        miner.add_series(
+            TimeSeries(values, name="standardized", start=dt.date(2002, 1, 1))
+        )
+        assert "standardized" in miner
+        assert miner.dead_letters == ()
+
+    def test_every_rejection_is_dead_lettered(self, generator):
+        miner = self._fresh()
+        miner.add_series(generator.series("cinema"))
+        for bad, expected in (
+            (TimeSeries(np.ones(365)), UnknownQueryError),
+            (generator.series("cinema"), UnknownQueryError),
+            (
+                TimeSeries(
+                    np.ones(100), name="short", start=dt.date(2002, 1, 1)
+                ),
+                SeriesMismatchError,
+            ),
+        ):
+            with pytest.raises(expected):
+                miner.add_series(bad)
+        assert [letter.name for letter in miner.dead_letters] == [
+            "<unnamed>",
+            "cinema",
+            "short",
+        ]
+        assert len(miner) == 1  # only the clean series landed
+
+    def test_add_records_survives_bad_series(self):
+        miner = self._fresh()
+        grid = DayGrid(dt.date(2002, 1, 1), 365)
+        rng = np.random.default_rng(4)
+        counts = sample_daily_counts(profile("cinema"), grid, rng)
+        miner.add_series(
+            TimeSeries(
+                sample_daily_counts(profile("elvis"), grid, rng),
+                name="elvis",
+                start=dt.date(2002, 1, 1),
+            )
+        )
+        records = list(iter_log_records(counts, grid, "cinema")) + list(
+            iter_log_records(
+                sample_daily_counts(profile("elvis"), grid, rng), grid, "elvis"
+            )
+        )
+        added = miner.add_records(records)  # duplicate 'elvis' dead-letters
+        assert added == ("cinema",)
+        assert "cinema" in miner
+        assert [letter.name for letter in miner.dead_letters] == ["elvis"]
+
+    def test_dead_letters_counter(self):
+        miner = self._fresh()
+        with obs.observed() as registry:
+            with pytest.raises(UnknownQueryError):
+                miner.add_series(TimeSeries(np.ones(365)))
+        assert registry.counter("miner.dead_letters").value == 1
 
 
 class TestSimilarity:
