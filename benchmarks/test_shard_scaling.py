@@ -1,0 +1,95 @@
+"""Shard-scaling throughput: the scatter-gather router vs one big index.
+
+The cluster layer's acceptance bar: batched ``search_many`` through a
+4-shard router on a 4-worker scatter pool delivers at least 2x the
+throughput of the single-shard pooled baseline (a 1-shard router on the
+same pool — where the shard fan-out axis degenerates and the batch runs
+serially).  Results must stay bit-identical to the monolithic index at
+every shard count; exactness is asserted inside the experiment.
+
+The measured configuration lands in ``BENCH_shards.json`` at the repo
+root (one JSON object, the perf-trajectory record for the cluster
+layer).  The throughput gate is honest about hardware: shard scatter
+parallelism cannot beat 2x on a single-core host, so the >= 2x assertion
+applies where the pool has at least two cores to spread over; the JSON
+records the host's ``cpu_count`` either way.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression import StorageBudget
+from repro.engine import get_index, search_many
+from repro.evaluation import shard_scaling_experiment
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+
+
+def test_shard_scaling_throughput(database_matrix, query_matrix, report):
+    matrix = database_matrix[:4096]
+    # Steady-state traffic, not a single probe: the scatter pool pays a
+    # per-call fork cost, so throughput is measured over a real stream.
+    queries = np.vstack([query_matrix] * 8)
+    k = 5
+    workers = 4
+    shard_counts = (1, 2, 4)
+    compressor = StorageBudget(16).compressor("best_min_error")
+
+    result = shard_scaling_experiment(
+        matrix,
+        queries,
+        shard_counts=shard_counts,
+        k=k,
+        workers=workers,
+        backend="flat",
+        repeats=2,
+        compressor=compressor,
+    )
+    assert result.agreement  # sharded == monolithic, bit for bit
+
+    # Context row: the monolithic index on the query-axis pool, so the
+    # record relates shard scatter to the pre-cluster pooled path.
+    index = get_index("flat", matrix, compressor=compressor)
+    started = time.perf_counter()
+    search_many(index, queries, k=k, workers=workers)
+    monolithic_pooled_wall = time.perf_counter() - started
+
+    baseline = result.row_for(1)
+    four = result.row_for(4)
+    record = {
+        "bench": "shard_scaling",
+        "database_size": result.database_size,
+        "sequence_length": int(matrix.shape[1]),
+        "queries": result.queries,
+        "k": k,
+        "workers": workers,
+        "backend": result.backend,
+        "cpu_count": os.cpu_count(),
+        "agreement": result.agreement,
+        "monolithic_pooled_seconds": round(monolithic_pooled_wall, 4),
+        "rows": [
+            {
+                "shards": row.shards,
+                "wall_seconds": round(row.wall_seconds, 4),
+                "queries_per_second": round(row.queries_per_second, 2),
+                "speedup_vs_single_shard": round(row.speedup, 2),
+            }
+            for row in result.rows
+        ],
+        "four_shard_speedup": round(four.speedup, 2),
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    report(result.as_table(), f"BENCH {json.dumps(record)}")
+
+    assert len(matrix) == 2**12
+    assert baseline.speedup == 1.0
+    # The cluster acceptance bar needs cores for the pool to spread
+    # over; on a single-core host the record above still lands, but the
+    # 2x gate would only measure the host, not the architecture.
+    if (os.cpu_count() or 1) >= 2:
+        assert four.speedup >= 2.0

@@ -17,6 +17,9 @@ The package mirrors the paper's structure:
 * :mod:`repro.engine` — the shared query-execution core: one verifier
   behind every index, a string-keyed registry (``get_index``) and the
   batched ``search_many`` entry point;
+* :mod:`repro.cluster` — horizontal partitioning: deterministic shard
+  assignment, per-shard page stores with a checksummed manifest, and the
+  scatter-gather ``ShardRouter`` behind the same engine protocol;
 * :mod:`repro.periods` — the exponential-threshold period detector of
   section 5;
 * :mod:`repro.bursts` — burst detection, compaction, similarity and
@@ -69,6 +72,12 @@ from repro.index import LinearScanIndex, Neighbor, SearchStats, VPTreeIndex
 # The index structures import the engine's verification core, so the
 # index package must initialise before the engine package does.
 from repro.engine import available_indexes, get_index, search_many
+from repro.cluster import (
+    Partitioner,
+    ShardRouter,
+    build_sharded,
+    open_sharded,
+)
 from repro.miner import QueryLogMiner
 from repro.obs import MetricsRegistry, observed, span
 from repro.placement import PlacementPlan, plan_placement
@@ -106,6 +115,10 @@ __all__ = [
     "available_indexes",
     "get_index",
     "search_many",
+    "Partitioner",
+    "ShardRouter",
+    "build_sharded",
+    "open_sharded",
     "PeriodDetector",
     "detect_periods",
     "BurstDetector",

@@ -1,0 +1,42 @@
+"""Shard-aware query architecture: partitioned stores + scatter-gather.
+
+The paper's experiments index up to :math:`2^{15}` sequences behind one
+monolithic structure; the ROADMAP north-star is a production-scale
+service, which means horizontal partitioning.  This package is that
+layer (see ``docs/SHARDING.md``):
+
+* :class:`Partitioner` — deterministic assignment of sequence ids to N
+  shards (``hash`` or ``round_robin`` policy);
+* :func:`build_sharded` / :func:`open_sharded` — split one database
+  population into N self-contained shards, each with its own engine
+  index (any registry backend) and optionally its own page-store file,
+  described by a CRC-checked :class:`ShardManifest`;
+* :class:`ShardRouter` — an :class:`~repro.engine.core.EngineIndex` over
+  the shards: candidate generation scatters to every shard (serially or
+  on a fork pool), gathers the per-shard candidate sets, and merges them
+  under one *global* :math:`\\sigma_{UB}` so cross-shard pruning is no
+  weaker than the monolithic index.  The shared verifier, the obs
+  accounting and the resilience guards all apply unchanged.
+
+The registry exposes the whole stack as just another backend::
+
+    from repro.engine import get_index
+
+    router = get_index("sharded", matrix, shards=4, backend="vptree")
+    neighbors, stats = router.search(query, k=5)
+"""
+
+from repro.cluster.build import build_sharded, default_shard_count, open_sharded
+from repro.cluster.manifest import MANIFEST_NAME, ShardManifest
+from repro.cluster.partitioner import Partitioner
+from repro.cluster.router import ShardRouter
+
+__all__ = [
+    "MANIFEST_NAME",
+    "Partitioner",
+    "ShardManifest",
+    "ShardRouter",
+    "build_sharded",
+    "default_shard_count",
+    "open_sharded",
+]

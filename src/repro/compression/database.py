@@ -173,11 +173,42 @@ class SketchDatabase:
         grown._widths = np.append(self._widths, k)
         return grown
 
+    def __getitem__(self, key):
+        """Row access: an ``int`` materialises one sketch, anything else
+        (slice, index list/array, boolean mask) is a :meth:`take` view.
+
+        The partitioner uses this to carve shard-local sketch databases
+        out of one compression pass; evaluation scripts use it for
+        subsampling.
+        """
+        if isinstance(key, (int, np.integer)):
+            row = int(key)
+            if row < 0:
+                row += len(self)
+            if not 0 <= row < len(self):
+                raise IndexError(
+                    f"row {key} out of range for {len(self)} sketches"
+                )
+            return self.sketch(row)
+        if isinstance(key, slice):
+            return self.take(np.arange(len(self))[key])
+        rows = np.asarray(key)
+        if rows.dtype == bool:
+            if rows.shape != (len(self),):
+                raise IndexError(
+                    f"boolean mask of shape {rows.shape} cannot select "
+                    f"from {len(self)} sketches"
+                )
+            rows = np.flatnonzero(rows)
+        return self.take(rows)
+
     def take(self, rows) -> "SketchDatabase":
         """A lightweight row-subset view (arrays sliced, metadata shared).
 
         Used by the VP-tree to evaluate a whole leaf's bounds with one
-        vectorised kernel call instead of per-object Python calls.
+        vectorised kernel call instead of per-object Python calls, and by
+        the shard partitioner to split one compression pass into
+        shard-local databases.
         """
         rows = np.asarray(rows, dtype=np.intp)
         subset = object.__new__(SketchDatabase)

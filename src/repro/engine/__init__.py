@@ -1,9 +1,13 @@
 """The unified query-execution engine.
 
 One shared verification/accounting core (:mod:`repro.engine.core`), a
-string-keyed registry of the six index structures
-(:mod:`repro.engine.registry`), and a batched multi-query entry point
-(:mod:`repro.engine.batch`).  See ``docs/ENGINE.md``.
+string-keyed registry of the index structures — the six monolithic ones
+plus the sharded scatter-gather router
+(:mod:`repro.engine.registry`), a batched multi-query entry point
+(:mod:`repro.engine.batch`), and the shared fork-pool executor both the
+batched and the sharded paths fan out through
+(:mod:`repro.engine.executor`).  See ``docs/ENGINE.md`` and
+``docs/SHARDING.md``.
 """
 
 from repro.engine.batch import search_many
@@ -15,6 +19,7 @@ from repro.engine.core import (
     execute_knn,
     execute_range,
 )
+from repro.engine.executor import fork_map
 from repro.engine.registry import available_indexes, get_index
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "available_indexes",
     "execute_knn",
     "execute_range",
+    "fork_map",
     "get_index",
     "search_many",
 ]

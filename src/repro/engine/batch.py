@@ -13,10 +13,14 @@ k smallest ``(distance, seq_id)`` pairs); only the work accounting
 differs — a block may fetch a few candidates an abandoning loop would
 have skipped, and ``early_abandons`` stays 0.
 
-``workers=N`` fans the queries out over a process pool (fork start
-method: the index is shared by inheritance, since bound kernels hold
-closures that cannot pickle).  On a single core the blocked verifier is
-the win; extra cores multiply it.
+``workers=N`` fans the work out over a process pool through the shared
+executor (:func:`repro.engine.executor.fork_map`; fork start method: the
+index is shared by inheritance, since bound kernels hold closures that
+cannot pickle).  On a single core the blocked verifier is the win; extra
+cores multiply it.  For a :class:`~repro.cluster.ShardRouter` the
+fan-out axis is the *shard* instead of the query span: each worker runs
+the whole batch against one shard and the parent merges the per-shard
+answers into global top-k results — same executor, different work items.
 
 Structures whose generators pay exact distances during traversal (the
 M-tree) or stream candidates lazily (the GEMINI R-tree) fall back to the
@@ -39,6 +43,7 @@ from repro.engine.core import (
     _refine_knn,
     fetch_block,
 )
+from repro.engine.executor import fork_map
 from repro.exceptions import SeriesMismatchError, StorageError
 from repro.index.distance import VERIFY_CHUNK
 from repro.index.results import Neighbor, SearchStats
@@ -47,12 +52,6 @@ __all__ = ["search_many"]
 
 #: Candidates fetched and compared per vectorised block.
 BLOCK = 256
-
-# Shared state for pool workers, inherited across fork() — set by
-# search_many immediately before the executor spawns its workers.
-_G_INDEX = None
-_G_QUERIES = None
-_G_K = 1
 
 
 def _blocked_refine(index, query, k, cands, stats, size):
@@ -145,13 +144,6 @@ def _search_one(index, query, k: int) -> tuple[list[Neighbor], SearchStats]:
     return neighbors, stats
 
 
-def _worker_chunk(start: int, stop: int):
-    return [
-        _search_one(_G_INDEX, _G_QUERIES[position], _G_K)
-        for position in range(start, stop)
-    ]
-
-
 def _validate(index, queries) -> np.ndarray:
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim != 2:
@@ -199,10 +191,17 @@ def search_many(
 
     with obs.span("engine.search_many"):
         results: list[tuple[list[Neighbor], SearchStats]] | None = None
-        if workers is not None and workers > 1 and len(queries) > 1:
-            results = _pooled(index, queries, k, workers)
-        if results is None:
-            results = [_search_one(index, query, k) for query in queries]
+        if callable(getattr(index, "shard_views", None)):
+            results = _sharded_fanout(index, queries, k, workers)
+        else:
+            if workers is not None and workers > 1 and len(queries) > 1:
+                results = fork_map(
+                    lambda query: _search_one(index, query, k),
+                    queries,
+                    workers,
+                )
+            if results is None:
+                results = [_search_one(index, query, k) for query in queries]
 
     prefix = f"{index.obs_name}.search"
     for _, stats in results:
@@ -210,30 +209,50 @@ def search_many(
     return results
 
 
-def _pooled(index, queries, k, workers):
-    """Fan out over forked workers; ``None`` when fork is unavailable."""
-    global _G_INDEX, _G_QUERIES, _G_K
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+def _sharded_fanout(router, queries, k, workers):
+    """One full sub-search per shard, merged into global per-query top-k.
 
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return None
-    workers = min(workers, len(queries))
-    bounds = np.linspace(0, len(queries), workers + 1).astype(int)
-    chunks = [
-        (int(lo), int(hi))
-        for lo, hi in zip(bounds, bounds[1:])
-        if hi > lo
-    ]
-    _G_INDEX, _G_QUERIES, _G_K = index, queries, k
-    try:
-        context = multiprocessing.get_context("fork")
-        # Workers fork on first submit, inheriting the globals above —
-        # the index itself never crosses a pickle boundary.
-        with ProcessPoolExecutor(
-            max_workers=len(chunks), mp_context=context
-        ) as pool:
-            parts = list(pool.map(_worker_chunk, *zip(*chunks)))
-    finally:
-        _G_INDEX, _G_QUERIES = None, None
-    return [result for part in parts for result in part]
+    The parallelism axis is the *shard*: each task runs the whole query
+    batch against one shard at ``min(k, shard_size)`` — exact within the
+    shard, so the union of per-shard answers contains the global top-k —
+    and the parent translates sequence ids (results and quarantine
+    reports) to global ids and keeps the k canonical smallest
+    ``(distance, seq_id)`` pairs per query.  Per-shard stats are
+    published under each shard's own obs name; the merged per-query
+    stats keep the extended accounting invariant globally, because the
+    shards partition the population and each sub-search already honours
+    it locally.
+    """
+    if workers is None:
+        workers = getattr(router, "scatter_workers", None)
+    views = router.shard_views()
+
+    def shard_task(view):
+        sub, _ = view
+        sub_k = min(k, len(sub))
+        return [_search_one(sub, query, sub_k) for query in queries]
+
+    parts = fork_map(shard_task, views, workers)
+    if parts is None:
+        parts = [shard_task(view) for view in views]
+    obs.add("cluster.fanout_shards", len(views))
+
+    size = len(router)
+    results = []
+    for position in range(len(queries)):
+        merged = SearchStats()
+        pool: list[Neighbor] = []
+        for (sub, global_ids), shard_results in zip(views, parts):
+            neighbors, stats = shard_results[position]
+            pool.extend(
+                Neighbor(n.distance, int(global_ids[n.seq_id]), n.name)
+                for n in neighbors
+            )
+            stats.quarantined_ids = tuple(
+                int(global_ids[i]) for i in stats.quarantined_ids
+            )
+            stats.publish(f"{sub.obs_name}.search")
+            merged.merge(stats)
+        _check_invariant(merged, size, router)
+        results.append((sorted(pool)[:k], merged))
+    return results

@@ -134,6 +134,14 @@ class CandidateSet:
         Alternative to ``entries`` for incremental generators (the GEMINI
         R-tree): an iterator yielding ``(LB^2, seq_id)`` in increasing
         order, consumed lazily so unvisited members are never bounded.
+    top_ubs:
+        The k smallest *plain-distance* upper bounds the traversal saw
+        (ascending).  A scatter-gather router merges the per-shard tuples
+        into one global :class:`SigmaTracker`: each of the global k
+        smallest upper bounds necessarily sits inside its own shard's
+        top-k, so the merged k-th smallest equals the exact global
+        :math:`\\sigma_{UB}` — cross-shard pruning is then no weaker than
+        a monolithic traversal (see docs/SHARDING.md).
     """
 
     entries: list[tuple[float, int]] = field(default_factory=list)
@@ -141,6 +149,7 @@ class CandidateSet:
     sigma_sq: float = math.inf
     paid: dict[int, float] = field(default_factory=dict)
     stream: Iterator[tuple[float, int]] | None = None
+    top_ubs: tuple[float, ...] = ()
 
 
 class SigmaTracker:
@@ -175,6 +184,16 @@ class SigmaTracker:
         sigma = self.sigma()
         return sigma * sigma
 
+    def values(self) -> tuple[float, ...]:
+        """The (at most k) smallest upper bounds seen, ascending.
+
+        This is the tracker's full state: offering these values to a
+        fresh tracker reproduces it exactly, which is how a shard router
+        rebuilds the *global* :math:`\\sigma_{UB}` from per-shard
+        trackers.
+        """
+        return tuple(sorted(-negated for negated in self._heap))
+
 
 def candidates_from_bound_arrays(
     lower: np.ndarray, upper: np.ndarray, k: int
@@ -189,9 +208,11 @@ def candidates_from_bound_arrays(
     count = int(lower.size)
     finite = upper[np.isfinite(upper)]
     if finite.size >= k:
-        sigma = float(np.partition(finite, k - 1)[k - 1])
+        smallest = np.partition(finite, k - 1)[:k]
+        sigma = float(smallest[k - 1])
         survivor_ids = np.flatnonzero(lower <= sigma)
     else:
+        smallest = finite
         sigma = math.inf
         survivor_ids = np.arange(count)
     lb = lower[survivor_ids]
@@ -202,6 +223,7 @@ def candidates_from_bound_arrays(
         entries=list(zip(lb_sq.tolist(), ids.tolist())),
         generated=count,
         sigma_sq=sigma * sigma,
+        top_ubs=tuple(np.sort(smallest).tolist()),
     )
 
 

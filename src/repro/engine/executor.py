@@ -1,0 +1,75 @@
+"""One fork-pool fan-out for every parallel execution path.
+
+Both batched search (``search_many`` worker chunks) and the shard
+scatter-gather (:mod:`repro.cluster`) need the same thing: run a Python
+callable over a list of work items on a pool of forked workers, with the
+heavyweight state (indexes, query matrices) shared by *inheritance*
+rather than pickling — bound kernels hold closures that cannot cross a
+pickle boundary.  Before the cluster layer existed, ``search_many``
+carried its own private copy of this machinery; this module is the
+single shared implementation.
+
+:func:`fork_map` is deliberately conservative: it returns ``None`` —
+"run it yourself, in process" — whenever a pool cannot help (one item,
+one worker, or a platform without the ``fork`` start method), so every
+caller keeps an identical serial fallback path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["fork_map"]
+
+# Shared state for pool workers, inherited across fork() — set by
+# fork_map immediately before the executor spawns its workers.  Only the
+# span bounds cross the pickle boundary; the callable and items do not.
+_G_FN: Callable[[Any], Any] | None = None
+_G_ITEMS: Sequence[Any] | None = None
+
+
+def _run_span(bounds: tuple[int, int]) -> list:
+    lo, hi = bounds
+    return [_G_FN(_G_ITEMS[position]) for position in range(lo, hi)]
+
+
+def fork_map(
+    fn: Callable[[Any], Any], items, workers: int | None
+) -> list | None:
+    """``[fn(item) for item in items]`` over a pool of forked workers.
+
+    Items are split into at most ``workers`` contiguous spans, one span
+    per worker, and results come back in input order.  Returns ``None``
+    when pooling cannot help — fewer than two items, fewer than two
+    workers, or no ``fork`` start method — so the caller can fall back
+    to its in-process loop.  ``fn`` may be any callable (closures
+    included): workers inherit it through ``fork`` instead of pickling.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return None
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    global _G_FN, _G_ITEMS
+    workers = min(workers, len(items))
+    bounds = np.linspace(0, len(items), workers + 1).astype(int)
+    spans = [
+        (int(lo), int(hi)) for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+    ]
+    _G_FN, _G_ITEMS = fn, items
+    try:
+        context = multiprocessing.get_context("fork")
+        # Workers fork on first submit, inheriting the globals above —
+        # neither the callable nor the items cross a pickle boundary.
+        with ProcessPoolExecutor(
+            max_workers=len(spans), mp_context=context
+        ) as pool:
+            parts = list(pool.map(_run_span, spans))
+    finally:
+        _G_FN, _G_ITEMS = None, None
+    return [result for part in parts for result in part]

@@ -1,4 +1,4 @@
-"""String-keyed registry of the six index structures.
+"""String-keyed registry of the index structures (six + the shard router).
 
 Mirrors :mod:`repro.bounds.registry`: experiment configuration names an
 index the same way it names a bound method, so the evaluation runner,
@@ -66,9 +66,18 @@ def _build_scan(matrix, **kwargs):
     return LinearScanIndex(matrix, **kwargs)
 
 
+def _build_sharded(matrix, **kwargs):
+    from repro.cluster.build import build_sharded
+
+    return build_sharded(matrix, **kwargs)
+
+
 #: Builders keyed by registry name.  The classes are imported lazily so
 #: that :mod:`repro.index` modules (which import the engine core) and
-#: this registry never form an import cycle.
+#: this registry never form an import cycle.  "sharded" is the
+#: scatter-gather router over N partitions (``shards=``, ``policy=``,
+#: ``backend=`` select the split and the per-shard structure; the shard
+#: count defaults to the ``REPRO_SHARDS`` environment variable).
 INDEX_BUILDERS: dict[str, Callable] = {
     "flat": _build_flat,
     "vptree": _build_vptree,
@@ -76,6 +85,7 @@ INDEX_BUILDERS: dict[str, Callable] = {
     "mtree": _build_mtree,
     "rtree": _build_rtree,
     "scan": _build_scan,
+    "sharded": _build_sharded,
 }
 
 #: Alternate spellings accepted by :func:`get_index`.
@@ -83,6 +93,8 @@ _ALIASES = {
     "linear_scan": "scan",
     "vp": "vptree",
     "mvp": "mvptree",
+    "shard": "sharded",
+    "cluster": "sharded",
 }
 
 

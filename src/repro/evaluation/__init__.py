@@ -6,6 +6,11 @@ from repro.evaluation.pruning import (
     pruning_power_experiment,
 )
 from repro.evaluation.reporting import format_float, format_table
+from repro.evaluation.sharding import (
+    ShardScalingResult,
+    ShardScalingRow,
+    shard_scaling_experiment,
+)
 from repro.evaluation.tightness import TightnessResult, bound_tightness_experiment
 from repro.evaluation.timing import (
     TimingResult,
@@ -24,4 +29,7 @@ __all__ = [
     "TimingRow",
     "TimingResult",
     "index_vs_scan_experiment",
+    "ShardScalingRow",
+    "ShardScalingResult",
+    "shard_scaling_experiment",
 ]

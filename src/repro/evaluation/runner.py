@@ -14,6 +14,11 @@ Example::
 ratios, I/O counters) to the report; ``--obs-json PATH`` additionally
 writes the full metric/span record as JSON lines.
 
+``--shards N`` appends the cluster scatter-gather section: the same
+database behind an N-shard :class:`~repro.cluster.ShardRouter`, timed
+against the unsharded index with bit-identical results asserted (see
+:func:`repro.evaluation.sharding.shard_scaling_experiment`).
+
 ``--faults [SEED]`` skips the report and runs the resilience drill
 instead (see :func:`repro.evaluation.fault_drill.fault_drill`): every
 index backend under seeded transient faults and permanent corruption,
@@ -34,6 +39,7 @@ from repro.bursts.query import BurstDatabase
 from repro.compression.budget import StorageBudget
 from repro.datagen.generator import QueryLogGenerator
 from repro.evaluation.pruning import pruning_power_experiment
+from repro.evaluation.sharding import shard_scaling_experiment
 from repro.evaluation.tightness import bound_tightness_experiment
 from repro.evaluation.timing import index_vs_scan_experiment
 from repro.periods.detector import PeriodDetector
@@ -55,6 +61,7 @@ def run_report(
     pairs: int = 100,
     seed: int = 11,
     budgets: tuple[int, ...] = (8, 16, 32),
+    shards: int | None = None,
     out=None,
 ) -> None:
     """Run every experiment once and print the consolidated report."""
@@ -110,6 +117,29 @@ def run_report(
         file=out,
     )
 
+    if shards is not None:
+        _section(
+            f"cluster - scatter-gather scaling (router over {shards} "
+            f"shard{'s' if shards != 1 else ''})",
+            out,
+        )
+        counts = (1, shards) if shards > 1 else (1,)
+        scaling = shard_scaling_experiment(
+            matrix,
+            query_matrix,
+            shard_counts=counts,
+            k=5,
+            workers=min(4, max(shards, 1)),
+            backend="flat",
+            compressor=budget_objects[-1].compressor("best_min_error"),
+        )
+        print(scaling.as_table(), file=out)
+        print(
+            "agreement with the unsharded index: "
+            + ("bit-identical" if scaling.agreement else "MISMATCH"),
+            file=out,
+        )
+
     _section("fig 13 - significant periods (2002 catalog)", out)
     year = QueryLogGenerator(seed=0, start=_dt.date(2002, 1, 1), days=365)
     detector = PeriodDetector(interpolate=True)
@@ -157,6 +187,14 @@ def main(argv=None) -> int:
         help="storage budgets as the paper's c in '2*(c)+1 doubles'",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append the cluster scatter-gather scaling section, "
+        "comparing an N-shard router against the unsharded index",
+    )
+    parser.add_argument(
         "--faults",
         nargs="?",
         type=int,
@@ -195,6 +233,7 @@ def main(argv=None) -> int:
             pairs=args.pairs,
             seed=args.seed,
             budgets=tuple(args.budgets),
+            shards=args.shards,
         )
     finally:
         if watch:

@@ -80,6 +80,7 @@ class FlatSketchIndex:
         names: Sequence[str] | None = None,
         store=None,
         bound_method: str | None = "best_min_error_safe",
+        sketch_db: SketchDatabase | None = None,
     ) -> None:
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
@@ -97,7 +98,19 @@ class FlatSketchIndex:
         )
         if len(self._store) == 0:
             self._store.append_matrix(matrix)
-        self._sketch_db = SketchDatabase.from_matrix(matrix, self._compressor)
+        if sketch_db is not None:
+            # A prebuilt (possibly row-subset view) sketch database — the
+            # shard builder compresses the full population once and hands
+            # each shard its `take()` view instead of recompressing.
+            if len(sketch_db) != len(matrix):
+                raise SeriesMismatchError(
+                    "sketch_db rows must align with the matrix rows"
+                )
+            self._sketch_db = sketch_db
+        else:
+            self._sketch_db = SketchDatabase.from_matrix(
+                matrix, self._compressor
+            )
         self._count = int(matrix.shape[0])
         self._n = int(matrix.shape[1])
 

@@ -117,9 +117,16 @@ class MTreeIndex:
         return self._names[seq_id] if self._names is not None else None
 
     def _distance(self, a_id: int, b_id: int) -> float:
+        # Build and query must share ONE distance routine: the parent
+        # filter compares a stored build-time distance against a
+        # query-time one, and mixed summation orders leave ulp-level
+        # noise that turns an exact duplicate's zero bound into a
+        # spuriously positive "lower" bound above the true distance.
         self.build_distance_computations += 1
-        return float(
-            np.linalg.norm(self._matrix[a_id] - self._matrix[b_id])
+        return math.sqrt(
+            euclidean_early_abandon_sq(
+                self._matrix[a_id], self._matrix[b_id], math.inf
+            )
         )
 
     # ------------------------------------------------------------------
@@ -355,6 +362,7 @@ class MTreeIndex:
             generated=len(candidates),
             sigma_sq=sigma_sq,
             paid=exact_sq,
+            top_ubs=tracker.values(),
         )
 
     def range_candidates(

@@ -266,6 +266,7 @@ class MVPTreeIndex:
             entries=survivors,
             generated=len(candidates),
             sigma_sq=sigma * sigma,
+            top_ubs=tracker.values(),
         )
 
     def range_candidates(

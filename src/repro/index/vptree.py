@@ -376,6 +376,7 @@ class VPTreeIndex:
             entries=survivors,
             generated=len(candidates),
             sigma_sq=sigma * sigma,
+            top_ubs=tracker.values(),
         )
 
     def range_candidates(

@@ -35,6 +35,7 @@ from repro.bursts.query import BurstDatabase, BurstMatch
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.datagen.components import DayGrid
 from repro.datagen.events import LogAggregator, LogRecord
+from repro.cluster import Partitioner, build_sharded
 from repro.dtw.search import DTWSearch
 from repro.engine import available_indexes, get_index, search_many
 from repro.exceptions import (
@@ -56,6 +57,10 @@ __all__ = ["QueryLogMiner"]
 #: tree exact either way; a full rebuild restores balance).
 _REBUILD_GROWTH = 2.0
 
+#: Registry spellings of the shard router itself — ``shards=N`` selects
+#: the per-shard backend, so these are not valid values for it.
+_ROUTER_BACKENDS = frozenset({"sharded", "shard", "cluster"})
+
 
 class QueryLogMiner:
     """A live mining service over daily query-count series.
@@ -76,6 +81,15 @@ class QueryLogMiner:
         :func:`repro.engine.get_index`); defaults to the paper's
         ``"vptree"``.  Backends without dynamic insertion are rebuilt
         lazily after ingestion instead of updated in place.
+    shards / shard_policy:
+        ``shards=N`` partitions the live index into N shards behind a
+        scatter-gather :class:`~repro.cluster.ShardRouter`
+        (``index_backend`` then names the per-shard structure).  New
+        series are routed to their shard by the deterministic
+        :class:`~repro.cluster.Partitioner` (``shard_policy`` is
+        ``"hash"`` or ``"round_robin"``); rebuilds re-partition and
+        rebuild shard by shard.  ``shards=None`` (the default) keeps the
+        monolithic index.
     """
 
     #: Backends that take the miner's compressor (sketch-based ones).
@@ -91,14 +105,29 @@ class QueryLogMiner:
         detectors: Sequence[BurstDetector] | None = None,
         seed: int = 0,
         index_backend: str = "vptree",
+        shards: int | None = None,
+        shard_policy: str = "hash",
     ) -> None:
         if days < 4:
             raise SeriesMismatchError(f"need at least 4 days, got {days}")
+        # Router spellings first: aliases like "shard" are not canonical
+        # registry names, but deserve the specific error under shards=N.
+        if shards is not None and index_backend in _ROUTER_BACKENDS:
+            raise SeriesMismatchError(
+                "shards=N wraps a per-shard backend; pass that backend "
+                "(e.g. index_backend='vptree'), not 'sharded'"
+            )
         if index_backend not in available_indexes():
             raise SeriesMismatchError(
                 f"unknown index backend {index_backend!r}; "
                 f"available: {', '.join(available_indexes())}"
             )
+        # Partitioner construction also validates shards/shard_policy.
+        self._partitioner = (
+            Partitioner(shards, policy=shard_policy, seed=seed)
+            if shards is not None
+            else None
+        )
         self.grid = DayGrid(start, days)
         self._seed = seed
         self._backend = index_backend
@@ -193,7 +222,12 @@ class QueryLogMiner:
             self._burst_db.add(series)
             self._dtw = None  # envelopes are stale
             if self._index is not None:
-                if not hasattr(self._index, "insert"):
+                can_insert = getattr(
+                    self._index,
+                    "supports_insert",
+                    hasattr(self._index, "insert"),
+                )
+                if not can_insert:
                     # Static backend: rebuild lazily on next search.
                     self._index = None
                 else:
@@ -242,9 +276,17 @@ class QueryLogMiner:
             if self._backend in self._SEEDED_BACKENDS:
                 kwargs["seed"] = self._seed
             with obs.span("miner.index_build"):
-                self._index = get_index(
-                    self._backend, self._matrix(), **kwargs
-                )
+                if self._partitioner is not None:
+                    self._index = build_sharded(
+                        self._matrix(),
+                        partitioner=self._partitioner,
+                        backend=self._backend,
+                        **kwargs,
+                    )
+                else:
+                    self._index = get_index(
+                        self._backend, self._matrix(), **kwargs
+                    )
             self._indexed_count = len(self._order)
         return self._index
 

@@ -1,0 +1,26 @@
+"""Shared workloads for the cluster (sharding) tests.
+
+Reuses the engine suite's tie-bearing database generator: shard merges
+must preserve the canonical ``(distance, seq_id)`` tie-break even when
+the tied duplicates land on *different* shards, which the hash
+partitioner guarantees happens for some of the duplicated rows.
+"""
+
+import numpy as np
+import pytest
+
+from tests.engine.conftest import make_db
+from repro.timeseries import zscore
+
+
+@pytest.fixture(scope="package")
+def matrix():
+    return make_db()
+
+
+@pytest.fixture(scope="package")
+def queries(matrix):
+    rng = np.random.default_rng(7)
+    out_of_db = [zscore(rng.normal(size=matrix.shape[1])) for _ in range(2)]
+    # In-database probes hit the duplicated rows, so ties are guaranteed.
+    return out_of_db + [matrix[0].copy()]

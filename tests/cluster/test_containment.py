@@ -1,0 +1,174 @@
+"""Degraded-shard containment: one poisoned shard, the rest unaffected.
+
+The fault-drill companion for the cluster layer.  An entire shard's
+store is corrupted (every member read raises ``CorruptionError``); the
+router must keep serving from the healthy shards, quarantine only the
+poisoned shard's members, flag the answers as degraded, and keep the
+extended accounting invariant ``pruned + retrievals + quarantined ==
+database_size`` both per query and globally.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_sharded
+from repro.engine import get_index, search_many
+from repro.index.distance import euclidean_early_abandon_sq
+from repro.resilience import FaultPlan, FaultyIndex, FaultyStore, quarantine_of
+
+K = 4
+POISONED = 1
+
+
+@pytest.fixture
+def poisoned(matrix):
+    """A 4-shard flat router with every member of shard 1 unreadable."""
+    router = build_sharded(matrix, shards=4, backend="flat", seed=0)
+    sub = router._shards[POISONED]
+    sub._store = FaultyStore(
+        sub._store, FaultPlan(), corrupt_ids=range(len(sub))
+    )
+    victims = {int(gid) for gid in router._global_ids[POISONED]}
+    return router, victims
+
+
+def survivors_knn(matrix, victims, query, k):
+    """Brute-force truth over the healthy members only."""
+    exact = sorted(
+        (euclidean_early_abandon_sq(query, row, math.inf), seq_id)
+        for seq_id, row in enumerate(matrix)
+        if seq_id not in victims
+    )
+    return [(math.sqrt(d_sq), seq_id) for d_sq, seq_id in exact[:k]]
+
+
+def test_healthy_shards_keep_answering(matrix, queries, poisoned):
+    router, victims = poisoned
+    for query in queries:
+        hits, stats = router.search(query, k=K)
+        got = [(h.distance, h.seq_id) for h in hits]
+        assert got == survivors_knn(matrix, victims, query, K)
+        assert stats.degraded
+        assert set(stats.quarantined_ids) <= victims
+        assert (
+            stats.candidates_pruned
+            + stats.full_retrievals
+            + stats.quarantined
+            == len(matrix)
+        )
+
+
+def test_quarantine_is_contained_to_the_poisoned_shard(
+    matrix, queries, poisoned
+):
+    router, victims = poisoned
+    for query in queries:
+        router.search(query, k=K)
+    grouped = router.quarantined_by_shard()
+    assert set(grouped) == {POISONED}
+    assert set(grouped[POISONED]) <= victims
+    assert grouped[POISONED]  # something was actually quarantined
+
+
+def test_batched_fanout_contains_the_poisoned_shard(
+    matrix, queries, poisoned
+):
+    router, victims = poisoned
+    batch = np.stack(queries)
+    for query, (hits, stats) in zip(batch, search_many(router, batch, k=K)):
+        assert [(h.distance, h.seq_id) for h in hits] == survivors_knn(
+            matrix, victims, query, K
+        )
+        assert (
+            stats.candidates_pruned
+            + stats.full_retrievals
+            + stats.quarantined
+            == len(matrix)
+        )
+
+
+def test_range_search_skips_the_poisoned_shard(matrix, queries, poisoned):
+    router, victims = poisoned
+    query = queries[0]
+    truth_sq = sorted(
+        (euclidean_early_abandon_sq(query, row, math.inf), seq_id)
+        for seq_id, row in enumerate(matrix)
+        if seq_id not in victims
+    )
+    radius = math.sqrt(truth_sq[len(matrix) // 3][0])
+    hits, stats = router.range_search(query, radius=radius)
+    got = [(h.distance, h.seq_id) for h in hits]
+    # Compare in squared space, as the engine does: sqrt-then-square
+    # rounding can drop the exact boundary member on both sides alike.
+    assert got == [
+        (math.sqrt(d_sq), seq_id)
+        for d_sq, seq_id in truth_sq
+        if d_sq <= radius * radius
+    ]
+    assert set(stats.quarantined_ids) <= victims
+
+
+def test_generator_failure_degrades_that_shard_only(matrix, queries):
+    """A shard whose *generator* dies is served by its local fallback."""
+
+    class ExplodingGenerators:
+        """Index whose candidate generators always fail."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.obs_name = inner.obs_name
+
+        def __len__(self):
+            return len(self._inner)
+
+        @property
+        def sequence_length(self):
+            return self._inner.sequence_length
+
+        def knn_candidates(self, query, k, stats):
+            raise OSError("shard offline")
+
+        def range_candidates(self, query, radius, stats):
+            raise OSError("shard offline")
+
+        def fetch(self, seq_id):
+            return self._inner.fetch(seq_id)
+
+        def result_name(self, seq_id):
+            return self._inner.result_name(seq_id)
+
+    router = build_sharded(matrix, shards=3, backend="flat", seed=0)
+    router._shards[2] = ExplodingGenerators(router._shards[2])
+    mono = get_index("flat", matrix)
+    for query in queries:
+        expected, _ = mono.search(query, k=K)
+        hits, stats = router.search(query, k=K)
+        # The fallback scan still verifies the shard exhaustively, so
+        # answers stay *identical* to the monolithic index.
+        assert [(h.distance, h.seq_id) for h in hits] == [
+            (h.distance, h.seq_id) for h in expected
+        ]
+        assert stats.degraded
+        assert (
+            stats.candidates_pruned
+            + stats.full_retrievals
+            + stats.quarantined
+            == len(matrix)
+        )
+
+
+def test_router_composes_with_faulty_index_wrapper(matrix, queries):
+    """The PR-3 fault harness wraps the router like any other index."""
+    victim = 17
+    broken = FaultyIndex(
+        build_sharded(matrix, shards=3, backend="flat", seed=0),
+        FaultPlan(),
+        [victim],
+    )
+    probe = matrix[victim]
+    hits, stats = broken.search(probe, k=2)
+    assert victim not in {h.seq_id for h in hits}
+    assert stats.degraded
+    assert victim in quarantine_of(broken)

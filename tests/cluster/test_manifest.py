@@ -1,0 +1,99 @@
+"""The checksummed shard manifest (``shards.json``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.manifest import MANIFEST_NAME, ShardManifest
+from repro.exceptions import CorruptionError
+
+
+def make_manifest(**overrides):
+    fields = dict(
+        policy="hash",
+        seed=3,
+        shards=3,
+        total=10,
+        sequence_length=64,
+        backend="flat",
+        counts=(4, 3, 3),
+        files=("shard-00.pages", "shard-01.pages", "shard-02.pages"),
+    )
+    fields.update(overrides)
+    return ShardManifest(**fields)
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = make_manifest()
+        path = manifest.save(tmp_path)
+        assert os.path.basename(path) == MANIFEST_NAME
+        assert ShardManifest.load(tmp_path) == manifest
+
+    def test_document_is_plain_json_with_crc(self, tmp_path):
+        make_manifest().save(tmp_path)
+        with open(tmp_path / MANIFEST_NAME, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == "repro-shards"
+        assert document["version"] == 1
+        assert isinstance(document["crc32"], int)
+
+
+class TestConstruction:
+    def test_counts_must_match_shards(self):
+        with pytest.raises(CorruptionError, match="2 counts"):
+            make_manifest(counts=(5, 5))
+
+    def test_files_must_match_shards(self):
+        with pytest.raises(CorruptionError, match="files"):
+            make_manifest(files=("only.pages",))
+
+    def test_counts_must_sum_to_total(self):
+        with pytest.raises(CorruptionError, match="sum to 9"):
+            make_manifest(counts=(3, 3, 3))
+
+
+class TestCorruptionDetection:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CorruptionError, match="no shard manifest"):
+            ShardManifest.load(tmp_path)
+
+    def test_unparseable_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CorruptionError, match="unreadable"):
+            ShardManifest.load(tmp_path)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "x"}))
+        with pytest.raises(CorruptionError, match="not a shard manifest"):
+            ShardManifest.load(tmp_path)
+
+    def test_future_version_rejected(self, tmp_path):
+        make_manifest().save(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptionError, match="version"):
+            ShardManifest.load(tmp_path)
+
+    def test_hand_edited_field_fails_the_crc(self, tmp_path):
+        make_manifest().save(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        document = json.loads(path.read_text())
+        # A self-consistent edit (counts still sum to total) that only
+        # the checksum can catch.
+        document["counts"] = [3, 4, 3]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptionError, match="checksum mismatch"):
+            ShardManifest.load(tmp_path)
+
+    def test_malformed_field_rejected(self, tmp_path):
+        make_manifest().save(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        document = json.loads(path.read_text())
+        del document["counts"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptionError, match="malformed"):
+            ShardManifest.load(tmp_path)

@@ -1,0 +1,69 @@
+"""The deterministic shard partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Partitioner
+from repro.exceptions import ReproError
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_members_partition_the_population(self, policy, shards):
+        parts = Partitioner(shards, policy=policy)
+        members = parts.members(97)
+        assert len(members) == shards
+        merged = np.sort(np.concatenate(members))
+        assert np.array_equal(merged, np.arange(97))
+
+    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
+    def test_deterministic_across_instances(self, policy):
+        a = Partitioner(5, policy=policy, seed=3).assign(200)
+        b = Partitioner(5, policy=policy, seed=3).assign(200)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
+    def test_shard_of_matches_assign(self, policy):
+        parts = Partitioner(4, policy=policy, seed=1)
+        assignment = parts.assign(64)
+        assert [parts.shard_of(i) for i in range(64)] == list(assignment)
+
+    def test_round_robin_is_perfectly_balanced(self):
+        members = Partitioner(4, policy="round_robin").members(100)
+        assert [len(m) for m in members] == [25, 25, 25, 25]
+
+    def test_hash_spreads_over_every_shard(self):
+        members = Partitioner(7, policy="hash").members(210)
+        sizes = [len(m) for m in members]
+        assert all(size > 0 for size in sizes)
+        # An avalanche hash over 210 sequential ids should not leave any
+        # shard pathologically starved or overloaded.
+        assert max(sizes) < 3 * min(sizes)
+
+    def test_hash_seed_changes_the_split(self):
+        base = Partitioner(4, policy="hash", seed=0).assign(128)
+        reseeded = Partitioner(4, policy="hash", seed=9).assign(128)
+        assert not np.array_equal(base, reseeded)
+
+    def test_single_shard_takes_everything(self):
+        parts = Partitioner(1, policy="hash")
+        assert np.array_equal(parts.assign(10), np.zeros(10, dtype=np.intp))
+
+
+class TestValidation:
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ReproError, match="shard count"):
+            Partitioner(0)
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(ReproError, match="round_robin"):
+            Partitioner(2, policy="alphabetical")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            Partitioner(2).assign(-1)
+
+    def test_negative_seq_id_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            Partitioner(2).shard_of(-1)

@@ -1,0 +1,108 @@
+"""Building to disk and reopening: per-shard page files + manifest."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_sharded, open_sharded
+from repro.cluster.manifest import MANIFEST_NAME
+from repro.exceptions import CorruptionError, ReproError
+from repro.storage.pagestore import SequencePageStore
+
+
+def test_build_writes_one_file_per_shard_plus_manifest(matrix, tmp_path):
+    with build_sharded(
+        matrix, shards=3, backend="flat", directory=tmp_path
+    ) as router:
+        assert len(router) == len(matrix)
+    names = sorted(os.listdir(tmp_path))
+    assert names == [
+        "shard-00.pages",
+        "shard-01.pages",
+        "shard-02.pages",
+        MANIFEST_NAME,
+    ]
+
+
+@pytest.mark.parametrize("backend", ["flat", "vptree", "scan"])
+def test_round_trip_is_bit_identical(matrix, queries, backend, tmp_path):
+    with build_sharded(
+        matrix, shards=3, backend=backend, directory=tmp_path, seed=4
+    ) as router:
+        expected = [router.search(query, k=5) for query in queries]
+    with open_sharded(tmp_path) as reopened:
+        assert len(reopened) == len(matrix)
+        for query, (hits, _) in zip(queries, expected):
+            got, _ = reopened.search(query, k=5)
+            assert [(h.distance, h.seq_id) for h in got] == [
+                (h.distance, h.seq_id) for h in hits
+            ]
+
+
+def test_reopen_with_a_different_backend(matrix, queries, tmp_path):
+    with build_sharded(
+        matrix, shards=2, backend="flat", directory=tmp_path
+    ) as router:
+        expected, _ = router.search(queries[0], k=3)
+    with open_sharded(tmp_path, backend="scan") as reopened:
+        got, _ = reopened.search(queries[0], k=3)
+    assert [(h.distance, h.seq_id) for h in got] == [
+        (h.distance, h.seq_id) for h in expected
+    ]
+
+
+def test_matrix_backed_backend_round_trips(matrix, queries, tmp_path):
+    """Backends without a ``store=`` hook still persist via shard files."""
+    build_sharded(
+        matrix, shards=2, backend="mtree", directory=tmp_path
+    ).close()
+    with open_sharded(tmp_path) as reopened:
+        got, _ = reopened.search(queries[0], k=3)
+    assert got[0].distance >= 0.0
+    assert len(got) == 3
+
+
+def test_empty_shards_round_trip(tmp_path):
+    tiny = np.eye(3, 32)
+    build_sharded(
+        tiny, shards=5, policy="round_robin", backend="flat",
+        directory=tmp_path,
+    ).close()
+    with open_sharded(tmp_path) as reopened:
+        assert len(reopened) == 3
+        assert reopened.shard_count == 5
+        hits, _ = reopened.search(tiny[1], k=1)
+        assert hits[0].seq_id == 1
+
+
+def test_tampered_manifest_is_refused(matrix, tmp_path):
+    build_sharded(
+        matrix, shards=2, backend="flat", directory=tmp_path
+    ).close()
+    path = tmp_path / MANIFEST_NAME
+    raw = path.read_bytes()
+    flipped = raw.replace(b'"policy"', b'"Policy"', 1)
+    assert flipped != raw
+    path.write_bytes(flipped)
+    with pytest.raises(CorruptionError):
+        open_sharded(tmp_path)
+
+
+def test_shard_file_count_mismatch_is_refused(matrix, tmp_path):
+    build_sharded(
+        matrix, shards=2, backend="flat", directory=tmp_path
+    ).close()
+    # Rewrite shard 0's file with too few sequences (valid pagestore,
+    # wrong population) — the manifest cross-check must catch it.
+    with SequencePageStore(
+        str(tmp_path / "shard-00.pages"), matrix.shape[1]
+    ) as store:
+        store.append_matrix(matrix[:1])
+    with pytest.raises(CorruptionError, match="manifest says"):
+        open_sharded(tmp_path)
+
+
+def test_sharded_backend_is_rejected_as_shard_backend(matrix, tmp_path):
+    with pytest.raises(ReproError, match="cannot themselves"):
+        build_sharded(matrix, shards=2, backend="sharded")

@@ -1,0 +1,102 @@
+"""Row-subset views of :class:`SketchDatabase` (``take`` / ``__getitem__``).
+
+The shard partitioner carves shard-local sketch databases out of one
+compression pass with these views, so they must be cheap, bit-identical
+to the parent rows, and strict about invalid selectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import BestMinErrorCompressor, SketchDatabase
+from repro.timeseries import zscore
+
+
+def make_matrix(seed=3, count=12, n=64):
+    rng = np.random.default_rng(seed)
+    return np.array(
+        [zscore(np.cumsum(rng.normal(size=n))) for _ in range(count)]
+    )
+
+
+@pytest.fixture(scope="module")
+def db():
+    matrix = make_matrix()
+    names = [f"q{i}" for i in range(len(matrix))]
+    return SketchDatabase.from_matrix(
+        matrix, BestMinErrorCompressor(5), names
+    )
+
+
+def assert_rows_match(view, parent, rows):
+    assert len(view) == len(rows)
+    assert (view.n, view.basis, view.method) == (
+        parent.n,
+        parent.basis,
+        parent.method,
+    )
+    assert np.array_equal(view.positions, parent.positions[rows])
+    assert np.array_equal(view.coefficients, parent.coefficients[rows])
+    assert np.array_equal(view.weights, parent.weights[rows])
+    assert np.array_equal(view.errors, parent.errors[rows], equal_nan=True)
+    assert np.array_equal(
+        view.min_powers, parent.min_powers[rows], equal_nan=True
+    )
+    assert view.names == tuple(parent.names[i] for i in rows)
+
+
+class TestIntAccess:
+    def test_int_materialises_a_sketch(self, db):
+        sketch = db[4]
+        reference = db.sketch(4)
+        assert np.array_equal(sketch.positions, reference.positions)
+        assert np.array_equal(sketch.coefficients, reference.coefficients)
+
+    def test_negative_int_counts_from_the_end(self, db):
+        tail = db[-1]
+        reference = db.sketch(len(db) - 1)
+        assert np.array_equal(tail.positions, reference.positions)
+        assert np.array_equal(tail.coefficients, reference.coefficients)
+
+    @pytest.mark.parametrize("row", [12, -13, 99])
+    def test_out_of_range_int_raises(self, db, row):
+        with pytest.raises(IndexError, match="out of range"):
+            db[row]
+
+
+class TestTakeViews:
+    def test_take_subsets_every_column(self, db):
+        rows = [7, 2, 2, 11]
+        assert_rows_match(db.take(rows), db, rows)
+
+    def test_slice_returns_a_view(self, db):
+        assert_rows_match(db[3:9:2], db, [3, 5, 7])
+
+    def test_fancy_array_selection(self, db):
+        rows = np.array([0, 5, 1])
+        assert_rows_match(db[rows], db, [0, 5, 1])
+
+    def test_boolean_mask_selection(self, db):
+        mask = np.zeros(len(db), dtype=bool)
+        mask[[1, 4, 8]] = True
+        assert_rows_match(db[mask], db, [1, 4, 8])
+
+    def test_boolean_mask_must_match_length(self, db):
+        with pytest.raises(IndexError, match="boolean mask"):
+            db[np.ones(len(db) + 1, dtype=bool)]
+
+    def test_view_sketches_are_bit_identical(self, db):
+        rows = [9, 0, 6]
+        view = db.take(rows)
+        for local, parent_row in enumerate(rows):
+            a = view.sketch(local)
+            b = db.sketch(parent_row)
+            assert np.array_equal(a.positions, b.positions)
+            assert np.array_equal(a.coefficients, b.coefficients)
+            assert np.array_equal(a.weights, b.weights)
+
+    def test_nameless_database_keeps_none_names(self):
+        plain = SketchDatabase.from_matrix(
+            make_matrix(8, count=6), BestMinErrorCompressor(4)
+        )
+        assert plain.take([0, 3]).names is None

@@ -1,4 +1,4 @@
-"""Cross-index agreement: all six structures answer byte-identically.
+"""Cross-index agreement: every registry entry answers byte-identically.
 
 The engine verifies every candidate through the same squared-distance
 arithmetic, so against any database — including one with bit-identical
@@ -14,7 +14,7 @@ import pytest
 from repro.engine import available_indexes, get_index
 from repro.index.distance import euclidean_early_abandon_sq
 
-ALL_NAMES = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan")
+ALL_NAMES = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan", "sharded")
 
 
 def brute_force_knn(matrix, query, k):
@@ -41,7 +41,7 @@ def test_fixture_actually_has_ties(matrix):
     assert matrix[0].tobytes() == matrix[twin].tobytes()
 
 
-def test_registry_covers_all_six():
+def test_registry_covers_every_backend():
     assert set(ALL_NAMES) == set(available_indexes())
 
 

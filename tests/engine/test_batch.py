@@ -8,8 +8,8 @@ from repro.engine import get_index, search_many
 from repro.exceptions import SeriesMismatchError
 
 # flat exercises the blocked verifier; mtree the paid-candidate fallback;
-# rtree the streaming fallback.
-BATCH_NAMES = ("flat", "vptree", "mtree", "rtree")
+# rtree the streaming fallback; sharded the per-shard scatter fan-out.
+BATCH_NAMES = ("flat", "vptree", "mtree", "rtree", "sharded")
 
 
 def as_pairs(results):
@@ -41,7 +41,7 @@ class TestSerialBatch:
 
 
 class TestPooledBatch:
-    @pytest.mark.parametrize("name", ("flat", "mtree"))
+    @pytest.mark.parametrize("name", ("flat", "mtree", "sharded"))
     def test_pool_matches_serial(self, matrix, queries, name):
         index = get_index(name, matrix)
         batch = np.stack(queries)

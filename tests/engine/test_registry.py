@@ -7,7 +7,7 @@ from repro.engine import available_indexes, get_index
 from repro.exceptions import ReproError
 from repro.index import distances_to_query
 
-ALL_NAMES = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan")
+ALL_NAMES = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan", "sharded")
 
 
 class TestRegistry:
@@ -26,7 +26,13 @@ class TestRegistry:
 
     @pytest.mark.parametrize(
         "alias, canonical",
-        [("linear_scan", "scan"), ("vp", "vptree"), ("mvp", "mvptree")],
+        [
+            ("linear_scan", "scan"),
+            ("vp", "vptree"),
+            ("mvp", "mvptree"),
+            ("shard", "sharded"),
+            ("cluster", "sharded"),
+        ],
     )
     def test_aliases(self, matrix, alias, canonical):
         built = get_index(alias, matrix)
