@@ -1,0 +1,52 @@
+"""Shared I/O for the machine-readable ``BENCH_*.json`` records.
+
+Every benchmark that publishes a perf-trajectory record at the repo root
+goes through :func:`append_trend`, which keeps a *history* of runs — one
+timestamped entry appended per execution — instead of overwriting the
+previous measurement.  That turns the committed JSON files into small
+trend lines: a perf regression shows up as a drop between the last two
+entries, not as a silently replaced number.
+
+File shape::
+
+    {"bench": "<name>", "runs": [{...record..., "timestamp": "..."}, ...]}
+
+Legacy single-record files (one bare JSON object, the pre-trend format)
+are converted in place: the old record becomes ``runs[0]``.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Repo root — the BENCH_*.json records live next to README.md.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Cap on retained history so committed files stay reviewable.
+MAX_RUNS = 50
+
+
+def append_trend(path, record: dict) -> dict:
+    """Append ``record`` (timestamped) to the trend file at ``path``.
+
+    Returns the stored entry (the record plus its ``timestamp``).
+    """
+    path = Path(path)
+    entry = dict(record)
+    entry["timestamp"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    runs: list[dict] = []
+    if path.exists():
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict) and "runs" in existing:
+            runs = list(existing["runs"])
+        elif isinstance(existing, dict):
+            runs = [existing]
+    runs.append(entry)
+    runs = runs[-MAX_RUNS:]
+    payload = {"bench": record.get("bench"), "runs": runs}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return entry

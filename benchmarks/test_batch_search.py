@@ -8,23 +8,23 @@ at least 1.5x the throughput of looping single-query ``search()`` over a
 2^12-series database.  Results must stay byte-identical across all three
 paths.
 
-The measured configuration and speedups land in ``bench_batch_search.json``
-next to this file (one JSON object, the machine-readable BENCH record).
+The measured configuration and speedups append to the ``BENCH_batch.json``
+trend at the repo root (one timestamped entry per run).
 """
 
 import json
 import math
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _bench_io import REPO_ROOT, append_trend
 from repro.compression import StorageBudget
 from repro.engine import get_index, search_many
 from repro.evaluation import format_table
 
-BENCH_JSON = Path(__file__).parent / "bench_batch_search.json"
+BENCH_JSON = REPO_ROOT / "BENCH_batch.json"
 
 
 def test_batch_search_throughput(database_matrix, query_matrix, report):
@@ -74,7 +74,7 @@ def test_batch_search_throughput(database_matrix, query_matrix, report):
         "serial_speedup": round(single_wall / serial_wall, 2),
         "pooled_speedup": round(single_wall / pooled_wall, 2),
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    append_trend(BENCH_JSON, record)
 
     report(
         format_table(

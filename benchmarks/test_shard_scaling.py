@@ -7,9 +7,10 @@ same pool — where the shard fan-out axis degenerates and the batch runs
 serially).  Results must stay bit-identical to the monolithic index at
 every shard count; exactness is asserted inside the experiment.
 
-The measured configuration lands in ``BENCH_shards.json`` at the repo
-root (one JSON object, the perf-trajectory record for the cluster
-layer).  The throughput gate is honest about hardware: shard scatter
+The measured configuration appends to the ``BENCH_shards.json`` trend at
+the repo root (one timestamped entry per run, the perf trajectory for
+the cluster layer).  The throughput gate is honest about hardware: shard
+scatter
 parallelism cannot beat 2x on a single-core host, so the >= 2x assertion
 applies where the pool has at least two cores to spread over; the JSON
 records the host's ``cpu_count`` either way.
@@ -18,15 +19,15 @@ records the host's ``cpu_count`` either way.
 import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _bench_io import REPO_ROOT, append_trend
 from repro.compression import StorageBudget
 from repro.engine import get_index, search_many
 from repro.evaluation import shard_scaling_experiment
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shards.json"
+BENCH_JSON = REPO_ROOT / "BENCH_shards.json"
 
 
 def test_shard_scaling_throughput(database_matrix, query_matrix, report):
@@ -82,7 +83,7 @@ def test_shard_scaling_throughput(database_matrix, query_matrix, report):
         ],
         "four_shard_speedup": round(four.speedup, 2),
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    append_trend(BENCH_JSON, record)
 
     report(result.as_table(), f"BENCH {json.dumps(record)}")
 

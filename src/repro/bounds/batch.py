@@ -185,30 +185,45 @@ _KERNELS = {
 }
 
 
-def _counted(kernel):
-    """Wrap a kernel so every invocation feeds the metrics layer.
+class _CountedKernel:
+    """A kernel wrapper feeding the metrics layer on every invocation.
 
     Counting happens at the dispatch level, not inside the method
     bodies, so composite kernels (``best_min_error_safe`` runs two inner
     kernels) still count as one call over ``len(db)`` pairs.
+
+    The wrapper reduces to its method name under pickle, so index
+    structures holding a kernel (flat, VP-tree, MVP-tree) can cross the
+    fork-pool result boundary of the parallel shard builder.
     """
 
-    def run(batch: BatchBounds, db: SketchDatabase):
+    __slots__ = ("method", "__wrapped__")
+
+    def __init__(self, method: str) -> None:
+        try:
+            self.__wrapped__ = _KERNELS[method]
+        except KeyError:
+            raise CompressionError(
+                f"unknown bound method {method!r}"
+            ) from None
+        self.method = method
+
+    @property
+    def __name__(self) -> str:
+        return getattr(self.__wrapped__, "__name__", "kernel")
+
+    def __call__(self, batch: BatchBounds, db: SketchDatabase):
         obs.add("bounds.kernel_calls")
         obs.add("bounds.pairs", len(db))
-        return kernel(batch, db)
+        return self.__wrapped__(batch, db)
 
-    run.__name__ = getattr(kernel, "__name__", "kernel")
-    run.__wrapped__ = kernel
-    return run
+    def __reduce__(self):
+        return (_CountedKernel, (self.method,))
 
 
 def get_batch_kernel(method: str):
-    """The batch kernel registered under ``method`` (unbound method)."""
-    try:
-        return _counted(_KERNELS[method])
-    except KeyError:
-        raise CompressionError(f"unknown bound method {method!r}") from None
+    """The (picklable) counted batch kernel registered under ``method``."""
+    return _CountedKernel(method)
 
 
 def batch_bounds(

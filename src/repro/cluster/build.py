@@ -21,10 +21,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.manifest import ShardManifest
 from repro.cluster.partitioner import Partitioner
 from repro.cluster.router import ShardRouter
 from repro.compression.database import SketchDatabase
+from repro.engine.executor import fork_map
 from repro.exceptions import CorruptionError, ReproError, SeriesMismatchError
 from repro.storage.pagestore import SequencePageStore
 
@@ -80,6 +82,7 @@ def build_sharded(
     directory: str | os.PathLike | None = None,
     partitioner: Partitioner | None = None,
     workers: int | None = None,
+    build_workers: int | None = None,
     **index_kwargs,
 ) -> ShardRouter:
     """Partition ``matrix`` into shard indexes behind one router.
@@ -104,6 +107,13 @@ def build_sharded(
     workers:
         Scatter parallelism of the returned router (see
         :class:`~repro.cluster.ShardRouter`).
+    build_workers:
+        Build parallelism: shards are built (store write + index
+        construction) on a pool of forked workers, the same
+        :func:`~repro.engine.executor.fork_map` machinery the batched
+        search uses.  ``None`` or 1 keeps the serial path; the built
+        shard indexes — stores included — are pickled back to the
+        parent, which is why every registry backend is picklable.
     """
     from repro.engine.registry import get_index
 
@@ -137,29 +147,33 @@ def build_sharded(
         compressor = index_kwargs.get("compressor") or BestMinErrorCompressor(
             14
         )
-        shared_sketches = SketchDatabase.from_matrix(matrix, compressor)
+        with obs.span("ingest.compress"):
+            shared_sketches = SketchDatabase.from_matrix(matrix, compressor)
 
     if directory is not None:
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
 
-    pairs: list[tuple[object, np.ndarray]] = []
-    files: list[str] = []
-    for shard, rows in enumerate(members):
+    def build_one(shard: int):
+        """Build shard ``shard`` end to end: store write + index build.
+
+        Runs either in the parent (serial path) or in a forked pool
+        worker; workers inherit ``matrix``/``members`` by fork and only
+        the finished shard index crosses the pickle boundary back.
+        """
+        rows = members[shard]
         sub_matrix = matrix[rows]
         store = None
         if directory is not None:
-            file_name = _shard_file(shard)
-            files.append(file_name)
-            store = SequencePageStore(
-                os.path.join(directory, file_name), n
-            )
-            store.append_matrix(sub_matrix)
+            with obs.span("ingest.store_write"):
+                store = SequencePageStore(
+                    os.path.join(directory, _shard_file(shard)), n
+                )
+                store.append_matrix(sub_matrix)
         if rows.size == 0:
             if store is not None:
                 store.close()
-            pairs.append((None, rows))
-            continue
+            return None
         kwargs = dict(index_kwargs)
         if store is not None and key in _STORE_BACKENDS:
             kwargs["store"] = store
@@ -170,11 +184,22 @@ def build_sharded(
         sub_names = (
             [names[int(i)] for i in rows] if names is not None else None
         )
-        sub = get_index(key, sub_matrix, names=sub_names, **kwargs)
+        with obs.span("ingest.build"):
+            sub = get_index(key, sub_matrix, names=sub_names, **kwargs)
         # Instance-level obs tag, so every engine span and counter the
         # sub-index emits is shard-addressed automatically.
         sub.obs_name = f"index.sharded.shard{shard:02d}"
-        pairs.append((sub, rows))
+        return sub
+
+    built = fork_map(build_one, range(len(members)), build_workers)
+    if built is None:
+        built = [build_one(shard) for shard in range(len(members))]
+    pairs = list(zip(built, members))
+    files = (
+        [_shard_file(shard) for shard in range(len(members))]
+        if directory is not None
+        else []
+    )
 
     router = ShardRouter(
         pairs,

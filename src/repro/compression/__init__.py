@@ -2,6 +2,7 @@
 
 from repro.compression.adaptive import AdaptiveEnergyCompressor
 from repro.compression.base import SpectralSketch
+from repro.compression.batch import batch_compress, spectra_matrix, supports_batch
 from repro.compression.best_k import (
     BestErrorCompressor,
     BestKCompressor,
@@ -27,6 +28,9 @@ __all__ = [
     "BestErrorCompressor",
     "BestMinErrorCompressor",
     "AdaptiveEnergyCompressor",
+    "batch_compress",
+    "spectra_matrix",
+    "supports_batch",
     "StorageBudget",
     "FIRST_METHODS",
     "BEST_METHODS",

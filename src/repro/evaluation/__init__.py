@@ -5,6 +5,7 @@ from repro.evaluation.pruning import (
     fraction_examined,
     pruning_power_experiment,
 )
+from repro.evaluation.ingest import IngestResult, IngestRow, ingest_experiment
 from repro.evaluation.reporting import format_float, format_table
 from repro.evaluation.sharding import (
     ShardScalingResult,
@@ -26,6 +27,9 @@ __all__ = [
     "PruningResult",
     "fraction_examined",
     "pruning_power_experiment",
+    "IngestRow",
+    "IngestResult",
+    "ingest_experiment",
     "TimingRow",
     "TimingResult",
     "index_vs_scan_experiment",

@@ -19,6 +19,11 @@ database behind an N-shard :class:`~repro.cluster.ShardRouter`, timed
 against the unsharded index with bit-identical results asserted (see
 :func:`repro.evaluation.sharding.shard_scaling_experiment`).
 
+``--ingest`` appends the ingest-pipeline section: batched compression
+and bulk store writes timed against the per-row reference, with
+equivalence asserted (see
+:func:`repro.evaluation.ingest.ingest_experiment`).
+
 ``--faults [SEED]`` skips the report and runs the resilience drill
 instead (see :func:`repro.evaluation.fault_drill.fault_drill`): every
 index backend under seeded transient faults and permanent corruption,
@@ -38,6 +43,7 @@ from repro.bursts.detection import BurstDetector
 from repro.bursts.query import BurstDatabase
 from repro.compression.budget import StorageBudget
 from repro.datagen.generator import QueryLogGenerator
+from repro.evaluation.ingest import ingest_experiment
 from repro.evaluation.pruning import pruning_power_experiment
 from repro.evaluation.sharding import shard_scaling_experiment
 from repro.evaluation.tightness import bound_tightness_experiment
@@ -62,6 +68,7 @@ def run_report(
     seed: int = 11,
     budgets: tuple[int, ...] = (8, 16, 32),
     shards: int | None = None,
+    ingest: bool = False,
     out=None,
 ) -> None:
     """Run every experiment once and print the consolidated report."""
@@ -116,6 +123,18 @@ def run_report(
         f"memory {timing.speedup_memory():.1f}x",
         file=out,
     )
+
+    if ingest:
+        _section("ingest pipeline - batch vs per-row build", out)
+        with tempfile.TemporaryDirectory() as tmp:
+            result = ingest_experiment(
+                matrix,
+                tmp,
+                compressor=budget_objects[-1].compressor("best_min_error"),
+                shards=shards or 4,
+                build_workers=4,
+            )
+        print(result.as_table(), file=out)
 
     if shards is not None:
         _section(
@@ -195,6 +214,13 @@ def main(argv=None) -> int:
         "comparing an N-shard router against the unsharded index",
     )
     parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="append the ingest-pipeline section, timing batched "
+        "compression and bulk store writes against the per-row "
+        "reference (equivalence asserted)",
+    )
+    parser.add_argument(
         "--faults",
         nargs="?",
         type=int,
@@ -234,6 +260,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             budgets=tuple(args.budgets),
             shards=args.shards,
+            ingest=args.ingest,
         )
     finally:
         if watch:

@@ -112,11 +112,10 @@ class MVPTreeIndex:
         if len(self._store) == 0:
             self._store.append_matrix(self._matrix)
 
-        sketches = [
-            self._compressor.compress(Spectrum.from_series(row))
-            for row in self._matrix
-        ]
-        self._sketch_db = SketchDatabase(sketches)
+        # Batched compression — bit-identical to compressing per row.
+        self._sketch_db = SketchDatabase.from_matrix(
+            self._matrix, self._compressor
+        )
         self._count = int(self._matrix.shape[0])
         self._n = int(self._matrix.shape[1])
         self._root = self._build(np.arange(self._count), self._matrix)

@@ -42,7 +42,12 @@ from repro.exceptions import SeriesMismatchError
 from repro.spectral.dft import Spectrum
 from repro.timeseries.preprocessing import as_float_array
 
-__all__ = ["RTree", "GeminiRTreeIndex", "gemini_features"]
+__all__ = [
+    "RTree",
+    "GeminiRTreeIndex",
+    "gemini_features",
+    "gemini_features_matrix",
+]
 
 
 @dataclass
@@ -315,6 +320,28 @@ def gemini_features(values_or_spectrum, k: int) -> np.ndarray:
     return np.concatenate([scale * coeffs.real, scale * coeffs.imag])
 
 
+def gemini_features_matrix(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`gemini_features` of a ``(count, n)`` matrix.
+
+    One ``np.fft.rfft(matrix, axis=1)`` replaces the per-row spectrum
+    construction of the scalar helper — the same 1-D transform applied
+    to each contiguous row, so the stacked result is bit-identical to
+    ``np.stack([gemini_features(row, k) for row in matrix])`` (asserted
+    by the index test suite).  The R-tree build uses this to featurise
+    the whole database in one pass.
+    """
+    from repro.spectral.dft import half_weights
+    from repro.timeseries.preprocessing import as_float_matrix
+
+    matrix = as_float_matrix(matrix)
+    count, n = matrix.shape
+    coefficients = np.fft.rfft(matrix, axis=1) / np.sqrt(n)
+    stop = min(1 + k, coefficients.shape[1])
+    coeffs = coefficients[:, 1:stop]
+    scale = np.sqrt(half_weights(n)[1:stop])
+    return np.concatenate([scale * coeffs.real, scale * coeffs.imag], axis=1)
+
+
 class GeminiRTreeIndex:
     """The classic GEMINI pipeline: R-tree over first-k features + verify.
 
@@ -347,12 +374,12 @@ class GeminiRTreeIndex:
             raise SeriesMismatchError("names must align with the matrix rows")
         self._names = tuple(names) if names is not None else None
         self.k = k
-        self._tree = RTree(
-            dimensions=gemini_features(self._matrix[0], k).size,
-            capacity=capacity,
-        )
-        for row_id, row in enumerate(self._matrix):
-            self._tree.insert(gemini_features(row, k), row_id)
+        # Featurise the whole database with one batched FFT; the tree
+        # inserts stay per-row (insertion order shapes the node splits).
+        features = gemini_features_matrix(self._matrix, k)
+        self._tree = RTree(dimensions=features.shape[1], capacity=capacity)
+        for row_id in range(features.shape[0]):
+            self._tree.insert(features[row_id], row_id)
 
     def __len__(self) -> int:
         return int(self._matrix.shape[0])

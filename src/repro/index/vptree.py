@@ -156,11 +156,11 @@ class VPTreeIndex:
         if len(self._store) == 0:
             self._store.append_matrix(self._matrix)
 
-        self._sketches = [
-            self._compressor.compress(Spectrum.from_series(row))
-            for row in self._matrix
-        ]
-        self._sketch_db = SketchDatabase(self._sketches)
+        # Batched compression (bit-identical to compressing per row);
+        # the packed database is the only sketch state the index keeps.
+        self._sketch_db = SketchDatabase.from_matrix(
+            self._matrix, self._compressor
+        )
         self._count = int(self._matrix.shape[0])
         self._n = int(self._matrix.shape[1])
         self._deleted: set[int] = set()
@@ -252,10 +252,9 @@ class VPTreeIndex:
                 f"length {self._n}"
             )
         seq_id = self._store.append(values)
-        self._sketches.append(
+        self._sketch_db = self._sketch_db.appended(
             self._compressor.compress(Spectrum.from_series(values))
         )
-        self._sketch_db = self._sketch_db.appended(self._sketches[-1])
         if self._names is not None:
             self._names = (*self._names, name or f"inserted-{seq_id}")
         self._count += 1
@@ -549,7 +548,6 @@ class VPTreeIndex:
             db.basis = basis
             db.method = method
             index._sketch_db = db
-            index._sketches = [db.sketch(i) for i in range(len(db))]
 
             leaf_values = payload["leaf_values"].astype(np.intp)
             leaf_lengths = payload["leaf_lengths"].astype(np.intp)
@@ -597,4 +595,7 @@ class VPTreeIndex:
 
     def compressed_size_doubles(self) -> float:
         """Total storage of all sketches under the paper's accounting."""
-        return float(sum(s.storage_doubles() for s in self._sketches))
+        db = self._sketch_db
+        return float(
+            sum(db.sketch(i).storage_doubles() for i in range(len(db)))
+        )

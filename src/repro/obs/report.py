@@ -44,7 +44,9 @@ def derived_metrics(registry: MetricsRegistry) -> dict[str, float]:
       fig. 22's "fraction examined");
     * ``bounds.pairs_per_kernel_call`` — batching efficiency of the bound
       kernels;
-    * ``storage.pages_per_read`` — I/O density of the sequence store.
+    * ``storage.pages_per_read`` — I/O density of the sequence store;
+    * ``storage.cache.hit_rate`` — fraction of sequence reads served by
+      the hot-read :class:`~repro.storage.SequenceCache`.
     """
     counters = registry.snapshot()["counters"]
     derived: dict[str, float] = {}
@@ -64,6 +66,12 @@ def derived_metrics(registry: MetricsRegistry) -> dict[str, float]:
     if read_calls:
         derived["storage.pages_per_read"] = (
             counters.get("storage.pages_read", 0) / read_calls
+        )
+    cache_hits = counters.get("storage.cache.hits", 0)
+    cache_misses = counters.get("storage.cache.misses", 0)
+    if cache_hits + cache_misses > 0:
+        derived["storage.cache.hit_rate"] = cache_hits / (
+            cache_hits + cache_misses
         )
     return derived
 

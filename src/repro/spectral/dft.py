@@ -31,6 +31,7 @@ class of orthogonal decompositions with minimal or no adjustments".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -125,15 +126,26 @@ class Spectrum:
     def __len__(self) -> int:
         return int(self.coefficients.size)
 
-    @property
+    @cached_property
     def magnitudes(self) -> np.ndarray:
-        """Coefficient magnitudes ``|X_i|`` (unweighted)."""
-        return np.abs(self.coefficients)
+        """Coefficient magnitudes ``|X_i|`` (unweighted).
 
-    @property
+        Memoised: bound evaluations and compressors read this in hot
+        loops, and the coefficients are frozen, so ``np.abs`` runs once
+        per spectrum.  The cached array is read-only — copy before
+        mutating.
+        """
+        magnitudes = np.abs(self.coefficients)
+        magnitudes.setflags(write=False)
+        return magnitudes
+
+    @cached_property
     def powers(self) -> np.ndarray:
-        """Weighted per-coefficient energies ``w_i * |X_i|**2``."""
-        return self.weights * np.abs(self.coefficients) ** 2
+        """Weighted per-coefficient energies ``w_i * |X_i|**2`` (memoised,
+        read-only — copy before mutating)."""
+        powers = self.weights * self.magnitudes**2
+        powers.setflags(write=False)
+        return powers
 
     def energy(self) -> float:
         """Total signal energy (equals ``sum(x**2)`` by Parseval)."""

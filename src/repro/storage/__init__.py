@@ -1,12 +1,15 @@
 """Relational/storage substrate: B+tree, table, disk-backed sequence store."""
 
 from repro.storage.btree import BPlusTree
+from repro.storage.cache import SequenceCache, cache_budget_from_env
 from repro.storage.pagestore import IOStats, MemorySequenceStore, SequencePageStore
 from repro.storage.table import Predicate, Row, Table, eq, ge, gt, le, lt
 
 __all__ = [
     "BPlusTree",
     "IOStats",
+    "SequenceCache",
+    "cache_budget_from_env",
     "MemorySequenceStore",
     "SequencePageStore",
     "Predicate",

@@ -1,0 +1,138 @@
+"""Byte-budgeted LRU cache for hot sequence reads.
+
+The paper's timing experiment (fig. 23) separates "features on disk"
+from "features in memory"; real deployments sit in between — a small
+set of hot sequences (popular queries, the verifier's repeat reads)
+served from memory while the long tail stays on disk.
+:class:`SequenceCache` models that middle ground: a least-recently-used
+cache over the *raw checksummed blocks* of a
+:class:`~repro.storage.pagestore.SequencePageStore`, bounded by a byte
+budget rather than an entry count so the operator reasons in the same
+unit as the page store itself.
+
+Design points:
+
+* **Raw blocks, not decoded arrays.**  A hit replays the stored bytes
+  through the same ``_decode_block`` CRC validation as a miss, so a
+  cached block that was corrupt on disk still raises instead of
+  silently serving garbage — the cache changes *where* bytes come
+  from, never *whether* they are checked.
+* **Explicit invalidation.**  ``scrub()`` and the torn-write repair
+  path call :meth:`invalidate` for every affected id, so a repaired or
+  quarantined sequence can never be served stale.
+* **Observable.**  Hits, misses, evictions and invalidations are
+  instance counters mirrored into :mod:`repro.obs`
+  (``storage.cache.*``); the run report derives the hit rate.
+
+The budget comes from the ``cache_bytes`` store parameter or, by
+default, the ``REPRO_CACHE_BYTES`` environment variable (unset or 0
+disables caching entirely — stores then behave exactly as before).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro import obs
+from repro.exceptions import StorageError
+
+__all__ = ["SequenceCache", "cache_budget_from_env"]
+
+#: Environment variable consulted when a store is created without an
+#: explicit ``cache_bytes`` argument.
+CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
+
+
+def cache_budget_from_env() -> int:
+    """The default cache budget in bytes (0 = caching disabled)."""
+    raw = os.environ.get(CACHE_BYTES_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise StorageError(
+            f"{CACHE_BYTES_ENV} must be an integer byte count, got {raw!r}"
+        ) from None
+    if budget < 0:
+        raise StorageError(
+            f"{CACHE_BYTES_ENV} must be >= 0, got {budget}"
+        )
+    return budget
+
+
+class SequenceCache:
+    """LRU mapping of ``seq_id -> raw block bytes`` under a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total size of cached blocks.  Blocks larger than the
+        whole budget are simply never cached.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 0:
+            raise StorageError(
+                f"cache budget must be >= 0 bytes, got {budget_bytes}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._blocks: OrderedDict[int, bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._blocks
+
+    def get(self, seq_id: int) -> bytes | None:
+        """The cached block for ``seq_id``, refreshed as most recent."""
+        block = self._blocks.get(seq_id)
+        if block is None:
+            self.misses += 1
+            obs.add("storage.cache.misses")
+            return None
+        self._blocks.move_to_end(seq_id)
+        self.hits += 1
+        obs.add("storage.cache.hits")
+        return block
+
+    def put(self, seq_id: int, block: bytes) -> None:
+        """Cache ``block``, evicting least-recently-used entries to fit."""
+        size = len(block)
+        if size > self.budget_bytes:
+            return
+        stale = self._blocks.pop(seq_id, None)
+        if stale is not None:
+            self.current_bytes -= len(stale)
+        while self._blocks and self.current_bytes + size > self.budget_bytes:
+            _, evicted = self._blocks.popitem(last=False)
+            self.current_bytes -= len(evicted)
+            self.evictions += 1
+            obs.add("storage.cache.evictions")
+        self._blocks[seq_id] = block
+        self.current_bytes += size
+
+    def invalidate(self, seq_id: int) -> bool:
+        """Drop ``seq_id`` from the cache; True if it was present."""
+        block = self._blocks.pop(seq_id, None)
+        if block is None:
+            return False
+        self.current_bytes -= len(block)
+        self.invalidations += 1
+        obs.add("storage.cache.invalidations")
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        if self._blocks:
+            self.invalidations += len(self._blocks)
+            obs.add("storage.cache.invalidations", len(self._blocks))
+        self._blocks.clear()
+        self.current_bytes = 0

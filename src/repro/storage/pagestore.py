@@ -41,7 +41,8 @@ from repro.exceptions import (
     StorageError,
     TornWriteError,
 )
-from repro.timeseries.preprocessing import as_float_array
+from repro.storage.cache import SequenceCache, cache_budget_from_env
+from repro.timeseries.preprocessing import as_float_array, as_float_matrix
 
 __all__ = ["IOStats", "SequencePageStore", "MemorySequenceStore"]
 
@@ -52,6 +53,9 @@ _HEADER_V2 = struct.Struct("<8sIQI")  # ... + CRC32 of the preceding fields
 #: Bytes reserved at the end of every format-2 data page for its CRC32.
 _PAGE_CRC_BYTES = 4
 _PAGE_CRC = struct.Struct("<I")
+# Bulk appends encode + write in chunks of roughly this many bytes so
+# the scratch buffer stays within the CPU cache and the allocator arena.
+_BULK_CHUNK_BYTES = 4 << 20
 #: Upper sanity bound for header fields — a corrupted header must not be
 #: able to request absurd allocations before the CRC check existed (v1).
 _MAX_PAGE_SIZE = 1 << 24
@@ -78,6 +82,17 @@ class IOStats:
             obs.add("storage.seeks")
         self._last_page = first_page + page_count
 
+    def charge_cached(self) -> None:
+        """Record one read served from the sequence cache.
+
+        A cache hit is still a read call, but it touches zero pages and
+        moves no disk head, so the page and seek counters — and the head
+        position used to estimate future seeks — are left alone.
+        """
+        self.read_calls += 1
+        obs.add("storage.read_calls")
+        obs.add("storage.pages_read", 0)
+
     def reset(self) -> None:
         self.read_calls = 0
         self.pages_read = 0
@@ -102,6 +117,10 @@ class SequencePageStore:
         Verify every data page's CRC32 on read (default).  Turning it
         off trades integrity detection for a little CPU — the overhead
         benchmark prices both paths.
+    cache_bytes:
+        Byte budget for the hot-read :class:`SequenceCache` in front of
+        the block reader.  ``None`` (default) consults the
+        ``REPRO_CACHE_BYTES`` environment variable; 0 disables caching.
     """
 
     def __init__(
@@ -110,6 +129,7 @@ class SequencePageStore:
         sequence_length: int,
         page_size: int = 4096,
         verify_checksums: bool = True,
+        cache_bytes: int | None = None,
     ) -> None:
         self._validate_geometry(sequence_length, page_size)
         self.path = os.fspath(path)
@@ -118,6 +138,7 @@ class SequencePageStore:
         self.format_version = 2
         self.verify_checksums = bool(verify_checksums)
         self.stats = IOStats()
+        self._init_cache(cache_bytes)
         self._init_geometry()
         self._count = 0
         self._file = open(self.path, "w+b")
@@ -155,6 +176,23 @@ class SequencePageStore:
         self._payload_per_page = payload
         self._pages_per_sequence = -(-bytes_per_sequence // payload)
 
+    def _init_cache(self, cache_bytes: int | None) -> None:
+        self._cache_budget = (
+            cache_budget_from_env() if cache_bytes is None else int(cache_bytes)
+        )
+        if self._cache_budget < 0:
+            raise StorageError(
+                f"cache_bytes must be >= 0, got {self._cache_budget}"
+            )
+        self._cache = (
+            SequenceCache(self._cache_budget) if self._cache_budget else None
+        )
+
+    @property
+    def cache(self) -> SequenceCache | None:
+        """The hot-read cache, or ``None`` when caching is disabled."""
+        return self._cache
+
     @classmethod
     def open(
         cls,
@@ -163,6 +201,7 @@ class SequencePageStore:
         *,
         repair: bool = False,
         verify_checksums: bool = True,
+        cache_bytes: int | None = None,
     ) -> "SequencePageStore":
         """Reopen an existing store file, validating its header.
 
@@ -235,6 +274,7 @@ class SequencePageStore:
         store.format_version = version
         store.verify_checksums = bool(verify_checksums)
         store.stats = IOStats()
+        store._init_cache(cache_bytes)
         store._init_geometry()
         store._file = open(path, "r+b")
         header_size = _HEADER_V2.size if version == 2 else _HEADER_V1.size
@@ -280,6 +320,32 @@ class SequencePageStore:
         self.close()
 
     # ------------------------------------------------------------------
+    # Pickling — used by the parallel shard builder, whose worker
+    # processes build a shard's store and ship the handle back to the
+    # parent.  The open file descriptor cannot cross processes, so the
+    # state carries the path plus a was-open flag and the receiving side
+    # reopens; cache contents are dropped (only the budget travels).
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        was_open = not self._file.closed
+        if was_open:
+            self._file.flush()
+        state["_file"] = was_open
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        was_open = state.pop("_file")
+        self.__dict__.update(state)
+        self._file = open(self.path, "r+b")
+        if not was_open:
+            self._file.close()
+        self._cache = (
+            SequenceCache(self._cache_budget) if self._cache_budget else None
+        )
+
+    # ------------------------------------------------------------------
     # Storage interface
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -306,8 +372,36 @@ class SequencePageStore:
         return seq_id
 
     def append_matrix(self, matrix: np.ndarray) -> list[int]:
-        """Store every row of a ``(count, sequence_length)`` matrix."""
-        return [self.append(row) for row in np.asarray(matrix, dtype=np.float64)]
+        """Store every row of a ``(count, sequence_length)`` matrix.
+
+        The bulk ingest path: pages and CRCs are encoded in vectorised
+        passes over a preallocated buffer (:meth:`_encode_matrix`) and
+        written in a few megabyte-sized sequential chunks, instead of
+        one encode + seek + write per row.  The chunking keeps the
+        scratch buffer cache-hot and allocator-recycled rather than
+        faulting a fresh matrix-sized buffer on every call.  The bytes
+        on disk are identical to per-row :meth:`append` — asserted by
+        ``tests/storage/test_bulk_append.py``.
+        """
+        matrix = as_float_matrix(matrix)
+        count = matrix.shape[0]
+        if count == 0:
+            return []
+        if matrix.shape[1] != self.sequence_length:
+            raise StorageError(
+                f"store holds sequences of length {self.sequence_length}, "
+                f"got {matrix.shape[1]}"
+            )
+        first = self._count
+        self._file.seek(self._offset_of(first))
+        block_bytes = self._pages_per_sequence * self.page_size
+        chunk_rows = max(1, _BULK_CHUNK_BYTES // block_bytes)
+        for start in range(0, count, chunk_rows):
+            encoded = self._encode_matrix(matrix[start : start + chunk_rows])
+            self._file.write(encoded.data)
+        obs.add("storage.page_writes", count * self._pages_per_sequence)
+        self._count += count
+        return list(range(first, first + count))
 
     def _offset_of(self, seq_id: int) -> int:
         return (
@@ -329,6 +423,39 @@ class SequencePageStore:
             block += chunk
             block += _PAGE_CRC.pack(zlib.crc32(chunk))
         return bytes(block)
+
+    def _encode_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Serialise a whole ``(count, n)`` matrix of sequences at once.
+
+        Fills a single preallocated page buffer: the payload bytes are
+        scattered page-column by page-column (at most
+        ``pages_per_sequence`` assignments), each page's CRC32 runs over
+        a view of its payload, and the checksums land in the last four
+        bytes of every page — no per-row bytes objects and no final
+        ``tobytes`` copy.  The buffer's bytes are exactly
+        ``b"".join(self._encode_block(row.tobytes()) ...)``; callers
+        write its memoryview directly.
+        """
+        count = matrix.shape[0]
+        pages = self._pages_per_sequence
+        row_bytes = self.sequence_length * 8
+        raw = matrix.view(np.uint8).reshape(count, row_bytes)
+        if self.format_version == 1:
+            buf = np.zeros((count, pages * self.page_size), dtype=np.uint8)
+            buf[:, :row_bytes] = raw
+            return buf.reshape(-1)
+        payload = self._payload_per_page
+        buf = np.zeros((count, pages, self.page_size), dtype=np.uint8)
+        for page in range(pages):
+            chunk = raw[:, page * payload : (page + 1) * payload]
+            buf[:, page, : chunk.shape[1]] = chunk
+        flat = buf.reshape(count * pages, self.page_size)
+        payloads = flat[:, :payload]
+        checksums = np.empty(count * pages, dtype="<u4")
+        for index in range(count * pages):
+            checksums[index] = zlib.crc32(payloads[index])
+        flat[:, payload:] = checksums.view(np.uint8).reshape(-1, _PAGE_CRC_BYTES)
+        return buf.reshape(-1)
 
     def _decode_block(self, seq_id: int, block: bytes) -> np.ndarray:
         """Validate a sequence's pages and strip the checksums."""
@@ -382,9 +509,26 @@ class SequencePageStore:
         """
         if not 0 <= seq_id < self._count:
             raise KeyNotFoundError(seq_id)
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(seq_id)
+            if cached is not None:
+                self.stats.charge_cached()
+                try:
+                    return self._decode_block(seq_id, cached)
+                except CorruptionError:
+                    # A block that no longer validates (e.g. checksum
+                    # verification was toggled on after it was cached)
+                    # must not be served again.
+                    cache.invalidate(seq_id)
+                    raise
         offset = self._offset_of(seq_id)
         self.stats.charge(offset // self.page_size, self._pages_per_sequence)
-        return self._decode_block(seq_id, self._read_block(seq_id))
+        block = self._read_block(seq_id)
+        decoded = self._decode_block(seq_id, block)
+        if cache is not None:
+            cache.put(seq_id, block)
+        return decoded
 
     def read_many(self, seq_ids) -> np.ndarray:
         """Fetch several sequences as a ``(len(seq_ids), n)`` matrix.
@@ -404,6 +548,11 @@ class SequencePageStore:
         checksum-validated, and the ids of corrupt or torn sequences are
         returned instead of raised — feed them to the engine's
         quarantine, or re-ingest them from the source of truth.
+
+        The scrub always reads from disk — never from the sequence
+        cache — and evicts every failing id from the cache, so a
+        sequence that went bad on disk can never keep being served from
+        a stale cached copy.
         """
         bad: list[int] = []
         for seq_id in range(self._count):
@@ -412,6 +561,9 @@ class SequencePageStore:
             except CorruptionError:
                 bad.append(seq_id)
         if bad:
+            if self._cache is not None:
+                for seq_id in bad:
+                    self._cache.invalidate(seq_id)
             obs.add("resilience.scrub_failures", len(bad))
         return tuple(bad)
 

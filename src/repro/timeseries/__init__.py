@@ -1,13 +1,19 @@
 """Time-series substrate: containers, standardisation, moving averages."""
 
 from repro.timeseries.collection import TimeSeriesCollection
-from repro.timeseries.preprocessing import as_float_array, moving_average, zscore
+from repro.timeseries.preprocessing import (
+    as_float_array,
+    as_float_matrix,
+    moving_average,
+    zscore,
+)
 from repro.timeseries.series import TimeSeries
 
 __all__ = [
     "TimeSeries",
     "TimeSeriesCollection",
     "as_float_array",
+    "as_float_matrix",
     "moving_average",
     "zscore",
 ]

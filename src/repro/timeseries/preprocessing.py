@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.exceptions import SeriesLengthError
 
-__all__ = ["as_float_array", "zscore", "moving_average"]
+__all__ = ["as_float_array", "as_float_matrix", "zscore", "moving_average"]
 
 
 def as_float_array(values) -> np.ndarray:
@@ -41,6 +41,27 @@ def as_float_array(values) -> np.ndarray:
     if not np.all(np.isfinite(arr)):
         raise SeriesLengthError("sequence contains NaN or infinite values")
     return arr
+
+
+def as_float_matrix(values) -> np.ndarray:
+    """Coerce ``values`` to a 2-D contiguous ``float64`` matrix.
+
+    The batch counterpart of :func:`as_float_array`, with identical
+    validation semantics applied to the whole ``(count, n)`` matrix at
+    once: non-empty rows, finite values.  The batch ingest paths use
+    this so a matrix that would fail row-wise validation also fails the
+    vectorised one.
+    """
+    matrix = np.ascontiguousarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise SeriesLengthError(
+            f"expected a 2-D matrix, got array of shape {matrix.shape}"
+        )
+    if matrix.shape[1] == 0:
+        raise SeriesLengthError("expected non-empty sequences")
+    if not np.all(np.isfinite(matrix)):
+        raise SeriesLengthError("matrix contains NaN or infinite values")
+    return matrix
 
 
 def zscore(values, ddof: int = 0) -> np.ndarray:

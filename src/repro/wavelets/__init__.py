@@ -1,5 +1,15 @@
 """Haar wavelets: an alternative orthonormal basis for the same machinery."""
 
-from repro.wavelets.haar import haar_spectrum, haar_transform, inverse_haar_transform
+from repro.wavelets.haar import (
+    haar_spectrum,
+    haar_transform,
+    haar_transform_matrix,
+    inverse_haar_transform,
+)
 
-__all__ = ["haar_transform", "inverse_haar_transform", "haar_spectrum"]
+__all__ = [
+    "haar_transform",
+    "haar_transform_matrix",
+    "inverse_haar_transform",
+    "haar_spectrum",
+]

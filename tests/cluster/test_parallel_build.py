@@ -1,0 +1,97 @@
+"""Parallel shard builds must be indistinguishable from serial ones.
+
+``build_sharded(build_workers=N)`` builds every shard — page-store write
+plus index construction — on the engine's fork pool; the finished shard
+indexes are pickled back to the parent.  Nothing about the result may
+depend on *where* a shard was built: router answers, shard membership,
+and the bytes of every shard file have to match the serial path exactly.
+"""
+
+import filecmp
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_sharded, open_sharded
+
+K = 4
+
+
+def _answers(router, queries, k=K):
+    out = []
+    for query in queries:
+        neighbors, stats = router.search(query, k=k)
+        out.append(
+            (
+                [(n.seq_id, n.distance) for n in neighbors],
+                stats.candidates_pruned
+                + stats.full_retrievals
+                + stats.quarantined,
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize(
+    "backend", ("flat", "vptree", "mvptree", "mtree", "rtree", "scan")
+)
+def test_parallel_build_matches_serial(backend, matrix, queries, tmp_path):
+    serial = build_sharded(
+        matrix, shards=4, backend=backend, seed=3, build_workers=None
+    )
+    parallel = build_sharded(
+        matrix, shards=4, backend=backend, seed=3, build_workers=2
+    )
+    assert _answers(serial, queries) == _answers(parallel, queries)
+
+
+def test_parallel_build_writes_identical_shard_files(matrix, tmp_path):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    build_sharded(
+        matrix,
+        shards=3,
+        backend="flat",
+        directory=serial_dir,
+        build_workers=None,
+    )
+    build_sharded(
+        matrix,
+        shards=3,
+        backend="flat",
+        directory=parallel_dir,
+        build_workers=3,
+    )
+    files = sorted(f for f in os.listdir(serial_dir) if f.endswith(".pages"))
+    assert files == sorted(
+        f for f in os.listdir(parallel_dir) if f.endswith(".pages")
+    )
+    for name in files:
+        assert filecmp.cmp(
+            serial_dir / name, parallel_dir / name, shallow=False
+        ), name
+
+
+def test_parallel_built_directory_reopens(matrix, queries, tmp_path):
+    """A pool-built directory round-trips through open_sharded."""
+    directory = tmp_path / "pool"
+    router = build_sharded(
+        matrix, shards=4, backend="flat", directory=directory, build_workers=2
+    )
+    reopened = open_sharded(directory)
+    assert _answers(router, queries) == _answers(reopened, queries)
+
+
+def test_single_worker_and_single_shard_fall_back_serially(matrix, queries):
+    """The degenerate pool configurations take the in-process path."""
+    one_worker = build_sharded(
+        matrix, shards=4, backend="flat", build_workers=1
+    )
+    one_shard = build_sharded(
+        matrix, shards=1, backend="flat", build_workers=4
+    )
+    reference = build_sharded(matrix, shards=4, backend="flat")
+    assert _answers(one_worker, queries) == _answers(reference, queries)
+    mono = build_sharded(matrix, shards=1, backend="flat")
+    assert _answers(one_shard, queries) == _answers(mono, queries)

@@ -1,0 +1,140 @@
+"""Cache correctness under faults: stale blocks must never outlive repair.
+
+The sequence cache stores raw checksummed blocks, so its one dangerous
+failure mode is *staleness*: bytes that were valid when cached go bad on
+disk afterwards.  The resilience contract (docs/RESILIENCE.md) closes
+that window at the maintenance seams — ``scrub()`` reads disk (never the
+cache) and invalidates every failing id, and ``open(repair=True)``
+starts from a cold cache — so a corrupt or repaired sequence can never
+keep being served from memory.  These tests prove each leg, plus the
+engine-level acceptance bar: with the cache enabled, every backend still
+satisfies ``pruned + retrievals + quarantined == db``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.registry import available_indexes, get_index
+from repro.exceptions import CorruptionError
+from repro.resilience import FaultPlan, FaultyFile, FaultyIndex, RetryPolicy, policy_context
+from repro.storage import SequencePageStore
+from repro.storage.cache import CACHE_BYTES_ENV
+
+pytestmark = pytest.mark.faults
+
+FAST = RetryPolicy(sleep=lambda s: None)
+
+
+def _filled(tmp_path, rows=6, length=256, cache_bytes=1 << 20):
+    path = str(tmp_path / "cached.pages")
+    store = SequencePageStore(path, length, cache_bytes=cache_bytes)
+    matrix = np.random.default_rng(2).normal(size=(rows, length))
+    store.append_matrix(matrix)
+    return store, matrix, path
+
+
+def _damage(path, store, seq_id, delta=64):
+    """Flip one payload byte of ``seq_id`` directly on disk."""
+    offset = store._offset_of(seq_id) + delta
+    with open(path, "r+b") as raw:
+        raw.seek(offset)
+        byte = raw.read(1)
+        raw.seek(offset)
+        raw.write(bytes([byte[0] ^ 0xFF]))
+
+
+def test_corrupt_blocks_are_never_cached(tmp_path):
+    """A block that fails its CRC must not enter the cache at all."""
+    store, _, path = _filled(tmp_path)
+    store.close()
+    store = SequencePageStore.open(path, cache_bytes=1 << 20)
+    FaultyFile.under(store, FaultPlan(seed=7, bitflip_rate=1.0))
+    with pytest.raises(CorruptionError):
+        store.read(1)
+    assert len(store.cache) == 0
+    store.close()
+
+
+def test_scrub_evicts_stale_cache_entries(tmp_path):
+    """Disk goes bad after caching; scrub() closes the staleness window."""
+    store, matrix, path = _filled(tmp_path)
+    with store:
+        victim = 2
+        np.testing.assert_array_equal(store.read(victim), matrix[victim])
+        assert victim in store.cache
+
+        store._file.flush()
+        _damage(path, store, victim)
+
+        # Before the scrub the cache window is open: the cached block
+        # still validates (it *was* the true bytes), so it is served.
+        np.testing.assert_array_equal(store.read(victim), matrix[victim])
+
+        # The scrub reads disk, finds the corruption, and evicts.
+        assert store.scrub() == (victim,)
+        assert victim not in store.cache
+
+        # From now on the corruption is surfaced, never the stale copy.
+        with pytest.raises(CorruptionError):
+            store.read(victim)
+        assert store.cache.invalidations >= 1
+
+
+def test_repair_reopen_starts_with_a_cold_cache(tmp_path):
+    """``open(repair=True)`` truncates torn tails; nothing cached survives
+    the reopen, so repaired state is what every read sees."""
+    store, matrix, path = _filled(tmp_path, rows=4)
+    store.close()
+    with open(path, "r+b") as raw:
+        raw.seek(0, 2)
+        raw.truncate(raw.tell() - 100)  # tear the final sequence
+    repaired = SequencePageStore.open(path, repair=True, cache_bytes=1 << 20)
+    with repaired:
+        assert len(repaired) == 3
+        assert len(repaired.cache) == 0
+        for i in range(3):
+            np.testing.assert_array_equal(repaired.read(i), matrix[i])
+        cache = repaired.cache
+        assert cache.hits + cache.misses == repaired.stats.read_calls
+
+
+def test_counters_balance_even_when_reads_fail(tmp_path):
+    """``hits + misses == read calls`` holds through corruption raises."""
+    store, _, path = _filled(tmp_path)
+    with store:
+        store.read(0)
+        store._file.flush()
+        _damage(path, store, 3)
+        store.scrub()  # evict nothing cached for 3; flag it
+        reads = 0
+        for seq_id in (0, 0, 3, 1, 3):
+            reads += 1
+            try:
+                store.read(seq_id)
+            except CorruptionError:
+                pass
+        cache = store.cache
+        assert cache.hits + cache.misses == store.stats.read_calls
+        assert store.stats.read_calls == reads + 1  # +1 for the warm-up
+
+
+@pytest.mark.parametrize("name", available_indexes())
+def test_invariant_holds_with_cache_enabled(name, tmp_path, monkeypatch):
+    """Engine acceptance: cache on, one member corrupt, the extended
+    accounting invariant still balances for every backend."""
+    monkeypatch.setenv(CACHE_BYTES_ENV, str(1 << 20))
+    rng = np.random.default_rng(9)
+    matrix = rng.normal(size=(48, 32))
+    queries = rng.normal(size=(3, 32))
+    victim = 11
+    broken = FaultyIndex(get_index(name, matrix), FaultPlan(), [victim])
+    with policy_context(FAST):
+        for query in queries:
+            neighbors, stats = broken.search(query, k=3)
+            assert (
+                stats.candidates_pruned
+                + stats.full_retrievals
+                + stats.quarantined
+                == len(matrix)
+            )
+            assert victim not in {n.seq_id for n in neighbors}

@@ -107,3 +107,30 @@ class TestSpectrum:
         powers = spectrum.powers
         assert powers[-1] == pytest.approx(4.0)  # all energy at Nyquist
         assert powers[:-1] == pytest.approx(np.zeros(2), abs=1e-12)
+
+
+class TestMemoisedProperties:
+    """magnitudes/powers are cached on the frozen dataclass: hot bound
+    loops read them repeatedly and must not recompute np.abs each time."""
+
+    def test_same_object_returned(self):
+        spectrum = Spectrum.from_series(np.arange(8.0))
+        assert spectrum.magnitudes is spectrum.magnitudes
+        assert spectrum.powers is spectrum.powers
+
+    def test_cached_arrays_are_read_only(self):
+        spectrum = Spectrum.from_series(np.arange(8.0))
+        with pytest.raises(ValueError):
+            spectrum.magnitudes[0] = 1.0
+        with pytest.raises(ValueError):
+            spectrum.powers[0] = 1.0
+
+    def test_values_unchanged(self):
+        spectrum = Spectrum.from_series(np.arange(8.0))
+        np.testing.assert_array_equal(
+            spectrum.magnitudes, np.abs(spectrum.coefficients)
+        )
+        np.testing.assert_array_equal(
+            spectrum.powers,
+            spectrum.weights * np.abs(spectrum.coefficients) ** 2,
+        )

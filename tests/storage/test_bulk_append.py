@@ -1,0 +1,109 @@
+"""Bulk ``append_matrix`` must write byte-identical files to per-row
+``append`` — the storage half of the fast-ingest contract.
+
+The bulk path encodes every page and CRC of the whole matrix in one pass
+over a preallocated buffer and issues a single ``write``; these tests
+compare the resulting files against the per-row reference byte for byte
+(header included), across page geometries where sequences span one page,
+several pages, and a partially-filled final page.
+"""
+
+import filecmp
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesLengthError, StorageError
+from repro.storage import SequencePageStore
+
+
+def _pair(tmp_path, name, sequence_length, page_size=4096):
+    left = SequencePageStore(
+        str(tmp_path / f"{name}-rowwise.pages"), sequence_length, page_size
+    )
+    right = SequencePageStore(
+        str(tmp_path / f"{name}-bulk.pages"), sequence_length, page_size
+    )
+    return left, right
+
+
+@pytest.mark.parametrize(
+    "sequence_length,page_size",
+    [
+        (16, 4096),  # tiny payload, one mostly-padding page
+        (512, 4096),  # exactly one page per sequence
+        (1024, 4096),  # several pages per sequence
+        (600, 4096),  # partially filled final page
+        (100, 1024),  # small pages
+    ],
+)
+def test_files_byte_identical(tmp_path, sequence_length, page_size):
+    rng = np.random.default_rng(sequence_length)
+    matrix = rng.normal(size=(17, sequence_length))
+    rowwise, bulk = _pair(tmp_path, "eq", sequence_length, page_size)
+    with rowwise, bulk:
+        row_ids = [rowwise.append(row) for row in matrix]
+        bulk_ids = bulk.append_matrix(matrix)
+        assert bulk_ids == row_ids
+        assert len(bulk) == len(rowwise) == len(matrix)
+    assert filecmp.cmp(rowwise.path, bulk.path, shallow=False)
+
+
+def test_bulk_rows_read_back_and_validate(tmp_path):
+    rng = np.random.default_rng(3)
+    matrix = rng.normal(size=(9, 257))
+    with SequencePageStore(str(tmp_path / "rt.pages"), 257) as store:
+        store.append_matrix(matrix)
+        for i, row in enumerate(matrix):
+            np.testing.assert_array_equal(store.read(i), row)
+    # Checksums written by the bulk encoder satisfy the scrubber.
+    with SequencePageStore.open(str(tmp_path / "rt.pages")) as reopened:
+        assert reopened.scrub() == ()
+        np.testing.assert_array_equal(
+            reopened.read_many(range(9)), matrix
+        )
+
+
+def test_bulk_append_after_per_row_appends(tmp_path):
+    """Interleaving the two paths keeps ids dense and bytes canonical."""
+    rng = np.random.default_rng(4)
+    head, tail = rng.normal(size=(3, 96)), rng.normal(size=(5, 96))
+    rowwise, mixed = _pair(tmp_path, "mix", 96)
+    with rowwise, mixed:
+        for row in np.vstack([head, tail]):
+            rowwise.append(row)
+        for row in head:
+            mixed.append(row)
+        assert mixed.append_matrix(tail) == [3, 4, 5, 6, 7]
+    assert filecmp.cmp(rowwise.path, mixed.path, shallow=False)
+
+
+def test_empty_matrix_is_a_no_op(tmp_path):
+    with SequencePageStore(str(tmp_path / "empty.pages"), 32) as store:
+        assert store.append_matrix(np.empty((0, 32))) == []
+        assert len(store) == 0
+
+
+def test_bulk_append_validates_like_per_row(tmp_path):
+    with SequencePageStore(str(tmp_path / "bad.pages"), 32) as store:
+        with pytest.raises(StorageError):
+            store.append_matrix(np.zeros((2, 33)))  # wrong length
+        with pytest.raises(SeriesLengthError):
+            store.append_matrix(np.zeros(32))  # wrong rank
+        bad = np.zeros((2, 32))
+        bad[1, 5] = np.nan
+        with pytest.raises(SeriesLengthError):
+            store.append_matrix(bad)
+        assert len(store) == 0  # nothing persisted by failed validation
+
+
+def test_matrix_layout_agnostic(tmp_path):
+    """Fortran-ordered and sliced inputs produce the same bytes."""
+    rng = np.random.default_rng(5)
+    base = rng.normal(size=(12, 64))
+    rowwise, bulk = _pair(tmp_path, "layout", 64)
+    with rowwise, bulk:
+        for row in base[::2]:
+            rowwise.append(row)
+        bulk.append_matrix(np.asfortranarray(base)[::2])
+    assert filecmp.cmp(rowwise.path, bulk.path, shallow=False)

@@ -99,3 +99,34 @@ class TestSpectrumInterchangeability:
         haar_sketch = BestErrorCompressor(8).compress(haar_spectrum(x))
         fourier_sketch = BestErrorCompressor(8).compress(Spectrum.from_series(x))
         assert haar_sketch.error < fourier_sketch.error
+
+
+class TestBatchedTransform:
+    """haar_transform_matrix is the batch ingest path's transform: it must
+    reproduce the scalar pyramid bit for bit."""
+
+    def test_matches_scalar_rows_exactly(self):
+        from repro.wavelets import haar_transform_matrix
+
+        rng = np.random.default_rng(11)
+        matrix = rng.normal(size=(37, 64))
+        matrix[4] = matrix[0]  # duplicates must stay identical
+        stacked = np.stack([haar_transform(row) for row in matrix])
+        assert np.array_equal(haar_transform_matrix(matrix), stacked)
+
+    @given(power_of_two_signals)
+    @settings(max_examples=25, deadline=None)
+    def test_single_row_property(self, values):
+        from repro.wavelets import haar_transform_matrix
+
+        row = np.asarray(values)
+        batch = haar_transform_matrix(row[None, :])
+        assert np.array_equal(batch[0], haar_transform(row))
+
+    def test_rejects_non_power_of_two_and_wrong_rank(self):
+        from repro.wavelets import haar_transform_matrix
+
+        with pytest.raises(SeriesLengthError):
+            haar_transform_matrix(np.zeros((3, 12)))
+        with pytest.raises(SeriesLengthError):
+            haar_transform_matrix(np.zeros(8))
