@@ -12,11 +12,17 @@ layer (see ``docs/SHARDING.md``):
   index (any registry backend) and optionally its own page-store file,
   described by a CRC-checked :class:`ShardManifest`;
 * :class:`ShardRouter` — an :class:`~repro.engine.core.EngineIndex` over
-  the shards: candidate generation scatters to every shard (serially or
-  on a fork pool), gathers the per-shard candidate sets, and merges them
-  under one *global* :math:`\\sigma_{UB}` so cross-shard pruning is no
-  weaker than the monolithic index.  The shared verifier, the obs
-  accounting and the resilience guards all apply unchanged.
+  the shards: candidate generation scatters to every shard (serially,
+  on a fork pool, or on the persistent worker pool), gathers the
+  per-shard candidate sets, and merges them under one *global*
+  :math:`\\sigma_{UB}` so cross-shard pruning is no weaker than the
+  monolithic index.  The shared verifier, the obs accounting and the
+  resilience guards all apply unchanged.
+* :class:`ShardWorkerPool` — one persistent worker process per
+  populated shard, each holding its warm index over zero-copy
+  shared-memory views of the shard's matrix and sketch blocks; enabled
+  with ``worker_pool=True`` or the ``REPRO_SHARD_WORKERS`` environment
+  switch (see ``docs/CONCURRENCY.md``).
 
 The registry exposes the whole stack as just another backend::
 
@@ -26,9 +32,15 @@ The registry exposes the whole stack as just another backend::
     neighbors, stats = router.search(query, k=5)
 """
 
-from repro.cluster.build import build_sharded, default_shard_count, open_sharded
+from repro.cluster.build import (
+    build_sharded,
+    default_shard_count,
+    default_worker_pool,
+    open_sharded,
+)
 from repro.cluster.manifest import MANIFEST_NAME, ShardManifest
 from repro.cluster.partitioner import Partitioner
+from repro.cluster.pool import ShardSpec, ShardStub, ShardWorkerPool
 from repro.cluster.router import ShardRouter
 
 __all__ = [
@@ -36,7 +48,11 @@ __all__ = [
     "Partitioner",
     "ShardManifest",
     "ShardRouter",
+    "ShardSpec",
+    "ShardStub",
+    "ShardWorkerPool",
     "build_sharded",
     "default_shard_count",
+    "default_worker_pool",
     "open_sharded",
 ]

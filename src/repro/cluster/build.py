@@ -11,7 +11,14 @@ router from that directory alone.
 
 The default shard count comes from the ``REPRO_SHARDS`` environment
 variable (else 2), which is how the CI matrix runs the whole tier-1
-suite against a 4-shard router without touching any test.
+suite against a 4-shard router without touching any test.  Setting
+``REPRO_SHARD_WORKERS`` (to any integer >= 1) additionally routes
+builds and searches through the persistent
+:class:`~repro.cluster.ShardWorkerPool` — one long-lived worker process
+per populated shard over shared memory — again without touching any
+test; ``worker_pool=True``/``False`` overrides the environment per
+call.  Pooled routers serve the same bit-identical answers but cannot
+accept dynamic inserts (see ``docs/CONCURRENCY.md``).
 """
 
 from __future__ import annotations
@@ -30,7 +37,12 @@ from repro.engine.executor import fork_map
 from repro.exceptions import CorruptionError, ReproError, SeriesMismatchError
 from repro.storage.pagestore import SequencePageStore
 
-__all__ = ["build_sharded", "default_shard_count", "open_sharded"]
+__all__ = [
+    "build_sharded",
+    "default_shard_count",
+    "default_worker_pool",
+    "open_sharded",
+]
 
 #: Fallback shard count when ``REPRO_SHARDS`` is unset or unusable.
 DEFAULT_SHARDS = 2
@@ -51,6 +63,20 @@ def default_shard_count() -> int:
     except ValueError:
         return DEFAULT_SHARDS
     return value if value >= 1 else DEFAULT_SHARDS
+
+
+def default_worker_pool() -> bool:
+    """Whether ``REPRO_SHARD_WORKERS`` enables the persistent pool.
+
+    Any integer >= 1 enables it; the pool always runs one worker per
+    populated shard, so the value is a switch, not a count.  Unset,
+    empty, or non-positive keeps the in-process scatter paths.
+    """
+    raw = os.environ.get("REPRO_SHARD_WORKERS", "").strip()
+    try:
+        return int(raw) >= 1
+    except ValueError:
+        return False
 
 
 def _canonical_backend(backend: str) -> str:
@@ -83,6 +109,7 @@ def build_sharded(
     partitioner: Partitioner | None = None,
     workers: int | None = None,
     build_workers: int | None = None,
+    worker_pool: bool | None = None,
     **index_kwargs,
 ) -> ShardRouter:
     """Partition ``matrix`` into shard indexes behind one router.
@@ -114,6 +141,19 @@ def build_sharded(
         search uses.  ``None`` or 1 keeps the serial path; the built
         shard indexes — stores included — are pickled back to the
         parent, which is why every registry backend is picklable.
+        Ignored when the worker pool is active: the pool's own warm-up
+        *is* the parallel build (every worker writes its shard's store
+        and constructs its index concurrently), so a separate build
+        fan-out would be redundant.
+    worker_pool:
+        ``True`` routes the returned router through a persistent
+        :class:`~repro.cluster.ShardWorkerPool`; ``False`` forces the
+        in-process paths; ``None`` (default) defers to
+        :func:`default_worker_pool` (the ``REPRO_SHARD_WORKERS``
+        environment switch).  Pooled routers return bit-identical
+        answers, shut their workers down deterministically via
+        ``router.close()`` (or a ``with`` block), and do not support
+        dynamic inserts.
     """
     from repro.engine.registry import get_index
 
@@ -153,6 +193,22 @@ def build_sharded(
     if directory is not None:
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
+
+    pooled = default_worker_pool() if worker_pool is None else bool(worker_pool)
+    if pooled:
+        return _build_pooled(
+            matrix=matrix,
+            n=n,
+            total=total,
+            key=key,
+            names=names,
+            directory=directory,
+            partitioner=partitioner,
+            members=members,
+            shared_sketches=shared_sketches,
+            index_kwargs=index_kwargs,
+            workers=workers,
+        )
 
     def build_one(shard: int):
         """Build shard ``shard`` end to end: store write + index build.
@@ -221,11 +277,170 @@ def build_sharded(
     return router
 
 
+def _pooled_pairs(pool, specs, members, sequence_length, arena):
+    """Parent-side ``(ShardStub, global_ids)`` pairs for a warm pool.
+
+    Each stub gets the parent's *own* handle on the shard's bytes — a
+    fresh read handle on the checksummed page store, or a store view
+    over the shared-memory matrix — so verification never round-trips
+    through a worker.
+    """
+    from repro.cluster.pool import ShardStub
+    from repro.storage.shm import MatrixSequenceStore
+
+    by_shard = {spec.shard: spec for spec in specs}
+    pairs: list[tuple[object, np.ndarray]] = []
+    for shard, rows in enumerate(members):
+        if rows.size == 0:
+            pairs.append((None, rows))
+            continue
+        spec = by_shard[shard]
+        if spec.store_path is not None:
+            store = SequencePageStore.open(spec.store_path)
+            if len(store) != int(rows.size):
+                count = len(store)
+                store.close()
+                raise CorruptionError(
+                    f"shard file {os.path.basename(spec.store_path)} "
+                    f"holds {count} sequences, expected {rows.size}"
+                )
+        else:
+            store = MatrixSequenceStore(arena.array(spec.matrix_key))
+        stub = ShardStub(
+            shard,
+            int(rows.size),
+            sequence_length,
+            store,
+            spec.names,
+            spec.obs_name,
+            pool,
+        )
+        pairs.append((stub, rows))
+    return pairs
+
+
+def _build_pooled(
+    *,
+    matrix,
+    n,
+    total,
+    key,
+    names,
+    directory,
+    partitioner,
+    members,
+    shared_sketches,
+    index_kwargs,
+    workers,
+):
+    """The worker-pool build: publish, spawn, warm, wire the router.
+
+    The parent stages each shard's sub-matrix, its squared norms (the
+    workers' attach-time integrity handshake) and its slice of the
+    shared sketch blocks into one :class:`SharedArena`, then starts the
+    pool; every worker writes its own page store (when persisting) and
+    builds its own index concurrently during warm-up, which is also the
+    parallel-build path.  Any failure — staging, spawn, a worker
+    refusing to warm, manifest write — tears the pool (and the arena)
+    down deterministically before the exception propagates: no orphan
+    processes, no leaked ``/dev/shm`` segments.
+    """
+    from repro.cluster.pool import ShardSpec, ShardWorkerPool
+    from repro.storage.shm import SharedArena, stage_sketch_database
+
+    arena = SharedArena()
+    specs: list[ShardSpec] = []
+    try:
+        for shard, rows in enumerate(members):
+            if rows.size == 0:
+                if directory is not None:
+                    # Workers only exist for populated shards; the
+                    # parent writes the (empty) store file so reopen
+                    # finds the full set the manifest promises.
+                    SequencePageStore(
+                        os.path.join(directory, _shard_file(shard)), n
+                    ).close()
+                continue
+            sub_matrix = np.ascontiguousarray(matrix[rows])
+            matrix_key = f"shard{shard:02d}.matrix"
+            norms_key = f"shard{shard:02d}.norms"
+            arena.stage(matrix_key, sub_matrix)
+            arena.stage(
+                norms_key,
+                np.einsum("ij,ij->i", sub_matrix, sub_matrix),
+            )
+            sketch_meta = None
+            if shared_sketches is not None:
+                sketch_meta = stage_sketch_database(
+                    arena,
+                    f"shard{shard:02d}.sketches",
+                    shared_sketches.take(rows),
+                )
+            specs.append(
+                ShardSpec(
+                    shard=shard,
+                    backend=key,
+                    size=int(rows.size),
+                    sequence_length=n,
+                    obs_name=f"index.sharded.shard{shard:02d}",
+                    names=(
+                        tuple(names[int(i)] for i in rows)
+                        if names is not None
+                        else None
+                    ),
+                    index_kwargs=dict(index_kwargs),
+                    store_path=(
+                        os.path.join(directory, _shard_file(shard))
+                        if directory is not None
+                        else None
+                    ),
+                    write_store=directory is not None,
+                    matrix_key=matrix_key,
+                    norms_key=norms_key,
+                    sketch_meta=sketch_meta,
+                )
+            )
+        arena.seal()
+    except BaseException:
+        arena.close()
+        raise
+
+    pool = ShardWorkerPool(specs, arena, shard_count=len(members))
+    try:
+        pool.start()  # warm-up = parallel store writes + index builds
+        pairs = _pooled_pairs(pool, specs, members, n, arena)
+        router = ShardRouter(
+            pairs,
+            partitioner=partitioner,
+            workers=workers,
+            sequence_length=n if total == 0 else None,
+            pool=pool,
+        )
+        if directory is not None:
+            ShardManifest(
+                policy=partitioner.policy,
+                seed=partitioner.seed,
+                shards=partitioner.shards,
+                total=total,
+                sequence_length=n,
+                backend=key,
+                counts=tuple(int(rows.size) for rows in members),
+                files=tuple(
+                    _shard_file(shard) for shard in range(len(members))
+                ),
+            ).save(directory)
+        return router
+    except BaseException:
+        pool.close()
+        raise
+
+
 def open_sharded(
     directory: str | os.PathLike,
     *,
     backend: str | None = None,
     workers: int | None = None,
+    worker_pool: bool | None = None,
     **index_kwargs,
 ) -> ShardRouter:
     """Rebuild a sharded router from a directory written by
@@ -234,7 +449,10 @@ def open_sharded(
     The manifest's CRC and per-shard counts are verified before any
     index is built; a mismatch raises
     :class:`~repro.exceptions.CorruptionError`.  ``backend`` defaults to
-    the one recorded in the manifest.
+    the one recorded in the manifest.  ``worker_pool`` follows the same
+    ``REPRO_SHARD_WORKERS`` default as :func:`build_sharded`; a pooled
+    reopen warms one worker per populated shard from its page-store
+    file (no shared-memory arena — the stores are the source of truth).
     """
     from repro.engine.registry import get_index
 
@@ -251,6 +469,42 @@ def open_sharded(
                 f"shard {shard} holds {manifest.counts[shard]} members "
                 f"per manifest but the partitioner assigns {rows.size}"
             )
+
+    pooled = default_worker_pool() if worker_pool is None else bool(worker_pool)
+    if pooled:
+        from repro.cluster.pool import ShardSpec, ShardWorkerPool
+
+        specs = [
+            ShardSpec(
+                shard=shard,
+                backend=key,
+                size=int(rows.size),
+                sequence_length=manifest.sequence_length,
+                obs_name=f"index.sharded.shard{shard:02d}",
+                names=None,  # page stores persist sequences, not names
+                index_kwargs=dict(index_kwargs),
+                store_path=os.path.join(directory, manifest.files[shard]),
+                write_store=False,
+            )
+            for shard, rows in enumerate(members)
+            if rows.size > 0
+        ]
+        pool = ShardWorkerPool(specs, None, shard_count=len(members))
+        try:
+            pool.start()
+            pairs = _pooled_pairs(
+                pool, specs, members, manifest.sequence_length, None
+            )
+            return ShardRouter(
+                pairs,
+                partitioner=partitioner,
+                workers=workers,
+                sequence_length=manifest.sequence_length,
+                pool=pool,
+            )
+        except BaseException:
+            pool.close()
+            raise
 
     pairs: list[tuple[object, np.ndarray]] = []
     for shard, rows in enumerate(members):

@@ -7,8 +7,9 @@ accounting, the resilience guards, :class:`~repro.resilience.FaultyIndex`
 — works against a sharded population unchanged.  The router owns only
 *routing*:
 
-* **scatter** — each shard's own generator runs over the query (serially
-  or on a fork pool), producing a per-shard
+* **scatter** — each shard's own generator runs over the query (serially,
+  on a fork pool, or on the persistent
+  :class:`~repro.cluster.ShardWorkerPool`), producing a per-shard
   :class:`~repro.engine.core.CandidateSet`;
 * **gather** — per-shard candidates are translated to global ids and
   merged under one *global* :math:`\\sigma_{UB}`, rebuilt from the
@@ -124,6 +125,15 @@ class ShardRouter:
         ``None``/1 scatters serially; ``N > 1`` runs the per-shard
         generators on a fork pool (streaming generators are materialised
         in the workers, since lazy iterators cannot cross processes).
+        Ignored when ``pool`` is given.
+    pool:
+        A started :class:`~repro.cluster.ShardWorkerPool`.  When given,
+        candidate generation is delegated to the persistent workers
+        (one warm process per populated shard) instead of forking per
+        call; the router owns the pool and shuts it down in
+        :meth:`close`.  Gather, verification and accounting are
+        unchanged, so answers are bit-identical to the serial scatter
+        (see ``docs/CONCURRENCY.md``).
     """
 
     obs_name = "index.sharded"
@@ -134,6 +144,7 @@ class ShardRouter:
         partitioner=None,
         workers: int | None = None,
         sequence_length: int | None = None,
+        pool=None,
     ) -> None:
         if not shards:
             raise ReproError("a ShardRouter needs at least one shard")
@@ -175,6 +186,7 @@ class ShardRouter:
             sequence_length = populated.sequence_length
         self._n = int(sequence_length)
         self._store = _RouterStore(self)
+        self._pool = pool
 
     # ------------------------------------------------------------------
     # EngineIndex surface
@@ -200,6 +212,19 @@ class ShardRouter:
     def scatter_workers(self) -> int | None:
         """The router's configured scatter parallelism (may be ``None``)."""
         return self._workers
+
+    @property
+    def worker_pool(self):
+        """The persistent shard worker pool, or ``None`` (fork/serial)."""
+        return self._pool
+
+    def populated_shards(self) -> list[int]:
+        """Indexes of shards that hold at least one member."""
+        return [
+            shard
+            for shard, ids in enumerate(self._global_ids)
+            if ids.size > 0
+        ]
 
     def shard_views(self) -> list[tuple[object, np.ndarray]]:
         """The populated shards as ``(index, global_ids)`` pairs.
@@ -249,16 +274,7 @@ class ShardRouter:
         if self._workers is not None and self._workers > 1:
             pooled = self._scatter_pooled(generate, knn)
         if pooled is not None:
-            shard_sets = []
-            for cands, sub_stats, error in pooled:
-                if error is not None:
-                    if not active_policy().degrade:
-                        raise error
-                    quarantine_of(self).note_generator_failure(error)
-                    obs.add("resilience.fallback_scans")
-                stats.merge(sub_stats)
-                shard_sets.append(cands)
-            return shard_sets
+            return self._absorb_triples(pooled, stats)
 
         shard_sets = []
         for sub in self._shards:
@@ -277,6 +293,26 @@ class ShardRouter:
                 obs.add("resilience.fallback_scans")
                 stats.degraded = True
                 shard_sets.append(_shard_fallback(len(sub)))
+        return shard_sets
+
+    def _absorb_triples(self, triples, stats: SearchStats):
+        """Fold out-of-process ``(candidates, stats, error)`` triples in.
+
+        Shared by the fork-pool and persistent-pool transports: a
+        shard's error (generator failure there, worker death here) is
+        recorded on the router's quarantine and the shard's exhaustive
+        fallback candidates stand in — unless degradation is disabled,
+        in which case the error propagates.
+        """
+        shard_sets = []
+        for cands, sub_stats, error in triples:
+            if error is not None:
+                if not active_policy().degrade:
+                    raise error
+                quarantine_of(self).note_generator_failure(error)
+                obs.add("resilience.fallback_scans")
+            stats.merge(sub_stats)
+            shard_sets.append(cands)
         return shard_sets
 
     def _scatter_pooled(self, generate, knn: bool):
@@ -450,13 +486,18 @@ class ShardRouter:
         # neighbours.  Generators handle k > shard_size gracefully (the
         # tracker simply never fills and sigma stays infinite).
         with obs.span("cluster.scatter"):
-            shard_sets = self._scatter(
-                lambda sub, sub_stats: sub.knn_candidates(
-                    query, k, sub_stats
-                ),
-                stats,
-                knn=True,
-            )
+            if self._pool is not None:
+                shard_sets = self._absorb_triples(
+                    self._pool.scatter_knn(query, int(k)), stats
+                )
+            else:
+                shard_sets = self._scatter(
+                    lambda sub, sub_stats: sub.knn_candidates(
+                        query, k, sub_stats
+                    ),
+                    stats,
+                    knn=True,
+                )
         with obs.span("cluster.gather"):
             return self._merge_knn(shard_sets, k)
 
@@ -464,13 +505,18 @@ class ShardRouter:
         self, query: np.ndarray, radius: float, stats: SearchStats
     ) -> CandidateSet:
         with obs.span("cluster.scatter"):
-            shard_sets = self._scatter(
-                lambda sub, sub_stats: sub.range_candidates(
-                    query, radius, sub_stats
-                ),
-                stats,
-                knn=False,
-            )
+            if self._pool is not None:
+                shard_sets = self._absorb_triples(
+                    self._pool.scatter_range(query, float(radius)), stats
+                )
+            else:
+                shard_sets = self._scatter(
+                    lambda sub, sub_stats: sub.range_candidates(
+                        query, radius, sub_stats
+                    ),
+                    stats,
+                    knn=False,
+                )
         with obs.span("cluster.gather"):
             return self._merge_range(shard_sets)
 
@@ -529,11 +575,17 @@ class ShardRouter:
         return grouped
 
     def close(self) -> None:
-        """Close every shard's page store (no-op for in-memory stores)."""
+        """Close shard stores, then shut the worker pool down (if any).
+
+        Store handles first (parent-side reads stop), pool last — its
+        shutdown unlinks the shared-memory arena the stores may view.
+        """
         for sub in self._shards:
             store = getattr(sub, "store", None)
             if store is not None and hasattr(store, "close"):
                 store.close()
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

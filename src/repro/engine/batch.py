@@ -21,6 +21,9 @@ cores multiply it.  For a :class:`~repro.cluster.ShardRouter` the
 fan-out axis is the *shard* instead of the query span: each worker runs
 the whole batch against one shard and the parent merges the per-shard
 answers into global top-k results — same executor, different work items.
+A router backed by a persistent :class:`~repro.cluster.ShardWorkerPool`
+skips the fork entirely: the batch is shipped to the already-warm
+workers in one request per shard (see ``docs/CONCURRENCY.md``).
 
 Structures whose generators pay exact distances during traversal (the
 M-tree) or stream candidates lazily (the GEMINI R-tree) fall back to the
@@ -209,6 +212,24 @@ def search_many(
     return results
 
 
+def _pool_parts(router, queries, k):
+    """Per-shard batch results from the persistent worker pool.
+
+    Returns one ``[(neighbors, stats), ...]`` list per populated shard,
+    aligned with ``router.shard_views()`` — or ``None`` if any worker
+    died, in which case the caller falls back to the per-query scatter
+    path (which serves dead shards degraded).
+    """
+    batches = router.worker_pool.batch_search(queries, k)
+    parts = []
+    for shard in router.populated_shards():
+        shard_results = batches.get(shard)
+        if shard_results is None:
+            return None
+        parts.append(shard_results)
+    return parts
+
+
 def _sharded_fanout(router, queries, k, workers):
     """One full sub-search per shard, merged into global per-query top-k.
 
@@ -232,7 +253,21 @@ def _sharded_fanout(router, queries, k, workers):
         sub_k = min(k, len(sub))
         return [_search_one(sub, query, sub_k) for query in queries]
 
-    parts = fork_map(shard_task, views, workers)
+    parts = None
+    pool = getattr(router, "worker_pool", None)
+    if pool is not None:
+        # Persistent-pool fan-out: every warm worker runs the whole
+        # batch against its shard in one request — the same work as
+        # ``shard_task``, without a fork or a re-pickle of the index.
+        parts = _pool_parts(router, queries, k)
+        if parts is None:
+            # A worker died mid-batch.  The per-query scatter path
+            # absorbs worker death (fallback scan + quarantine note,
+            # answers exact but flagged degraded), so route the batch
+            # through it rather than reasoning about partial results.
+            return [router.search(query, k=k) for query in queries]
+    if parts is None:
+        parts = fork_map(shard_task, views, workers)
     if parts is None:
         parts = [shard_task(view) for view in views]
     obs.add("cluster.fanout_shards", len(views))

@@ -66,6 +66,9 @@ class ShardScalingResult:
     #: results to the monolithic index.
     agreement: bool
     rows: tuple[ShardScalingRow, ...]
+    #: Scatter transport: ``"fork"`` (fork-per-call pool, the
+    #: original path) or ``"pool"`` (persistent shard workers).
+    mode: str = "fork"
 
     def row_for(self, shards: int) -> ShardScalingRow:
         """The measured row for one shard count."""
@@ -90,7 +93,8 @@ class ShardScalingResult:
             title=(
                 f"shard scaling: {self.database_size} seqs, "
                 f"{self.queries} queries, k={self.k}, "
-                f"backend={self.backend}, {self.workers}-worker scatter"
+                f"backend={self.backend}, {self.workers}-worker scatter, "
+                f"{self.mode} transport"
             ),
             digits=3,
         )
@@ -114,6 +118,7 @@ def shard_scaling_experiment(
     policy: str = "hash",
     seed: int = 0,
     repeats: int = 1,
+    worker_pool: bool = False,
     **index_kwargs,
 ) -> ShardScalingResult:
     """Measure batched k-NN throughput at each shard count.
@@ -123,6 +128,9 @@ def shard_scaling_experiment(
     the agreement reference); remaining keywords go to the index
     constructors.  ``repeats`` takes the best of N timed runs per
     configuration, which filters pool start-up jitter on loaded hosts.
+    ``worker_pool=True`` measures the persistent shard-worker transport
+    instead of the fork-per-call pool; workers are warmed during the
+    untimed build, so the timed loop sees steady-state serving.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     queries = np.asarray(queries, dtype=np.float64)
@@ -143,6 +151,7 @@ def shard_scaling_experiment(
             seed=seed,
             backend=backend,
             workers=workers,
+            worker_pool=worker_pool,
             **index_kwargs,
         )
         try:
@@ -174,4 +183,5 @@ def shard_scaling_experiment(
         workers=workers,
         agreement=agreement,
         rows=tuple(rows),
+        mode="pool" if worker_pool else "fork",
     )

@@ -58,6 +58,20 @@ class TransientStorageError(StorageError, OSError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A persistent shard worker process died (or stopped responding).
+
+    Raised by the :class:`repro.cluster.ShardWorkerPool` when a worker
+    exits between or during requests (crash, SIGKILL, OOM).  With
+    degradation enabled (the default retry policy) the router absorbs it
+    — the dead worker's shard is served by an exhaustive parent-side
+    fallback scan and the answer is flagged degraded — and the pool
+    respawns the worker for subsequent requests; with
+    ``RetryPolicy(degrade=False)`` the error propagates to the caller
+    (see ``docs/CONCURRENCY.md``).
+    """
+
+
 class IngestionError(ReproError, ValueError):
     """Dirty input was rejected at an ingestion boundary.
 

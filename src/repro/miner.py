@@ -277,10 +277,15 @@ class QueryLogMiner:
                 kwargs["seed"] = self._seed
             with obs.span("miner.index_build"):
                 if self._partitioner is not None:
+                    # The live index absorbs dynamic inserts between
+                    # rebuilds; pooled routers are read-only, so the
+                    # miner always builds in-process regardless of
+                    # REPRO_SHARD_WORKERS.
                     self._index = build_sharded(
                         self._matrix(),
                         partitioner=self._partitioner,
                         backend=self._backend,
+                        worker_pool=False,
                         **kwargs,
                     )
                 else:

@@ -3,13 +3,25 @@
 from repro.storage.btree import BPlusTree
 from repro.storage.cache import SequenceCache, cache_budget_from_env
 from repro.storage.pagestore import IOStats, MemorySequenceStore, SequencePageStore
+from repro.storage.shm import (
+    ArenaMeta,
+    MatrixSequenceStore,
+    SharedArena,
+    attach_sketch_database,
+    stage_sketch_database,
+)
 from repro.storage.table import Predicate, Row, Table, eq, ge, gt, le, lt
 
 __all__ = [
+    "ArenaMeta",
     "BPlusTree",
     "IOStats",
+    "MatrixSequenceStore",
     "SequenceCache",
+    "SharedArena",
+    "attach_sketch_database",
     "cache_budget_from_env",
+    "stage_sketch_database",
     "MemorySequenceStore",
     "SequencePageStore",
     "Predicate",

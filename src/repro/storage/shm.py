@@ -1,0 +1,411 @@
+"""Shared-memory publication of numpy blocks (zero-copy worker views).
+
+The persistent shard worker pool (:mod:`repro.cluster.pool`) keeps one
+long-lived process per shard.  Re-pickling the shard's sequence matrix
+and packed :class:`~repro.compression.SketchDatabase` field blocks into
+every worker would double (or N-fold) the resident footprint and pay a
+serialisation cost at every (re)spawn; instead the parent publishes the
+blocks once into POSIX shared memory (``multiprocessing.shared_memory``)
+and each worker *attaches* read-only numpy views onto the same physical
+pages.
+
+Three pieces:
+
+* :class:`SharedArena` — one shared-memory segment holding many named,
+  64-byte-aligned array blocks.  The owner stages arrays, ``seal()``\\ s
+  the arena (allocate + copy once), and hands workers the picklable
+  :class:`ArenaMeta`; ``SharedArena.attach(meta)`` maps the same segment
+  in another process.  Attached views are marked read-only, so a worker
+  cannot corrupt the database under its siblings.
+* :func:`stage_sketch_database` / :func:`attach_sketch_database` — the
+  :class:`~repro.compression.database.SketchDatabase` field blocks
+  (positions, coefficients, weights, errors, min_powers, widths) as
+  arena blocks, reassembled into a zero-copy database view on attach.
+* :class:`MatrixSequenceStore` — the sequence-store protocol (``read`` /
+  ``read_many`` / ``close``) over any 2-D array, which is how a worker's
+  index (and the parent's verifier) serves fetches straight from the
+  shared matrix when no on-disk page store exists.
+
+Lifecycle discipline (asserted by ``tests/storage/test_shm.py`` and the
+pool suite): exactly one owner per segment, ``close()`` on every
+attacher, ``close()`` + ``unlink()`` on the owner — after the owner
+closes, no ``repro_shm_*`` entry may remain under ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError, StorageError
+
+__all__ = [
+    "ArenaMeta",
+    "MatrixSequenceStore",
+    "SEGMENT_PREFIX",
+    "SharedArena",
+    "SketchBlocksMeta",
+    "attach_sketch_database",
+    "stage_sketch_database",
+]
+
+#: Prefix of every shared-memory segment this module creates; leak
+#: checks (tests and the CI ``pool`` job) glob ``/dev/shm`` for it.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Block alignment inside an arena, in bytes — cache-line friendly and a
+#: multiple of every numpy itemsize we publish.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class _BlockMeta:
+    """Where one array lives inside the segment (picklable)."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ArenaMeta:
+    """Everything an attacher needs: segment name + block directory."""
+
+    segment: str
+    size: int
+    blocks: Mapping[str, _BlockMeta]
+
+
+def _attach_untracked(segment: str):
+    """Open an existing segment without registering it for cleanup.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker, which would unlink it (with a loud warning) when *any*
+    attacher exits — even though the owner is still serving from it;
+    and unregister-after-attach corrupts a fork-shared tracker (two
+    attachers unregistering the same name crashes its cache).  Python
+    3.13 grew ``track=False`` for exactly this; on 3.11/3.12 the safe
+    workaround is to suppress the registration call itself while
+    attaching.  Only the owner's create-time registration remains, and
+    only the owner unlinks.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=segment)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArena:
+    """Many named array blocks in one shared-memory segment.
+
+    Owner side::
+
+        arena = SharedArena()
+        arena.stage("shard00.matrix", sub_matrix)
+        arena.stage("shard00.norms", norms_sq)
+        arena.seal()                       # allocate segment, copy blocks
+        meta = arena.meta                  # picklable, send to workers
+        ...
+        arena.close()                      # also unlinks (owner)
+
+    Worker side::
+
+        arena = SharedArena.attach(meta)
+        view = arena.array("shard00.matrix")   # zero-copy, read-only
+        ...
+        arena.close()                          # never unlinks
+    """
+
+    def __init__(self) -> None:
+        self._staged: list[tuple[str, np.ndarray]] = []
+        self._shm = None
+        self._meta: ArenaMeta | None = None
+        self._owner = True
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Owner: stage + seal
+    # ------------------------------------------------------------------
+    def stage(self, key: str, array: np.ndarray) -> None:
+        """Queue one array for publication (before :meth:`seal`)."""
+        if self._meta is not None:
+            raise ReproError("cannot stage blocks into a sealed arena")
+        array = np.ascontiguousarray(array)
+        if any(key == staged for staged, _ in self._staged):
+            raise ReproError(f"duplicate arena block {key!r}")
+        self._staged.append((key, array))
+
+    def seal(self) -> ArenaMeta:
+        """Allocate the segment and copy every staged block in."""
+        from multiprocessing import shared_memory
+
+        if self._meta is not None:
+            return self._meta
+        blocks: dict[str, _BlockMeta] = {}
+        offset = 0
+        for key, array in self._staged:
+            offset = _aligned(offset)
+            blocks[key] = _BlockMeta(
+                offset=offset,
+                shape=tuple(array.shape),
+                dtype=array.dtype.str,
+            )
+            offset += array.nbytes
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(offset, 1)
+        )
+        for key, array in self._staged:
+            spec = blocks[key]
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+            view[...] = array
+        self._staged = []
+        self._meta = ArenaMeta(
+            segment=name, size=max(offset, 1), blocks=blocks
+        )
+        return self._meta
+
+    @property
+    def meta(self) -> ArenaMeta:
+        if self._meta is None:
+            raise ReproError("arena is not sealed yet")
+        return self._meta
+
+    # ------------------------------------------------------------------
+    # Attachers
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, meta: ArenaMeta) -> "SharedArena":
+        """Map an existing arena (another process's segment)."""
+        arena = cls.__new__(cls)
+        arena._staged = []
+        try:
+            arena._shm = _attach_untracked(meta.segment)
+        except FileNotFoundError as exc:
+            raise StorageError(
+                f"shared arena {meta.segment!r} is gone — the owner "
+                "closed it (pool shut down?)"
+            ) from exc
+        arena._meta = meta
+        arena._owner = False
+        arena._closed = False
+        return arena
+
+    def array(self, key: str) -> np.ndarray:
+        """A zero-copy, read-only view of one published block."""
+        if self._shm is None or self._closed:
+            raise StorageError("arena is closed")
+        try:
+            spec = self.meta.blocks[key]
+        except KeyError:
+            known = ", ".join(sorted(self.meta.blocks))
+            raise ReproError(
+                f"unknown arena block {key!r}; published: {known}"
+            ) from None
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=self._shm.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        return view
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self.meta.blocks)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unmap the segment; the owner also unlinks it. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        finally:
+            if self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._shm = None
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# SketchDatabase field blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SketchBlocksMeta:
+    """Directory of one sketch database's blocks inside an arena."""
+
+    prefix: str
+    n: int
+    basis: str
+    method: str
+    names: tuple | None
+
+
+_SKETCH_FIELDS = (
+    "positions",
+    "coefficients",
+    "weights",
+    "errors",
+    "min_powers",
+    "widths",
+)
+
+
+def stage_sketch_database(
+    arena: SharedArena, prefix: str, db
+) -> SketchBlocksMeta:
+    """Stage a :class:`SketchDatabase`'s packed field blocks."""
+    arrays = (
+        db.positions,
+        db.coefficients,
+        db.weights,
+        db.errors,
+        db.min_powers,
+        db._widths,
+    )
+    for field, array in zip(_SKETCH_FIELDS, arrays):
+        arena.stage(f"{prefix}.{field}", array)
+    return SketchBlocksMeta(
+        prefix=prefix,
+        n=int(db.n),
+        basis=db.basis,
+        method=db.method,
+        names=db.names,
+    )
+
+
+def attach_sketch_database(arena: SharedArena, meta: SketchBlocksMeta):
+    """Reassemble a zero-copy :class:`SketchDatabase` view from an arena.
+
+    The returned database's field arrays are read-only views onto the
+    shared segment; no sketch bytes are copied.
+    """
+    from repro.compression.database import SketchDatabase
+
+    db = object.__new__(SketchDatabase)
+    db.n = meta.n
+    db.basis = meta.basis
+    db.method = meta.method
+    db.names = meta.names
+    db.positions = arena.array(f"{meta.prefix}.positions")
+    db.coefficients = arena.array(f"{meta.prefix}.coefficients")
+    db.weights = arena.array(f"{meta.prefix}.weights")
+    db.errors = arena.array(f"{meta.prefix}.errors")
+    db.min_powers = arena.array(f"{meta.prefix}.min_powers")
+    db._widths = arena.array(f"{meta.prefix}.widths")
+    return db
+
+
+# ----------------------------------------------------------------------
+# The store protocol over a (possibly shared) matrix
+# ----------------------------------------------------------------------
+class MatrixSequenceStore:
+    """Read-only sequence store over a 2-D array (often a shared view).
+
+    Speaks the same protocol as
+    :class:`~repro.storage.pagestore.MemorySequenceStore` minus writes:
+    the pool's workers and the router's parent-side verifier both fetch
+    sequences through it when shards are served from shared memory
+    rather than from per-shard page-store files.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise StorageError(
+                f"expected a 2-D matrix, got shape {matrix.shape}"
+            )
+        self._matrix = matrix
+        self._closed = False
+
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    @property
+    def sequence_length(self) -> int:
+        return int(self._matrix.shape[1])
+
+    @property
+    def pages_per_sequence(self) -> int:
+        return 0  # nothing is paged; reads cost no I/O
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
+    def read(self, seq_id: int) -> np.ndarray:
+        self._check_open()
+        seq_id = int(seq_id)
+        if not 0 <= seq_id < len(self):
+            from repro.exceptions import KeyNotFoundError
+
+            raise KeyNotFoundError(
+                f"sequence {seq_id} not in store of {len(self)}"
+            )
+        return self._matrix[seq_id].copy()
+
+    def read_many(self, seq_ids: Sequence[int]) -> np.ndarray:
+        self._check_open()
+        ids = np.asarray(list(seq_ids), dtype=np.intp)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self)):
+            from repro.exceptions import KeyNotFoundError
+
+            raise KeyNotFoundError(
+                f"sequence ids out of range for store of {len(self)}"
+            )
+        return self._matrix[ids]
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "MatrixSequenceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -25,7 +25,11 @@ POISONED = 1
 @pytest.fixture
 def poisoned(matrix):
     """A 4-shard flat router with every member of shard 1 unreadable."""
-    router = build_sharded(matrix, shards=4, backend="flat", seed=0)
+    # In-process only: the FaultyStore below wraps the parent's store
+    # handles, which pooled workers (REPRO_SHARD_WORKERS) never touch.
+    router = build_sharded(
+        matrix, shards=4, backend="flat", seed=0, worker_pool=False
+    )
     sub = router._shards[POISONED]
     sub._store = FaultyStore(
         sub._store, FaultPlan(), corrupt_ids=range(len(sub))
@@ -139,7 +143,12 @@ def test_generator_failure_degrades_that_shard_only(matrix, queries):
         def result_name(self, seq_id):
             return self._inner.result_name(seq_id)
 
-    router = build_sharded(matrix, shards=3, backend="flat", seed=0)
+    # In-process generators only: the injection below patches the local
+    # shard objects, which a pooled router (REPRO_SHARD_WORKERS) never
+    # consults.  The pooled death drills live in test_pool.py.
+    router = build_sharded(
+        matrix, shards=3, backend="flat", seed=0, worker_pool=False
+    )
     router._shards[2] = ExplodingGenerators(router._shards[2])
     mono = get_index("flat", matrix)
     for query in queries:

@@ -110,9 +110,12 @@ class TestRouterStore:
 
 class TestInsert:
     def test_insert_routes_by_partitioner(self, matrix):
+        # Pooled routers are read-only (docs/CONCURRENCY.md): inserts
+        # need the live in-process sub-indexes.
         router = build_sharded(
             matrix, shards=3, backend="vptree", seed=1,
             names=[f"q{i}" for i in range(len(matrix))],
+            worker_pool=False,
         )
         assert router.supports_insert
         row = np.full(matrix.shape[1], 0.25)
@@ -136,7 +139,12 @@ class TestInsert:
 
 class TestObservability:
     def test_scatter_gather_spans_and_shard_tags(self, matrix, queries):
-        router = build_sharded(matrix, shards=3, backend="flat", seed=0)
+        # In-process scatter: pooled generators run in worker processes,
+        # whose per-shard spans land in the workers' registries, not
+        # this one (docs/CONCURRENCY.md).
+        router = build_sharded(
+            matrix, shards=3, backend="flat", seed=0, worker_pool=False
+        )
         registry = obs.enable()
         try:
             router.search(queries[0], k=3)

@@ -1,0 +1,161 @@
+"""Shared-memory arena: roundtrips, read-only views, lifecycle hygiene."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.compression.best_k import BestMinErrorCompressor
+from repro.compression.database import SketchDatabase
+from repro.exceptions import KeyNotFoundError, ReproError, StorageError
+from repro.storage.shm import (
+    SEGMENT_PREFIX,
+    MatrixSequenceStore,
+    SharedArena,
+    attach_sketch_database,
+    stage_sketch_database,
+)
+
+
+def _segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture
+def no_leaked_segments():
+    """Assert the test leaves no shared-memory segment behind."""
+    before = _segments()
+    yield
+    assert _segments() == before, "leaked shared-memory segment(s)"
+
+
+def test_roundtrip_bitwise(no_leaked_segments):
+    rng = np.random.default_rng(0)
+    blocks = {
+        "a.matrix": rng.normal(size=(17, 32)),
+        "a.norms": rng.normal(size=17),
+        "b.ints": rng.integers(0, 1000, size=(5, 3)),
+        "c.bytes": rng.integers(0, 255, size=64).astype(np.uint8),
+    }
+    with SharedArena() as arena:
+        for key, array in blocks.items():
+            arena.stage(key, array)
+        arena.seal()
+        assert set(arena.keys()) == set(blocks)
+        for key, array in blocks.items():
+            view = arena.array(key)
+            assert view.dtype == array.dtype
+            assert np.array_equal(view, array)
+            # Bitwise, not just close: the workers' integrity handshake
+            # relies on exact bytes.
+            assert view.tobytes() == np.ascontiguousarray(array).tobytes()
+
+
+def test_views_are_read_only(no_leaked_segments):
+    with SharedArena() as arena:
+        arena.stage("x", np.arange(10.0))
+        arena.seal()
+        view = arena.array("x")
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 99.0
+
+
+def test_attach_sees_same_bytes_and_never_unlinks(no_leaked_segments):
+    payload = np.arange(24.0).reshape(4, 6)
+    owner = SharedArena()
+    owner.stage("m", payload)
+    meta = owner.seal()
+    try:
+        attached = SharedArena.attach(meta)
+        try:
+            assert np.array_equal(attached.array("m"), payload)
+        finally:
+            attached.close()
+        # An attacher closing must not take the segment down.
+        assert len(_segments() & {f"/dev/shm/{meta.segment}"}) == 1
+        assert np.array_equal(owner.array("m"), payload)
+    finally:
+        owner.close()
+    with pytest.raises(StorageError):
+        SharedArena.attach(meta)  # owner closed -> segment gone
+
+
+def test_owner_close_removes_segment():
+    arena = SharedArena()
+    arena.stage("x", np.ones(3))
+    meta = arena.seal()
+    assert f"/dev/shm/{meta.segment}" in _segments()
+    arena.close()
+    assert f"/dev/shm/{meta.segment}" not in _segments()
+    arena.close()  # idempotent
+
+
+def test_stage_after_seal_and_unknown_key(no_leaked_segments):
+    with SharedArena() as arena:
+        arena.stage("x", np.ones(3))
+        arena.seal()
+        with pytest.raises(ReproError):
+            arena.stage("y", np.ones(3))
+        with pytest.raises(ReproError):
+            arena.array("missing")
+
+
+def test_duplicate_key_rejected(no_leaked_segments):
+    with SharedArena() as arena:
+        arena.stage("x", np.ones(3))
+        with pytest.raises(ReproError):
+            arena.stage("x", np.zeros(3))
+        arena.seal()
+
+
+def test_sketch_database_attach_equivalence(no_leaked_segments):
+    rng = np.random.default_rng(1)
+    matrix = rng.normal(size=(12, 64)).cumsum(axis=1)
+    db = SketchDatabase.from_matrix(matrix, BestMinErrorCompressor(8))
+    with SharedArena() as arena:
+        meta = stage_sketch_database(arena, "s", db)
+        arena.seal()
+        view = attach_sketch_database(arena, meta)
+        assert view.n == db.n
+        assert len(view) == len(db)
+        assert view.basis == db.basis and view.method == db.method
+        for field in (
+            "positions",
+            "coefficients",
+            "weights",
+            "errors",
+            "min_powers",
+        ):
+            assert np.array_equal(getattr(view, field), getattr(db, field))
+        for seq_id in range(len(db)):
+            ours, theirs = db.sketch(seq_id), view.sketch(seq_id)
+            assert np.array_equal(ours.positions, theirs.positions)
+            assert np.array_equal(ours.coefficients, theirs.coefficients)
+            assert ours.error == theirs.error
+
+
+class TestMatrixSequenceStore:
+    def test_reads(self):
+        matrix = np.arange(12.0).reshape(3, 4)
+        store = MatrixSequenceStore(matrix)
+        assert len(store) == 3
+        assert store.sequence_length == 4
+        assert np.array_equal(store.read(1), matrix[1])
+        assert np.array_equal(store.read_many([2, 0]), matrix[[2, 0]])
+
+    def test_out_of_range(self):
+        store = MatrixSequenceStore(np.ones((2, 3)))
+        with pytest.raises(KeyNotFoundError):
+            store.read(2)
+        with pytest.raises(KeyNotFoundError):
+            store.read_many([0, 5])
+
+    def test_closed(self):
+        store = MatrixSequenceStore(np.ones((2, 3)))
+        store.close()
+        with pytest.raises(StorageError):
+            store.read(0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(StorageError):
+            MatrixSequenceStore(np.ones(5))
