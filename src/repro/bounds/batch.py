@@ -20,6 +20,15 @@ coefficients are prefix/suffix sums of the query magnitudes sorted once
 per query.  Each database row then needs one ``searchsorted`` plus a
 correction for its (few) stored positions, turning an
 :math:`O(D \\cdot n)` computation into :math:`O(n \\log n + D \\cdot k)`.
+
+The kernels lean on the database's canonical structure-of-arrays layout
+(:meth:`SketchDatabase.soa_blocks`): every per-field block is one
+contiguous array, so the gathers and einsum reductions below run over
+unit-stride memory whether the database was built in-process, attached
+from a shared-memory arena, or loaded from disk.  :meth:`_exact_and_stored`
+asserts that contract once per evaluation.  Query-side tables live in
+:class:`BatchBounds` and are database-independent — build one per query
+and reuse it across shards or candidate blocks via :meth:`bounds_for`.
 """
 
 from __future__ import annotations
@@ -58,12 +67,35 @@ class BatchBounds:
     def _exact_and_stored(self, db: SketchDatabase):
         """Exact-part distances plus stored query magnitudes/weights."""
         db.check_query(self.query)
+        # The SoA contract: gathers and reductions below assume the
+        # canonical contiguous field blocks (soa_blocks enforces and
+        # caches contiguity, so repeat evaluations are free).
+        db.soa_blocks()
         q_sel = self.query.coefficients[db.positions]
         exact_sq = np.einsum(
             "ij,ij->i", db.weights, np.abs(q_sel - db.coefficients) ** 2
         )
         q_sel_mags = np.abs(q_sel)
         return exact_sq, q_sel_mags
+
+    def bounds_for(self, db: SketchDatabase, method: str | None = None):
+        """Bound arrays for ``db`` using this query's precomputed tables.
+
+        Equivalent to :func:`batch_bounds` but reusing the sort and
+        prefix sums already paid for — the cheap entry point when one
+        query is evaluated against many databases (shard fan-out,
+        per-block bounding).
+        """
+        method = method or db.method
+        try:
+            kernel = _KERNELS[method]
+        except KeyError:
+            raise CompressionError(
+                f"unknown bound method {method!r}"
+            ) from None
+        obs.add("bounds.kernel_calls")
+        obs.add("bounds.pairs", len(db))
+        return kernel(self, db)
 
     def _suffix_sums(self, thresholds: np.ndarray):
         """Sums of w, w*mag, w*mag^2 over query coefficients with mag > t."""
@@ -235,11 +267,4 @@ def batch_bounds(
     ``"best_min_error_safe"`` to evaluate the sound envelope on
     BestMinError-shaped sketches.
     """
-    method = method or db.method
-    try:
-        kernel = _KERNELS[method]
-    except KeyError:
-        raise CompressionError(f"unknown bound method {method!r}") from None
-    obs.add("bounds.kernel_calls")
-    obs.add("bounds.pairs", len(db))
-    return kernel(BatchBounds(query), db)
+    return BatchBounds(query).bounds_for(db, method)

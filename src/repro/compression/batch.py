@@ -162,17 +162,20 @@ def batch_compress(
         )
     positions, packed_coeffs, packed_weights, errors, min_powers, widths = built
 
-    db = object.__new__(SketchDatabase)
-    db.n = n
-    db.basis = basis
-    db.method = compressor.method
-    db.names = tuple(names) if names is not None else None
-    db.positions = positions
-    db.coefficients = packed_coeffs
-    db.weights = packed_weights
-    db.errors = errors
-    db.min_powers = min_powers
-    db._widths = widths
+    db = SketchDatabase.from_soa(
+        {
+            "positions": positions,
+            "coefficients": packed_coeffs,
+            "weights": packed_weights,
+            "errors": errors,
+            "min_powers": min_powers,
+            "widths": widths,
+        },
+        n=n,
+        basis=basis,
+        method=compressor.method,
+        names=names,
+    )
     obs.add("ingest.batch_sequences", count)
     return db
 

@@ -16,6 +16,16 @@ shorter rows are padded with a zero-weight entry at the DC position —
 which contributes nothing to any distance term and marks a coefficient
 (the all-zero DC of standardised data) as "stored" harmlessly.
 
+The packing is the system's canonical **structure-of-arrays (SoA)
+layout**: every field is one C-contiguous block, named by
+:attr:`SketchDatabase.SOA_FIELDS`, plus lazily precomputed per-row
+sketch norms (:attr:`SketchDatabase.norms_sq`).  Everything that moves a
+database across a boundary — shared-memory publication
+(:mod:`repro.storage.shm`), ``.npz`` persistence, row-subset views —
+round-trips exactly these blocks through :meth:`SketchDatabase.from_soa`
+/ :meth:`SketchDatabase.soa_blocks`, so there is one layout and one
+integrity handshake (the norms block) instead of per-consumer re-packing.
+
 The batch bound kernels in :mod:`repro.bounds.batch` consume this layout;
 :meth:`SketchDatabase.sketch` recovers an individual
 :class:`~repro.compression.base.SpectralSketch` for spot checks and for
@@ -24,19 +34,62 @@ the VP-tree's per-node computations.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.compression.base import SpectralSketch
-from repro.exceptions import CompressionError, SeriesMismatchError
+from repro.exceptions import (
+    CompressionError,
+    CorruptionError,
+    SeriesMismatchError,
+)
 from repro.spectral.dft import Spectrum
 
-__all__ = ["SketchDatabase"]
+__all__ = ["SketchDatabase", "sketch_norms_sq"]
+
+
+#: Canonical dtype of every SoA field block.
+_SOA_DTYPES = {
+    "positions": np.dtype(np.intp),
+    "coefficients": np.dtype(np.complex128),
+    "weights": np.dtype(np.float64),
+    "errors": np.dtype(np.float64),
+    "min_powers": np.dtype(np.float64),
+    "widths": np.dtype(np.intp),
+}
+
+
+def sketch_norms_sq(
+    weights: np.ndarray, coefficients: np.ndarray
+) -> np.ndarray:
+    """Per-row stored sketch energy ``sum_i w_i * |c_i|**2``.
+
+    Computed as ``w * (re*re + im*im)`` — exact IEEE products summed
+    row-wise — so any two processes holding the same field blocks derive
+    the *bitwise* same norms.  That determinism is what lets the norms
+    block double as the shared-memory integrity handshake.
+    """
+    re = np.ascontiguousarray(coefficients.real)
+    im = np.ascontiguousarray(coefficients.imag)
+    return np.einsum("ij,ij->i", weights, re * re + im * im)
 
 
 class SketchDatabase:
     """All sketches of one method over one collection, packed by column."""
+
+    #: Field order of the canonical structure-of-arrays layout.  The
+    #: ``widths`` entry is stored on the instance as ``_widths`` (it is
+    #: packing metadata, not bound-kernel input) but travels with the
+    #: other blocks through every serialisation boundary.
+    SOA_FIELDS = (
+        "positions",
+        "coefficients",
+        "weights",
+        "errors",
+        "min_powers",
+        "widths",
+    )
 
     def __init__(
         self,
@@ -144,6 +197,106 @@ class SketchDatabase:
         return cls.from_spectra(spectra, compressor, names)
 
     # ------------------------------------------------------------------
+    # The canonical structure-of-arrays layout
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_soa(
+        cls,
+        fields: Mapping[str, np.ndarray],
+        *,
+        n: int,
+        basis: str,
+        method: str,
+        names: Sequence[str] | None = None,
+        copy: bool = False,
+        verify_norms: np.ndarray | None = None,
+    ) -> "SketchDatabase":
+        """Assemble a database directly from SoA field blocks.
+
+        The single internal constructor every packed-array path funnels
+        through (batch compression, row-subset views, ``.npz`` load,
+        shared-memory attach), so dtype normalisation and contiguity
+        live in one place.  ``copy=False`` keeps zero-copy semantics:
+        blocks already contiguous in their canonical dtype — including
+        read-only shared-memory views — are adopted as-is.
+
+        ``verify_norms`` is the integrity handshake: when given, the
+        per-row sketch norms are recomputed from the adopted blocks and
+        compared *bitwise* against the caller's precomputed block,
+        raising :class:`~repro.exceptions.CorruptionError` on any
+        mismatch (torn shared-memory segment, stale attach).
+        """
+        missing = [f for f in cls.SOA_FIELDS if f not in fields]
+        if missing:
+            raise CompressionError(
+                f"SoA fields missing {missing!r}; expected {cls.SOA_FIELDS}"
+            )
+        db = object.__new__(cls)
+        db.n = int(n)
+        db.basis = basis
+        db.method = method
+        db.names = tuple(names) if names is not None else None
+        for field in cls.SOA_FIELDS:
+            block = np.ascontiguousarray(fields[field], _SOA_DTYPES[field])
+            if copy and block is fields[field]:
+                block = block.copy()
+            attr = "_widths" if field == "widths" else field
+            setattr(db, attr, block)
+        if db.positions.ndim != 2 or db.positions.shape != db.weights.shape:
+            raise CompressionError(
+                "SoA blocks disagree on (count, width) shape"
+            )
+        if verify_norms is not None:
+            norms = sketch_norms_sq(db.weights, db.coefficients)
+            if not np.array_equal(verify_norms, norms):
+                raise CorruptionError(
+                    "sketch SoA integrity handshake failed: published "
+                    "norms do not match the attached field blocks"
+                )
+            db._norms_cache = np.ascontiguousarray(norms)
+        return db
+
+    def soa_blocks(self) -> dict[str, np.ndarray]:
+        """The canonical SoA blocks, plus the precomputed ``norms``.
+
+        Each returned array is C-contiguous in its canonical dtype; the
+        contiguous version is cached back onto the instance, so callers
+        that publish these blocks (``.npz`` save, shared-memory staging)
+        and callers that compute over them (bound kernels, the block
+        verifier) observe the very same memory.
+        """
+        blocks: dict[str, np.ndarray] = {}
+        for field in self.SOA_FIELDS:
+            attr = "_widths" if field == "widths" else field
+            value = getattr(self, attr)
+            block = np.ascontiguousarray(value, _SOA_DTYPES[field])
+            if block is not value:
+                setattr(self, attr, block)
+            blocks[field] = block
+        blocks["norms"] = self.norms_sq
+        return blocks
+
+    @property
+    def norms_sq(self) -> np.ndarray:
+        """Precomputed per-row sketch energy ``sum_i w_i * |c_i|**2``.
+
+        Computed lazily on first access and cached; row-subset views
+        slice the cache (row norms are row-local, so slicing and
+        recomputing agree bitwise).  Doubles as the shared-memory
+        integrity handshake — see :func:`sketch_norms_sq`.
+        """
+        cached = getattr(self, "_norms_cache", None)
+        if cached is None or cached.shape[0] != len(self):
+            cached = sketch_norms_sq(self.weights, self.coefficients)
+            self._norms_cache = cached
+        return cached
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Per-row sketch widths (the ``widths`` SoA block, read-only alias)."""
+        return self._widths
+
+    # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -187,30 +340,36 @@ class SketchDatabase:
             )
         count = len(self)
         width = max(self.width, len(sketch))
-        grown = object.__new__(SketchDatabase)
-        grown.n = self.n
-        grown.basis = self.basis
-        grown.method = self.method
-        grown.names = None if self.names is None else (*self.names, None)
-        grown.positions = np.zeros((count + 1, width), dtype=np.intp)
-        grown.coefficients = np.zeros((count + 1, width), dtype=np.complex128)
-        grown.weights = np.zeros((count + 1, width), dtype=np.float64)
-        grown.positions[:count, : self.width] = self.positions
-        grown.coefficients[:count, : self.width] = self.coefficients
-        grown.weights[:count, : self.width] = self.weights
+        positions = np.zeros((count + 1, width), dtype=np.intp)
+        coefficients = np.zeros((count + 1, width), dtype=np.complex128)
+        weights = np.zeros((count + 1, width), dtype=np.float64)
+        positions[:count, : self.width] = self.positions
+        coefficients[:count, : self.width] = self.coefficients
+        weights[:count, : self.width] = self.weights
         k = len(sketch)
-        grown.positions[count, :k] = sketch.positions
-        grown.coefficients[count, :k] = sketch.coefficients
-        grown.weights[count, :k] = sketch.weights
-        grown.errors = np.append(
-            self.errors, np.nan if sketch.error is None else sketch.error
+        positions[count, :k] = sketch.positions
+        coefficients[count, :k] = sketch.coefficients
+        weights[count, :k] = sketch.weights
+        return SketchDatabase.from_soa(
+            {
+                "positions": positions,
+                "coefficients": coefficients,
+                "weights": weights,
+                "errors": np.append(
+                    self.errors,
+                    np.nan if sketch.error is None else sketch.error,
+                ),
+                "min_powers": np.append(
+                    self.min_powers,
+                    np.nan if sketch.min_power is None else sketch.min_power,
+                ),
+                "widths": np.append(self._widths, k),
+            },
+            n=self.n,
+            basis=self.basis,
+            method=self.method,
+            names=None if self.names is None else (*self.names, None),
         )
-        grown.min_powers = np.append(
-            self.min_powers,
-            np.nan if sketch.min_power is None else sketch.min_power,
-        )
-        grown._widths = np.append(self._widths, k)
-        return grown
 
     def __getitem__(self, key):
         """Row access: an ``int`` materialises one sketch, anything else
@@ -250,28 +409,41 @@ class SketchDatabase:
         shard-local databases.
         """
         rows = np.asarray(rows, dtype=np.intp)
-        subset = object.__new__(SketchDatabase)
-        subset.n = self.n
-        subset.basis = self.basis
-        subset.method = self.method
-        subset.names = (
-            tuple(self.names[int(i)] for i in rows)
-            if self.names is not None
-            else None
+        subset = SketchDatabase.from_soa(
+            {
+                "positions": self.positions[rows],
+                "coefficients": self.coefficients[rows],
+                "weights": self.weights[rows],
+                "errors": self.errors[rows],
+                "min_powers": self.min_powers[rows],
+                "widths": self._widths[rows],
+            },
+            n=self.n,
+            basis=self.basis,
+            method=self.method,
+            names=(
+                tuple(self.names[int(i)] for i in rows)
+                if self.names is not None
+                else None
+            ),
         )
-        subset.positions = self.positions[rows]
-        subset.coefficients = self.coefficients[rows]
-        subset.weights = self.weights[rows]
-        subset.errors = self.errors[rows]
-        subset.min_powers = self.min_powers[rows]
-        subset._widths = self._widths[rows]
+        cached = getattr(self, "_norms_cache", None)
+        if cached is not None and cached.shape[0] == len(self):
+            # Row norms are row-local, so slicing the cache is bitwise
+            # equal to recomputing over the sliced blocks.
+            subset._norms_cache = np.ascontiguousarray(cached[rows])
         return subset
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Serialise the packed database to an ``.npz`` file."""
+        """Serialise the canonical SoA blocks to an ``.npz`` file.
+
+        The file carries exactly :meth:`soa_blocks` (including the
+        precomputed ``norms``) plus names/meta, so a saved database
+        round-trips the layout without re-materialising per-row sketches.
+        """
         names = np.array(
             ["" if n is None else n for n in self.names]
             if self.names is not None
@@ -280,12 +452,7 @@ class SketchDatabase:
         )
         np.savez_compressed(
             path,
-            positions=self.positions,
-            coefficients=self.coefficients,
-            weights=self.weights,
-            errors=self.errors,
-            min_powers=self.min_powers,
-            widths=self._widths,
+            **self.soa_blocks(),
             names=names,
             meta=np.array([str(self.n), self.basis, self.method], dtype=str),
         )
@@ -294,19 +461,18 @@ class SketchDatabase:
     def load(cls, path) -> "SketchDatabase":
         """Load a database previously written by :meth:`save`."""
         with np.load(path, allow_pickle=False) as payload:
-            loaded = object.__new__(cls)
-            loaded.positions = payload["positions"].astype(np.intp)
-            loaded.coefficients = payload["coefficients"]
-            loaded.weights = payload["weights"]
-            loaded.errors = payload["errors"]
-            loaded.min_powers = payload["min_powers"]
-            loaded._widths = payload["widths"].astype(np.intp)
+            fields = {f: payload[f] for f in cls.SOA_FIELDS}
             names = payload["names"]
-            loaded.names = tuple(names.tolist()) if names.size else None
             n, basis, method = payload["meta"].tolist()
-            loaded.n = int(n)
-            loaded.basis = basis
-            loaded.method = method
+            loaded = cls.from_soa(
+                fields,
+                n=int(n),
+                basis=basis,
+                method=method,
+                names=tuple(names.tolist()) if names.size else None,
+            )
+            if "norms" in payload.files:
+                loaded._norms_cache = np.ascontiguousarray(payload["norms"])
         return loaded
 
     def check_query(self, query: Spectrum) -> None:

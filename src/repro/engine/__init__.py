@@ -12,25 +12,33 @@ batched and the sharded paths fan out through
 
 from repro.engine.batch import search_many
 from repro.engine.core import (
+    DEFAULT_VERIFY_BLOCK,
     RANGE_SLACK,
+    VERIFY_BLOCK_ENV,
     CandidateSet,
     EngineIndex,
     SigmaTracker,
+    block_distances_sq,
     execute_knn,
     execute_range,
+    verify_block_size,
 )
 from repro.engine.executor import fork_map
 from repro.engine.registry import available_indexes, get_index
 
 __all__ = [
+    "DEFAULT_VERIFY_BLOCK",
     "RANGE_SLACK",
+    "VERIFY_BLOCK_ENV",
     "CandidateSet",
     "EngineIndex",
     "SigmaTracker",
     "available_indexes",
+    "block_distances_sq",
     "execute_knn",
     "execute_range",
     "fork_map",
     "get_index",
     "search_many",
+    "verify_block_size",
 ]

@@ -1,17 +1,11 @@
 """Batched multi-query search: ``search_many(index, queries, k)``.
 
-The per-query ``search()`` path is paper-faithful: it verifies candidates
-one at a time with early abandoning, which minimises the *operation
-counts* the evaluation prices (fig. 23).  A production query stream cares
-about wall-clock throughput instead, and there the per-row Python loop is
-the bottleneck — profiling puts ~70% of a flat-index query in it.  This
-module trades the abandoning loop for *blocked* verification: candidates
-are still consumed in increasing-lower-bound order, but fetched and
-compared a block at a time with one vectorised distance kernel per block,
-re-tightening the cutoff between blocks.  Results are identical (same
-k smallest ``(distance, seq_id)`` pairs); only the work accounting
-differs — a block may fetch a few candidates an abandoning loop would
-have skipped, and ``early_abandons`` stays 0.
+The verification hot path — blocked bulk fetches, one vectorised
+distance kernel per block — lives in :mod:`repro.engine.core` and serves
+single queries and batches alike (see ``_refine_knn_blocked`` there; it
+is bit-identical to the scalar reference loop, stats included).  What
+this module adds is the *batch axis*: validation amortised once per
+matrix, an ``engine.search_many`` obs span, and fan-out.
 
 ``workers=N`` fans the work out over a process pool through the shared
 executor (:func:`repro.engine.executor.fork_map`; fork start method: the
@@ -24,16 +18,10 @@ answers into global top-k results — same executor, different work items.
 A router backed by a persistent :class:`~repro.cluster.ShardWorkerPool`
 skips the fork entirely: the batch is shipped to the already-warm
 workers in one request per shard (see ``docs/CONCURRENCY.md``).
-
-Structures whose generators pay exact distances during traversal (the
-M-tree) or stream candidates lazily (the GEMINI R-tree) fall back to the
-sequential verifier per query — batching still amortises validation and
-setup, and the pool still parallelises them.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 
 import numpy as np
@@ -42,103 +30,23 @@ from repro import obs
 from repro.engine.core import (
     _check_invariant,
     _generate_guarded,
-    _guarded_fetch,
     _refine_knn,
-    fetch_block,
 )
 from repro.engine.executor import fork_map
-from repro.exceptions import SeriesMismatchError, StorageError
-from repro.index.distance import VERIFY_CHUNK
+from repro.exceptions import SeriesMismatchError
 from repro.index.results import Neighbor, SearchStats
 
 __all__ = ["search_many"]
 
-#: Candidates fetched and compared per vectorised block.
-BLOCK = 256
-
-
-def _blocked_refine(index, query, k, cands, stats, size):
-    """LB-ordered verification, one vectorised distance kernel per block."""
-    entries = cands.entries
-    stats.candidates_after_traversal = cands.generated
-    stats.candidates_after_sub_filter = len(entries)
-    stats.candidates_pruned += size - len(entries)
-
-    best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
-    cutoff_sq = math.inf
-    cutoff_id = -1
-    position = 0
-    while position < len(entries):
-        if len(best) == k and entries[position][0] > cutoff_sq:
-            stats.candidates_pruned += len(entries) - position
-            break
-        block = entries[position : position + BLOCK]
-        ids = [seq_id for _, seq_id in block]
-        rows, kept_ids = _fetch_block_guarded(index, ids, stats)
-        stats.full_retrievals += len(kept_ids)
-        if not kept_ids:
-            position += len(block)
-            continue
-        diff = rows - query
-        # Accumulate over the scalar kernel's chunk boundaries with the
-        # same einsum reduction, so blocked and single-query verification
-        # produce bit-identical squared distances (ties and all).
-        d_sq_block = np.zeros(len(kept_ids))
-        for start in range(0, diff.shape[1], VERIFY_CHUNK):
-            chunk = diff[:, start : start + VERIFY_CHUNK]
-            d_sq_block += np.einsum("ij,ij->i", chunk, chunk)
-        for seq_id, d_sq in zip(kept_ids, d_sq_block):
-            d_sq = float(d_sq)
-            if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
-                continue
-            heapq.heappush(best, (-d_sq, -seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff_sq = -best[0][0]
-                cutoff_id = -best[0][1]
-        position += len(block)
-    return [(-neg_d, -neg_id) for neg_d, neg_id in best]
-
-
-def _fetch_block_guarded(index, ids, stats):
-    """Fetch a verification block, degrading per-id on storage faults.
-
-    The happy path is one batched ``read_many``; if it (or a plain
-    ``fetch``) raises, the block is re-fetched id by id through the
-    engine's guarded path, so transient faults are retried and
-    permanently failing members are quarantined rather than sinking the
-    whole block.  Returns ``(rows, kept_ids)``.
-    """
-    quarantine = getattr(index, "_resilience_quarantine", None)
-    try:
-        if quarantine is None or not any(i in quarantine for i in ids):
-            return fetch_block(index, ids), list(ids)
-    except (StorageError, OSError):
-        pass
-    kept_ids: list[int] = []
-    rows: list[np.ndarray] = []
-    for seq_id in ids:
-        row = _guarded_fetch(index, seq_id, stats)
-        if row is not None:
-            kept_ids.append(seq_id)
-            rows.append(row)
-    if not rows:
-        return np.empty((0, index.sequence_length)), kept_ids
-    return np.stack(rows), kept_ids
-
 
 def _search_one(index, query, k: int) -> tuple[list[Neighbor], SearchStats]:
-    """One query through the generator + the appropriate verifier."""
+    """One query through the generator + the shared core verifier."""
     size = len(index)
     stats = SearchStats()
     cands, stats = _generate_guarded(
         index, lambda s: index.knn_candidates(query, k, s), stats, size
     )
-    if cands.stream is not None or cands.paid:
-        best = _refine_knn(index, query, k, cands, stats, size)
-    else:
-        best = _blocked_refine(index, query, k, cands, stats, size)
+    best = _refine_knn(index, query, k, cands, stats, size)
     _check_invariant(stats, size, index)
     neighbors = sorted(
         Neighbor(math.sqrt(d_sq), seq_id, index.result_name(seq_id))

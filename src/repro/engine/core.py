@@ -28,12 +28,33 @@ every index returns byte-identical neighbour lists on tied inputs.
 The invariant the verifier enforces (and the tests relied on one index at
 a time before): every database member is either pruned or retrieved,
 exactly once — ``candidates_pruned + full_retrievals == database_size``.
+
+**Block-vectorised verification.**  The verifier consumes candidates in
+LB-ordered *blocks* (``REPRO_VERIFY_BLOCK``, default 256): each block is
+bulk-fetched in one batched store read (zero-copy when the store is
+memory-mapped), its squared distances come from one chunk-accumulated
+einsum pass, and a cheap Python replay of the scalar decision loop then
+reproduces every heap update, early abandon, tie-break and termination
+*bit-identically* — including every :class:`SearchStats` counter.  The
+replay trick: chunk sums are non-negative, so the scalar kernel's running
+prefix is monotone and it abandons a candidate iff the *full* squared
+distance exceeds the cutoff — which the block path knows without
+re-walking chunks.  ``REPRO_VERIFY_BLOCK=0`` (or 1) selects the scalar
+reference loop, kept as the executable specification; streaming
+generators (the GEMINI R-tree's k-NN) always take it, because pulling a
+stream item mutates the traversal's own accounting.  The only observable
+difference is physical: a terminating block may have prefetched a few
+rows the abandoning loop never touches (charged to
+:class:`~repro.storage.pagestore.IOStats`, discarded unread), so
+``store.stats.read_calls >= stats.full_retrievals`` under blocking, with
+equality in scalar mode.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Iterator, Protocol, runtime_checkable
 
@@ -41,22 +62,45 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import ReproError, SeriesMismatchError, StorageError
-from repro.index.distance import euclidean_early_abandon_sq
+from repro.index.distance import VERIFY_CHUNK, euclidean_early_abandon_sq
 from repro.index.results import Neighbor, SearchStats
 from repro.resilience.quarantine import quarantine_of
 from repro.resilience.retry import active_policy
 from repro.timeseries.preprocessing import as_float_array
 
 __all__ = [
+    "DEFAULT_VERIFY_BLOCK",
     "RANGE_SLACK",
+    "VERIFY_BLOCK_ENV",
     "CandidateSet",
     "EngineIndex",
     "SigmaTracker",
+    "block_distances_sq",
     "candidates_from_bound_arrays",
     "execute_knn",
     "execute_range",
     "fetch_block",
+    "verify_block_size",
 ]
+
+#: Candidates fetched and verified per vectorised block.
+DEFAULT_VERIFY_BLOCK = 256
+
+#: Environment override for the verify block size; ``0`` or ``1``
+#: selects the scalar reference loop.
+VERIFY_BLOCK_ENV = "REPRO_VERIFY_BLOCK"
+
+
+def verify_block_size() -> int:
+    """The active verify block size (``REPRO_VERIFY_BLOCK``, default 256)."""
+    raw = os.environ.get(VERIFY_BLOCK_ENV, "").strip()
+    if not raw:
+        return DEFAULT_VERIFY_BLOCK
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_VERIFY_BLOCK
+    return max(value, 0)
 
 #: Floating-point slack for range-search rejections: a computed lower
 #: bound may exceed the true distance by rounding error, so rejection
@@ -236,6 +280,85 @@ def fetch_block(index, ids) -> np.ndarray:
     return np.stack([index.fetch(int(i)) for i in ids])
 
 
+def block_distances_sq(rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Row-wise squared distances, bit-identical to the scalar kernel.
+
+    Accumulates row-wise einsum partials over the same ``VERIFY_CHUNK``
+    boundaries :func:`~repro.index.distance.euclidean_early_abandon_sq`
+    walks, in the same left-to-right order.  einsum reduces each row with
+    the same pairwise summation the 1-D form uses (it never routes
+    through BLAS, whose reduction order differs), so each entry equals
+    the scalar kernel's un-abandoned return value bit-for-bit.
+    """
+    diff = rows - query
+    totals = np.zeros(diff.shape[0])
+    for start in range(0, diff.shape[1], VERIFY_CHUNK):
+        chunk = diff[:, start : start + VERIFY_CHUNK]
+        totals += np.einsum("ij,ij->i", chunk, chunk)
+    return totals
+
+
+def _fetch_block_guarded(index, ids: list[int]) -> np.ndarray | None:
+    """One bulk read, with the retry path applied once per block.
+
+    Transient faults (:class:`OSError`) retry the *whole block* per the
+    active :class:`~repro.resilience.RetryPolicy` — one retry schedule
+    per block instead of one per row.  Returns ``None`` when the block
+    cannot be fetched as a unit (permanent corruption, or the transient
+    budget exhausted): the caller then consumes the block per id through
+    :func:`_guarded_fetch`, which reproduces the scalar path's
+    quarantine/degrade semantics exactly for the rows that are actually
+    at fault.
+    """
+    policy = active_policy()
+    for attempt in range(policy.max_attempts):
+        if attempt:
+            obs.add("resilience.retries")
+            policy.sleep(policy.delay_s(attempt - 1))
+        try:
+            return fetch_block(index, ids)
+        except StorageError as exc:
+            if not isinstance(exc, OSError):
+                return None  # corruption &co are permanent: isolate per id
+        except OSError:
+            pass
+    obs.add("resilience.giveups")
+    return None
+
+
+def _prefetch_block(
+    index, query, entries, start: int, stop: int, paid
+) -> dict[int, float] | None:
+    """Bulk-fetch one candidate block and compute its exact distances.
+
+    Returns ``{seq_id: d_sq}`` for every non-paid entry in the block,
+    with already-quarantined ids mapped to ``None`` (their stats are
+    applied at replay time, in entry order, exactly where the scalar
+    loop would have skipped them).  Returns ``None`` when the bulk fetch
+    failed and the caller must fall back to per-id guarded fetches.
+    """
+    quarantine = getattr(index, "_resilience_quarantine", None)
+    outcomes: dict[int, float | None] = {}
+    fetch_ids: list[int] = []
+    for offset in range(start, stop):
+        seq_id = entries[offset][1]
+        if seq_id in paid:
+            continue
+        if quarantine is not None and seq_id in quarantine:
+            outcomes[seq_id] = None
+        else:
+            fetch_ids.append(seq_id)
+    if not fetch_ids:
+        return outcomes
+    rows = _fetch_block_guarded(index, fetch_ids)
+    if rows is None:
+        return None
+    d_sq = block_distances_sq(rows, query)
+    for seq_id, value in zip(fetch_ids, d_sq.tolist()):
+        outcomes[seq_id] = value
+    return outcomes
+
+
 # ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------
@@ -402,18 +525,26 @@ def _refine_knn(
     exceeds it.  Ties on exact distance are broken by sequence id, so the
     result is the canonical k smallest ``(distance, seq_id)`` pairs no
     matter what order a traversal emitted the candidates in.
+
+    Entry lists are consumed through :func:`_refine_knn_blocked` (bulk
+    fetches, vectorised distances) unless ``REPRO_VERIFY_BLOCK`` selects
+    the scalar reference loop below; streams always take the scalar loop
+    because pulling an item mutates the traversal's own accounting.
     """
     paid = cands.paid
     if cands.stream is not None:
         ordered: Iterator[tuple[float, int]] = cands.stream
     else:
-        ordered = iter(cands.entries)
         stats.candidates_after_traversal = cands.generated
         stats.candidates_after_sub_filter = len(cands.entries)
         # Members never bounded (pruned subtrees) plus those the SUB
         # filter discarded.  Traversal-paid members are all in `entries`.
         stats.candidates_pruned += size - cands.generated
         stats.candidates_pruned += cands.generated - len(cands.entries)
+        block = verify_block_size()
+        if block > 1:
+            return _refine_knn_blocked(index, query, k, cands, stats, block)
+        ordered = iter(cands.entries)
 
     best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
     cutoff_sq = math.inf
@@ -455,6 +586,91 @@ def _refine_knn(
         stats.candidates_pruned += size - consumed
     elif terminated:
         remaining = cands.entries[consumed:]
+        stats.candidates_pruned += sum(
+            1 for _, seq_id in remaining if seq_id not in paid
+        )
+    return [(-neg_d, -neg_id) for neg_d, neg_id in best]
+
+
+def _refine_knn_blocked(
+    index, query, k: int, cands: CandidateSet, stats: SearchStats, block: int
+) -> list[tuple[float, int]]:
+    """Block-vectorised refinement, bit-identical to the scalar loop.
+
+    Each block of candidates is bulk-fetched (one batched store read)
+    and its exact squared distances computed in one vectorised pass;
+    a replay of the scalar decision sequence then applies termination,
+    early-abandon, tie-break and heap updates in entry order, so results
+    *and* :class:`SearchStats` match the scalar loop exactly.  The
+    scalar kernel abandons a row iff its full squared distance exceeds
+    the cutoff in effect when the row is consumed (its running prefix is
+    monotone), so the replay reproduces ``early_abandons`` from the full
+    distances alone.  A terminating block may have prefetched rows the
+    scalar loop never reads — physical I/O only; they are discarded
+    without touching the logical accounting.
+    """
+    entries = cands.entries
+    paid = cands.paid
+    best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
+    cutoff_sq = math.inf
+    cutoff_id = -1
+    consumed = 0
+    terminated = False
+    total = len(entries)
+    position = 0
+    while position < total and not terminated:
+        stop = min(position + block, total)
+        # Quarantine membership is re-sampled per block: a per-id
+        # fallback below may quarantine rows mid-query.
+        prefetched = _prefetch_block(
+            index, query, entries, position, stop, paid
+        )
+        for offset in range(position, stop):
+            lb_sq, seq_id = entries[offset]
+            if len(best) == k and lb_sq > cutoff_sq:
+                terminated = True
+                break
+            consumed += 1
+            if seq_id in paid:
+                d_sq = paid[seq_id]  # already fetched and counted
+            elif prefetched is None:
+                # Bulk fetch failed: consume this block per id through
+                # the scalar guarded path (exact fault semantics).
+                row = _guarded_fetch(index, seq_id, stats)
+                if row is None:
+                    continue
+                stats.full_retrievals += 1
+                d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
+                if d_sq == math.inf:
+                    stats.early_abandons += 1
+                    continue
+            else:
+                value = prefetched.get(seq_id)
+                if value is None:
+                    # Quarantined before the block was fetched: the
+                    # scalar loop would have skipped it here, degraded.
+                    stats.quarantined += 1
+                    stats.degraded = True
+                    stats.quarantined_ids += (seq_id,)
+                    continue
+                stats.full_retrievals += 1
+                d_sq = value
+                if d_sq > cutoff_sq:
+                    # Replay of the kernel's mid-sum abandon.
+                    stats.early_abandons += 1
+                    continue
+            if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
+                continue  # not better than the incumbent k-th
+            heapq.heappush(best, (-d_sq, -seq_id))
+            if len(best) > k:
+                heapq.heappop(best)
+            if len(best) == k:
+                cutoff_sq = -best[0][0]
+                cutoff_id = -best[0][1]
+        position = stop
+
+    if terminated:
+        remaining = entries[consumed:]
         stats.candidates_pruned += sum(
             1 for _, seq_id in remaining if seq_id not in paid
         )
@@ -507,6 +723,11 @@ def _refine_range(
     stats.candidates_pruned += size - len(entries)
 
     paid = cands.paid
+    block = verify_block_size()
+    if block > 1:
+        return _refine_range_blocked(
+            index, query, entries, paid, stats, slack_sq, radius_sq, block
+        )
     hits: list[Neighbor] = []
     for lb_sq, seq_id in entries:
         if seq_id in paid:
@@ -526,4 +747,63 @@ def _refine_range(
                     math.sqrt(d_sq), seq_id, index.result_name(seq_id)
                 )
             )
+    return hits
+
+
+def _refine_range_blocked(
+    index,
+    query,
+    entries,
+    paid,
+    stats: SearchStats,
+    slack_sq: float,
+    radius_sq: float,
+    block: int,
+) -> list[Neighbor]:
+    """Block-vectorised range verification (see :func:`_refine_knn_blocked`).
+
+    Range verification has no evolving cutoff — the abandon threshold is
+    the fixed radius-plus-slack — so the replay is simpler than k-NN:
+    a row is abandoned iff its full squared distance exceeds
+    ``slack_sq``, and every entry is consumed (no termination, hence no
+    prefetch overshoot: ``read_calls`` matches ``full_retrievals`` here
+    even under blocking).
+    """
+    hits: list[Neighbor] = []
+    for position in range(0, len(entries), block):
+        stop = min(position + block, len(entries))
+        prefetched = _prefetch_block(
+            index, query, entries, position, stop, paid
+        )
+        for offset in range(position, stop):
+            seq_id = entries[offset][1]
+            if seq_id in paid:
+                d_sq = paid[seq_id]
+            elif prefetched is None:
+                row = _guarded_fetch(index, seq_id, stats)
+                if row is None:
+                    continue
+                stats.full_retrievals += 1
+                d_sq = euclidean_early_abandon_sq(query, row, slack_sq)
+                if d_sq == math.inf:
+                    stats.early_abandons += 1
+                    continue
+            else:
+                value = prefetched.get(seq_id)
+                if value is None:
+                    stats.quarantined += 1
+                    stats.degraded = True
+                    stats.quarantined_ids += (seq_id,)
+                    continue
+                stats.full_retrievals += 1
+                d_sq = value
+                if d_sq > slack_sq:
+                    stats.early_abandons += 1
+                    continue
+            if d_sq <= radius_sq:
+                hits.append(
+                    Neighbor(
+                        math.sqrt(d_sq), seq_id, index.result_name(seq_id)
+                    )
+                )
     return hits

@@ -489,13 +489,9 @@ class VPTreeIndex:
                 [str(self._count), str(self._n), self.bound_method],
                 dtype=str,
             ),
-            # Sketch database columns (same layout as SketchDatabase.save).
-            "positions": self._sketch_db.positions,
-            "coefficients": self._sketch_db.coefficients,
-            "weights": self._sketch_db.weights,
-            "errors": self._sketch_db.errors,
-            "min_powers": self._sketch_db.min_powers,
-            "widths": self._sketch_db._widths,
+            # Sketch database columns: the canonical SoA blocks (same
+            # layout as SketchDatabase.save, incl. precomputed norms).
+            **self._sketch_db.soa_blocks(),
             "sketch_meta": np.array(
                 [str(self._sketch_db.n), self._sketch_db.basis,
                  self._sketch_db.method],
@@ -535,18 +531,15 @@ class VPTreeIndex:
             index._rng = np.random.default_rng(0)
             index._compressor = None  # unknown post-hoc; inserts disallowed
 
-            db = object.__new__(SketchDatabase)
-            db.positions = payload["positions"].astype(np.intp)
-            db.coefficients = payload["coefficients"]
-            db.weights = payload["weights"]
-            db.errors = payload["errors"]
-            db.min_powers = payload["min_powers"]
-            db._widths = payload["widths"].astype(np.intp)
-            db.names = None
             sketch_n, basis, method = payload["sketch_meta"].tolist()
-            db.n = int(sketch_n)
-            db.basis = basis
-            db.method = method
+            db = SketchDatabase.from_soa(
+                {f: payload[f] for f in SketchDatabase.SOA_FIELDS},
+                n=int(sketch_n),
+                basis=basis,
+                method=method,
+            )
+            if "norms" in payload.files:
+                db._norms_cache = np.ascontiguousarray(payload["norms"])
             index._sketch_db = db
 
             leaf_values = payload["leaf_values"].astype(np.intp)

@@ -237,7 +237,15 @@ class FaultyFile:
 
     @classmethod
     def under(cls, store, plan: FaultPlan) -> "FaultyFile":
-        """Splice a faulty layer beneath a page store's backing file."""
+        """Splice a faulty layer beneath a page store's backing file.
+
+        Forces the store back to buffered reads: memory-mapped gathers
+        bypass the file object, so a mapped store would sail past the
+        injected byte faults and the drill would assert nothing.
+        """
+        if getattr(store, "_use_mmap", False):
+            store._release_mmap()
+            store._use_mmap = False
         wrapped = cls(store._file, plan)
         store._file = wrapped
         return wrapped

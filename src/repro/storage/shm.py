@@ -287,30 +287,19 @@ class SketchBlocksMeta:
     names: tuple | None
 
 
-_SKETCH_FIELDS = (
-    "positions",
-    "coefficients",
-    "weights",
-    "errors",
-    "min_powers",
-    "widths",
-)
-
-
 def stage_sketch_database(
     arena: SharedArena, prefix: str, db
 ) -> SketchBlocksMeta:
-    """Stage a :class:`SketchDatabase`'s packed field blocks."""
-    arrays = (
-        db.positions,
-        db.coefficients,
-        db.weights,
-        db.errors,
-        db.min_powers,
-        db._widths,
-    )
-    for field, array in zip(_SKETCH_FIELDS, arrays):
-        arena.stage(f"{prefix}.{field}", array)
+    """Stage a :class:`SketchDatabase`'s canonical SoA blocks.
+
+    Publishes exactly ``db.soa_blocks()`` — the per-field blocks named by
+    :attr:`SketchDatabase.SOA_FIELDS` plus the precomputed ``norms`` —
+    so shared memory is a view over the one canonical layout rather than
+    a second ad-hoc packing.  The norms block is the attach-time
+    integrity handshake.
+    """
+    for field, block in db.soa_blocks().items():
+        arena.stage(f"{prefix}.{field}", block)
     return SketchBlocksMeta(
         prefix=prefix,
         n=int(db.n),
@@ -324,22 +313,26 @@ def attach_sketch_database(arena: SharedArena, meta: SketchBlocksMeta):
     """Reassemble a zero-copy :class:`SketchDatabase` view from an arena.
 
     The returned database's field arrays are read-only views onto the
-    shared segment; no sketch bytes are copied.
+    shared segment; no sketch bytes are copied.  Attach recomputes the
+    per-row sketch norms from the mapped blocks and compares them
+    *bitwise* against the published ``norms`` block
+    (:class:`~repro.exceptions.CorruptionError` on mismatch), so a torn
+    or stale segment is caught before any query runs over it.
     """
     from repro.compression.database import SketchDatabase
 
-    db = object.__new__(SketchDatabase)
-    db.n = meta.n
-    db.basis = meta.basis
-    db.method = meta.method
-    db.names = meta.names
-    db.positions = arena.array(f"{meta.prefix}.positions")
-    db.coefficients = arena.array(f"{meta.prefix}.coefficients")
-    db.weights = arena.array(f"{meta.prefix}.weights")
-    db.errors = arena.array(f"{meta.prefix}.errors")
-    db.min_powers = arena.array(f"{meta.prefix}.min_powers")
-    db._widths = arena.array(f"{meta.prefix}.widths")
-    return db
+    fields = {
+        field: arena.array(f"{meta.prefix}.{field}")
+        for field in SketchDatabase.SOA_FIELDS
+    }
+    return SketchDatabase.from_soa(
+        fields,
+        n=meta.n,
+        basis=meta.basis,
+        method=meta.method,
+        names=meta.names,
+        verify_norms=arena.array(f"{meta.prefix}.norms"),
+    )
 
 
 # ----------------------------------------------------------------------

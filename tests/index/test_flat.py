@@ -122,12 +122,24 @@ class TestConfiguration:
         truth = float(distances_to_query(matrix, query).min())
         assert hits[0].distance == pytest.approx(truth, abs=1e-9)
 
-    def test_disk_store(self, matrix, tmp_path):
+    def test_disk_store(self, matrix, tmp_path, monkeypatch):
+        # Scalar verify mode: strict physical/logical read equality is a
+        # property of the scalar reference loop (the blocked verifier
+        # may prefetch rows past the termination point).
+        monkeypatch.setenv("REPRO_VERIFY_BLOCK", "0")
         store = SequencePageStore(tmp_path / "flat.dat", matrix.shape[1])
         index = FlatSketchIndex(matrix, store=store)
         store.stats.reset()
         _, stats = index.search(matrix[0], k=1)
         assert store.stats.read_calls == stats.full_retrievals
+
+    def test_disk_store_blocked(self, matrix, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY_BLOCK", raising=False)
+        store = SequencePageStore(tmp_path / "flat.dat", matrix.shape[1])
+        index = FlatSketchIndex(matrix, store=store)
+        store.stats.reset()
+        _, stats = index.search(matrix[0], k=1)
+        assert store.stats.read_calls >= stats.full_retrievals
 
     def test_names(self, matrix):
         names = [f"q{i}" for i in range(len(matrix))]
