@@ -26,6 +26,8 @@ The package mirrors the paper's structure:
   DBMS-backed query-by-burst of section 6;
 * :mod:`repro.storage` — the relational substrate (B+tree, table, page
   store);
+* :mod:`repro.stream` — crash-safe streaming ingest: WAL-backed live
+  tier, generational manifests, seal + recoverable compaction;
 * :mod:`repro.datagen` — the synthetic MSN-style query-log source;
 * :mod:`repro.wavelets` — a Haar basis proving the orthonormal-basis
   generality claim;
@@ -83,6 +85,7 @@ from repro.obs import MetricsRegistry, observed, span
 from repro.placement import PlacementPlan, plan_placement
 from repro.periods import PeriodDetector, detect_periods
 from repro.spectral import Periodogram, Spectrum, periodogram
+from repro.stream import StreamStore
 from repro.timeseries import TimeSeries, TimeSeriesCollection
 
 __version__ = "1.0.0"
@@ -128,6 +131,7 @@ __all__ = [
     "compact_bursts",
     "QueryLogGenerator",
     "QueryLogMiner",
+    "StreamStore",
     "obs",
     "MetricsRegistry",
     "observed",

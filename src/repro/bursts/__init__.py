@@ -15,6 +15,7 @@ from repro.bursts.similarity import (
     overlap,
     value_similarity,
 )
+from repro.bursts.streaming import OnlineBurstDetector
 from repro.bursts.weighted import (
     burst_weight_vector,
     rank_by_weighted_euclidean,
@@ -24,6 +25,7 @@ from repro.bursts.weighted import (
 __all__ = [
     "BurstAnnotation",
     "BurstDetector",
+    "OnlineBurstDetector",
     "Burst",
     "compact_bursts",
     "expand_bursts",

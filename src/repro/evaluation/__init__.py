@@ -12,6 +12,7 @@ from repro.evaluation.sharding import (
     ShardScalingRow,
     shard_scaling_experiment,
 )
+from repro.evaluation.streaming import StreamResult, stream_experiment
 from repro.evaluation.tightness import TightnessResult, bound_tightness_experiment
 from repro.evaluation.timing import (
     TimingResult,
@@ -36,4 +37,6 @@ __all__ = [
     "ShardScalingRow",
     "ShardScalingResult",
     "shard_scaling_experiment",
+    "StreamResult",
+    "stream_experiment",
 ]

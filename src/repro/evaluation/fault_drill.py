@@ -15,7 +15,12 @@ so an operator (or CI) can replay it with one flag:
 4. **on-disk corruption** — a real :class:`~repro.storage.SequencePageStore`
    file gets a flipped byte; the page CRC must surface it as a typed
    :class:`~repro.exceptions.CorruptionError` and the store's
-   :meth:`~repro.storage.SequencePageStore.scrub` must locate the victim.
+   :meth:`~repro.storage.SequencePageStore.scrub` must locate the victim;
+5. **write-path crashes** — a :class:`~repro.stream.StreamStore` is
+   killed at every seal seam, handed a torn WAL tail, and killed on
+   both sides of a compaction commit; each reopened directory must
+   answer the query workload *bit-identically* to the pre-kill store
+   (a kill can cost an in-flight batch, never committed data).
 
 Everything is deterministic in the seed; the printed obs counters
 (retries, giveups, quarantines, faults injected) come from the same
@@ -24,6 +29,7 @@ Everything is deterministic in the seed; the printed obs counters
 
 from __future__ import annotations
 
+import contextlib
 import os
 import sys
 import tempfile
@@ -35,13 +41,17 @@ from repro.datagen.generator import QueryLogGenerator
 from repro.engine.registry import available_indexes, get_index
 from repro.exceptions import CorruptionError
 from repro.resilience import (
+    CrashPlan,
     FaultPlan,
     FaultyIndex,
     FaultyStore,
+    InjectedCrashError,
     RetryingStore,
+    crash_plan,
     quarantine_of,
 )
 from repro.storage.pagestore import SequencePageStore
+from repro.stream import StreamStore
 
 __all__ = ["fault_drill"]
 
@@ -54,7 +64,23 @@ _RESILIENCE_COUNTERS = (
     "resilience.fallback_scans",
     "resilience.corrupt_pages",
     "resilience.scrub_failures",
+    "resilience.crashes_injected",
+    "stream.recoveries",
+    "stream.wal_truncations",
+    "stream.orphans_removed",
 )
+
+#: Every durable seam the seal path crosses, in visit order; the
+#: write-path drill kills at each one.
+_SEAL_SEAMS = (
+    "seal.segment.write",
+    "seal.segment.sync",
+    "seal.wal.rotate",
+    "manifest.tmp.write",
+    "manifest.rename",
+    "seal.gc",
+)
+_COMPACT_SEAMS = ("compact.segment.write", "manifest.rename", "compact.gc")
 
 
 def _answers(index, queries, k):
@@ -68,6 +94,22 @@ def _answers(index, queries, k):
                 stats.degraded,
                 stats.quarantined_ids,
             )
+        )
+    return out
+
+
+def _stream_answers(store: StreamStore, queries, k):
+    """Order-independent answers of a stream store: (name, distance) sets.
+
+    Keyed by name, not id: a recovered store may hold the same data as
+    live rows where the pre-kill store held them sealed (or the other
+    way around), which permutes ids but must not change answers.
+    """
+    out = []
+    for query in queries:
+        neighbors, _ = store.search(query, k)
+        out.append(
+            frozenset((n.name, round(n.distance, 12)) for n in neighbors)
         )
     return out
 
@@ -209,6 +251,118 @@ def fault_drill(
             file=out,
         )
 
+        # Write-path crashes: the streaming store killed at every seal
+        # seam, fed a torn WAL tail, and killed on both sides of a
+        # compaction commit.  Every reopened directory must answer the
+        # workload bit-identically — a kill can cost an in-flight
+        # batch, never committed data.
+        stream_db = generator.synthetic_database(24, name_prefix="streamdrill")
+        raw = stream_db.as_matrix()
+        stream_names = tuple(stream_db.names)
+
+        seal_ok = []
+        for seam in _SEAL_SEAMS:
+            with tempfile.TemporaryDirectory() as tmp:
+                directory = os.path.join(tmp, "stream")
+                store = StreamStore(directory, days, fsync=False)
+                for name, row in zip(stream_names[:12], raw[:12]):
+                    store.append(name, row)
+                store.seal()
+                for name, row in zip(stream_names[12:], raw[12:]):
+                    store.append(name, row)
+                before = _stream_answers(store, query_matrix, k)
+                try:
+                    with crash_plan(CrashPlan(point=seam)):
+                        store.seal()
+                except InjectedCrashError:
+                    pass
+                with contextlib.suppress(Exception):
+                    store.close()
+                with StreamStore(directory, fsync=False) as reopened:
+                    seal_ok.append(
+                        _stream_answers(reopened, query_matrix, k) == before
+                    )
+        if not all(seal_ok):
+            failures.append("stream seal-crash recovery")
+        print(
+            f"  seal     {'ok' if all(seal_ok) else 'FAIL':<4s} "
+            + ", ".join(
+                f"{seam}={'yes' if passed else 'NO'}"
+                for seam, passed in zip(_SEAL_SEAMS, seal_ok)
+            ),
+            file=out,
+        )
+
+        # Torn WAL tail: the final record loses its last bytes, as a
+        # kill mid-write(2) would leave it.  Recovery truncates the torn
+        # record (a typed repair, not a crash) and keeps everything
+        # before the tear.
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = os.path.join(tmp, "stream")
+            store = StreamStore(directory, days, fsync=False)
+            for name, row in zip(stream_names[:6], raw[:6]):
+                store.append(name, row)
+            store.close()
+            wal_path = next(
+                os.path.join(directory, entry)
+                for entry in sorted(os.listdir(directory))
+                if entry.startswith("wal-") and entry.endswith(".log")
+            )
+            with open(wal_path, "r+b") as handle:
+                handle.truncate(os.path.getsize(wal_path) - 5)
+            with StreamStore(directory, fsync=False) as reopened:
+                report = reopened.recovery
+                torn_truncated = report.wal_truncated_bytes > 0
+                survivors_kept = set(reopened.names()) == set(stream_names[:5])
+                still_serving = bool(
+                    reopened.search(query_matrix[0], 1)[0]
+                )
+        torn_ok = torn_truncated and survivors_kept and still_serving
+        if not torn_ok:
+            failures.append("torn WAL tail recovery")
+        print(
+            f"  torn-wal {'ok' if torn_ok else 'FAIL':<4s} "
+            f"tail_truncated={'yes' if torn_truncated else 'NO'}, "
+            f"records_before_tear_kept={'yes' if survivors_kept else 'NO'}, "
+            f"queries_served={'yes' if still_serving else 'NO'}",
+            file=out,
+        )
+
+        compact_ok = []
+        for seam in _COMPACT_SEAMS:
+            with tempfile.TemporaryDirectory() as tmp:
+                directory = os.path.join(tmp, "stream")
+                store = StreamStore(directory, days, fsync=False)
+                for name, row in zip(stream_names[:8], raw[:8]):
+                    store.append(name, row)
+                store.seal()
+                for name, row in zip(stream_names[8:16], raw[8:16]):
+                    store.append(name, row)
+                store.seal()
+                store.delete(stream_names[3])
+                before = _stream_answers(store, query_matrix, k)
+                try:
+                    with crash_plan(CrashPlan(point=seam)):
+                        store.compact()
+                except InjectedCrashError:
+                    pass
+                with contextlib.suppress(Exception):
+                    store.close()
+                with StreamStore(directory, fsync=False) as reopened:
+                    compact_ok.append(
+                        _stream_answers(reopened, query_matrix, k) == before
+                    )
+        if not all(compact_ok):
+            failures.append("stream compaction-crash recovery")
+        print(
+            f"  compact  {'ok' if all(compact_ok) else 'FAIL':<4s} "
+            + ", ".join(
+                f"{seam}={'yes' if passed else 'NO'}"
+                for seam, passed in zip(_COMPACT_SEAMS, compact_ok)
+            ),
+            file=out,
+        )
+
     print("\n  resilience counters:", file=out)
     for counter in _RESILIENCE_COUNTERS:
         print(f"    {counter:<32s} {registry.counter(counter).value}", file=out)
@@ -216,5 +370,9 @@ def fault_drill(
     if failures:
         print("\nDRILL FAILED: " + "; ".join(failures), file=out)
         return False
-    print("\ndrill passed: all backends degrade gracefully", file=out)
+    print(
+        "\ndrill passed: all backends degrade gracefully and the "
+        "write path recovers cleanly",
+        file=out,
+    )
     return True

@@ -24,10 +24,18 @@ and bulk store writes timed against the per-row reference, with
 equivalence asserted (see
 :func:`repro.evaluation.ingest.ingest_experiment`).
 
+``--stream`` appends the streaming-lifecycle section: the same raw
+counts ingested through a crash-safe
+:class:`~repro.stream.StreamStore` (WAL-backed appends, a timed seal, a
+mid-seal injected crash with bit-identical recovery asserted, and a
+compaction), verified against an independent reference index (see
+:func:`repro.evaluation.streaming.stream_experiment`).
+
 ``--faults [SEED]`` skips the report and runs the resilience drill
 instead (see :func:`repro.evaluation.fault_drill.fault_drill`): every
 index backend under seeded transient faults and permanent corruption,
-plus an on-disk CRC round trip.  Exit status reflects the drill verdict.
+plus write-path crash drills over the streaming store and an on-disk
+CRC round trip.  Exit status reflects the drill verdict.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.datagen.generator import QueryLogGenerator
 from repro.evaluation.ingest import ingest_experiment
 from repro.evaluation.pruning import pruning_power_experiment
 from repro.evaluation.sharding import shard_scaling_experiment
+from repro.evaluation.streaming import stream_experiment
 from repro.evaluation.tightness import bound_tightness_experiment
 from repro.evaluation.timing import index_vs_scan_experiment
 from repro.periods.detector import PeriodDetector
@@ -69,6 +78,7 @@ def run_report(
     budgets: tuple[int, ...] = (8, 16, 32),
     shards: int | None = None,
     ingest: bool = False,
+    stream: bool = False,
     out=None,
 ) -> None:
     """Run every experiment once and print the consolidated report."""
@@ -133,6 +143,18 @@ def run_report(
                 compressor=budget_objects[-1].compressor("best_min_error"),
                 shards=shards or 4,
                 build_workers=4,
+            )
+        print(result.as_table(), file=out)
+
+    if stream:
+        _section("streaming ingest - WAL, seal, crash recovery, compaction", out)
+        with tempfile.TemporaryDirectory() as tmp:
+            result = stream_experiment(
+                database.as_matrix(),
+                database.names,
+                query_matrix,
+                tmp,
+                k=5,
             )
         print(result.as_table(), file=out)
 
@@ -221,6 +243,13 @@ def main(argv=None) -> int:
         "reference (equivalence asserted)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="append the streaming-ingest section: WAL-backed appends, "
+        "a timed seal, an injected mid-seal crash with bit-identical "
+        "recovery asserted, and a compaction",
+    )
+    parser.add_argument(
         "--faults",
         nargs="?",
         type=int,
@@ -261,6 +290,7 @@ def main(argv=None) -> int:
             budgets=tuple(args.budgets),
             shards=args.shards,
             ingest=args.ingest,
+            stream=args.stream,
         )
     finally:
         if watch:

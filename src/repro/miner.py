@@ -90,6 +90,12 @@ class QueryLogMiner:
         ``"hash"`` or ``"round_robin"``); rebuilds re-partition and
         rebuild shard by shard.  ``shards=None`` (the default) keeps the
         monolithic index.
+    dead_letter_capacity:
+        Upper bound on the dead-letter buffer.  Sustained bad input must
+        not grow memory without limit, so once the buffer is full the
+        *oldest* rejection is dropped for each new one (newest
+        rejections are the ones an operator re-ingests), counted on
+        ``ingest.dead_letter.dropped``.
     """
 
     #: Backends that take the miner's compressor (sketch-based ones).
@@ -107,9 +113,15 @@ class QueryLogMiner:
         index_backend: str = "vptree",
         shards: int | None = None,
         shard_policy: str = "hash",
+        dead_letter_capacity: int = 1024,
     ) -> None:
         if days < 4:
             raise SeriesMismatchError(f"need at least 4 days, got {days}")
+        if dead_letter_capacity < 1:
+            raise IngestionError(
+                f"dead_letter_capacity must be >= 1, "
+                f"got {dead_letter_capacity}"
+            )
         # Router spellings first: aliases like "shard" are not canonical
         # registry names, but deserve the specific error under shards=N.
         if shards is not None and index_backend in _ROUTER_BACKENDS:
@@ -139,7 +151,9 @@ class QueryLogMiner:
         self._index = None
         self._indexed_count = 0
         self._dtw: DTWSearch | None = None
+        self._dead_letter_capacity = int(dead_letter_capacity)
         self._dead_letters: list[DeadLetter] = []
+        self._dead_letters_dropped = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -166,6 +180,16 @@ class QueryLogMiner:
         """Rejected ingestion records, oldest first (audit/re-ingest)."""
         return tuple(self._dead_letters)
 
+    @property
+    def dead_letter_capacity(self) -> int:
+        """Upper bound on retained rejections (oldest drop beyond it)."""
+        return self._dead_letter_capacity
+
+    @property
+    def dead_letters_dropped(self) -> int:
+        """Rejections evicted from the full buffer since construction."""
+        return self._dead_letters_dropped
+
     def _reject(self, name: str, error: Exception):
         """Dead-letter a rejected series and re-raise the typed error."""
         self._dead_letters.append(
@@ -175,6 +199,11 @@ class QueryLogMiner:
                 error=type(error).__name__,
             )
         )
+        if len(self._dead_letters) > self._dead_letter_capacity:
+            overflow = len(self._dead_letters) - self._dead_letter_capacity
+            del self._dead_letters[:overflow]
+            self._dead_letters_dropped += overflow
+            obs.add("ingest.dead_letter.dropped", overflow)
         obs.add("miner.dead_letters")
         raise error
 

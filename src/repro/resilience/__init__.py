@@ -12,7 +12,10 @@ the same seams PR 1 (obs) and PR 2 (the unified engine) created:
 * **fault injection** (:mod:`repro.resilience.faults`) — a seeded,
   replayable :class:`FaultPlan` applied by :class:`FaultyFile` (byte
   layer), :class:`FaultyStore` (store interface) and
-  :class:`FaultyIndex` (engine fetch seam);
+  :class:`FaultyIndex` (engine fetch seam); plus write-path *crash
+  points*: :func:`crashpoint` seams at every fsync/rename/flush
+  boundary that an armed :class:`CrashPlan` turns into a simulated
+  ``kill -9`` (:class:`InjectedCrashError`);
 * **retries** (:mod:`repro.resilience.retry`) — :class:`RetryPolicy`
   with bounded exponential backoff, the :func:`call_with_retry`
   primitive, a :class:`RetryingStore` wrapper and a process-global
@@ -32,11 +35,15 @@ the fault model and degradation semantics are specified in
 """
 
 from repro.resilience.faults import (
+    CrashPlan,
     FaultEvent,
     FaultPlan,
     FaultyFile,
     FaultyIndex,
     FaultyStore,
+    InjectedCrashError,
+    crash_plan,
+    crashpoint,
 )
 from repro.resilience.ingest import DeadLetter, validate_counts
 from repro.resilience.quarantine import Quarantine, quarantine_of
@@ -56,6 +63,10 @@ __all__ = [
     "FaultyFile",
     "FaultyStore",
     "FaultyIndex",
+    "InjectedCrashError",
+    "CrashPlan",
+    "crash_plan",
+    "crashpoint",
     "DeadLetter",
     "validate_counts",
     "Quarantine",

@@ -16,6 +16,12 @@ driven through the same operation sequence, make bit-identical fault
 decisions and keep bit-identical event logs (``plan.events``).  That is
 what lets a failing fuzz run be replayed as a regression test.
 
+The write path adds a fourth seam: *crash points*.  Durable code calls
+:func:`crashpoint` at every fsync/rename/flush boundary; an armed
+:class:`CrashPlan` kills the process-in-miniature by raising
+:class:`InjectedCrashError` at a chosen seam, and a recording plan
+enumerates the seams so a drill can kill at every single one.
+
 Example
 -------
 >>> plan = FaultPlan(seed=7, transient_rate=1.0, max_transient_streak=2)
@@ -23,10 +29,17 @@ Example
 1
 >>> plan.events[0].kind
 'transient'
+>>> record = CrashPlan()  # recording mode: log the seams, never fire
+>>> with crash_plan(record):
+...     crashpoint("wal.write")
+...     crashpoint("manifest.rename")
+>>> record.log
+['wal.write', 'manifest.rename']
 """
 
 from __future__ import annotations
 
+import contextlib
 import random
 import time
 from dataclasses import dataclass
@@ -36,7 +49,110 @@ import numpy as np
 from repro import obs
 from repro.exceptions import TransientStorageError
 
-__all__ = ["FaultEvent", "FaultPlan", "FaultyFile", "FaultyStore", "FaultyIndex"]
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyFile",
+    "FaultyStore",
+    "FaultyIndex",
+    "InjectedCrashError",
+    "CrashPlan",
+    "crash_plan",
+    "crashpoint",
+]
+
+
+class InjectedCrashError(BaseException):
+    """A simulated process kill at a write-path seam.
+
+    Deliberately derives from :class:`BaseException`, not
+    :class:`~repro.exceptions.ReproError`: a real ``kill -9`` is not
+    catchable, so no ``except Exception`` / ``except (ReproError,
+    OSError)`` degradation guard in the write path may absorb it.  Only
+    the drill harness, which armed the plan, catches it.
+    """
+
+
+class CrashPlan:
+    """A deterministic schedule for killing the write path at one seam.
+
+    Three modes, chosen by the constructor arguments:
+
+    * **recording** (``step=None, point=None``) — never fires; every
+      :func:`crashpoint` name passed is appended to :attr:`log`, so a
+      drill can first enumerate a batch's seam sequence, then re-run the
+      batch once per step index with an armed plan.
+    * **step-armed** (``step=i``) — fires at the *i*-th crash point
+      visited (0-based), whatever its name.
+    * **point-armed** (``point=name, occurrence=n``) — fires the *n*-th
+      time (1-based) the named seam is visited.
+
+    After firing, :attr:`fired` holds the seam name and the plan is
+    spent — subsequent visits only log.  :attr:`log` always records
+    every seam visited, fired or not, so recovered-state assertions can
+    be keyed to exactly where the "kill" landed.
+    """
+
+    def __init__(
+        self,
+        *,
+        step: int | None = None,
+        point: str | None = None,
+        occurrence: int = 1,
+    ) -> None:
+        if step is not None and step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        if occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1, got {occurrence}")
+        self.step = step
+        self.point = point
+        self.occurrence = int(occurrence)
+        #: Every crash-point name visited, in order (the seam sequence).
+        self.log: list[str] = []
+        #: Name of the seam the plan fired at, or ``None``.
+        self.fired: str | None = None
+        self._seen: dict[str, int] = {}
+
+    def visit(self, name: str) -> None:
+        """Record a seam visit; raise if this is the armed kill site."""
+        index = len(self.log)
+        self.log.append(name)
+        count = self._seen.get(name, 0) + 1
+        self._seen[name] = count
+        if self.fired is not None:
+            return
+        hit = (self.step is not None and index == self.step) or (
+            self.point is not None and name == self.point and count == self.occurrence
+        )
+        if hit:
+            self.fired = name
+            obs.add("resilience.crashes_injected")
+            raise InjectedCrashError(f"injected crash at {name!r} (step {index})")
+
+
+#: Stack of active crash plans; innermost wins visits last so nesting
+#: composes (all active plans observe every seam).
+_ACTIVE_CRASH: list[CrashPlan] = []
+
+
+@contextlib.contextmanager
+def crash_plan(plan: CrashPlan):
+    """Activate ``plan`` for every :func:`crashpoint` in the block."""
+    _ACTIVE_CRASH.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_CRASH.remove(plan)
+
+
+def crashpoint(name: str) -> None:
+    """Declare a write-path seam; armed plans may kill the process here.
+
+    A no-op when no :func:`crash_plan` is active, so production code
+    pays one list check per durable-boundary crossing.
+    """
+    for plan in _ACTIVE_CRASH:
+        plan.visit(name)
 
 
 @dataclass(frozen=True)
@@ -279,6 +395,9 @@ class FaultyFile:
 
     def flush(self) -> None:
         self._inner.flush()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
 
     def truncate(self, size=None) -> int:
         return self._inner.truncate(size)

@@ -2,7 +2,13 @@
 
 from repro.storage.btree import BPlusTree
 from repro.storage.cache import SequenceCache, cache_budget_from_env
-from repro.storage.pagestore import IOStats, MemorySequenceStore, SequencePageStore
+from repro.storage.pagestore import (
+    FSYNC_ENV,
+    IOStats,
+    MemorySequenceStore,
+    SequencePageStore,
+    fsync_enabled_from_env,
+)
 from repro.storage.shm import (
     ArenaMeta,
     MatrixSequenceStore,
@@ -15,7 +21,9 @@ from repro.storage.table import Predicate, Row, Table, eq, ge, gt, le, lt
 __all__ = [
     "ArenaMeta",
     "BPlusTree",
+    "FSYNC_ENV",
     "IOStats",
+    "fsync_enabled_from_env",
     "MatrixSequenceStore",
     "SequenceCache",
     "SharedArena",

@@ -64,21 +64,44 @@ from repro.storage.cache import SequenceCache, cache_budget_from_env
 from repro.timeseries.preprocessing import as_float_array, as_float_matrix
 
 __all__ = [
+    "FSYNC_ENV",
     "IOStats",
     "MMAP_ENV",
     "MemorySequenceStore",
     "SequencePageStore",
+    "fsync_enabled_from_env",
     "mmap_enabled_from_env",
 ]
 
 #: Environment switch for memory-mapped reads (``1``/``true``/``on``).
 MMAP_ENV = "REPRO_MMAP"
 
+#: Environment switch for durable writes (``REPRO_FSYNC=0``/``1``).
+FSYNC_ENV = "REPRO_FSYNC"
+
 
 def mmap_enabled_from_env() -> bool:
     """Whether ``REPRO_MMAP`` asks for memory-mapped store reads."""
     raw = os.environ.get(MMAP_ENV, "").strip().lower()
     return raw in {"1", "true", "yes", "on"}
+
+
+def fsync_enabled_from_env(default: bool = False) -> bool:
+    """Resolve the ``REPRO_FSYNC`` knob against a per-site default.
+
+    Durability sites disagree on the right default: the WAL and the
+    stream manifest default *on* (losing acknowledged appends is a
+    correctness bug), while bulk page stores and benchmarks default
+    *off* (an fsync per batch would dominate the measured ingest cost).
+    An explicit ``REPRO_FSYNC=1``/``0`` overrides every site either way;
+    unset or unrecognised falls back to ``default``.
+    """
+    raw = os.environ.get(FSYNC_ENV, "").strip().lower()
+    if raw in {"1", "true", "yes", "on"}:
+        return True
+    if raw in {"0", "false", "no", "off"}:
+        return False
+    return bool(default)
 
 _MAGIC_V1 = b"RPRSEQ1\x00"
 _MAGIC_V2 = b"RPRSEQ2\x00"
@@ -160,6 +183,12 @@ class SequencePageStore:
         file instead of buffered ``seek``/``read`` calls.  ``None``
         (default) consults ``REPRO_MMAP``.  Appends remain buffered
         writes; the map is refreshed lazily when the store grows.
+    fsync:
+        Force every append through ``fsync(2)`` so acknowledged writes
+        survive a power loss, not just a process crash.  ``None``
+        (default) consults ``REPRO_FSYNC`` with a default of *off* —
+        page stores are bulk-ingest surfaces whose durability the
+        stream layer's WAL already guarantees (``docs/STREAMING.md``).
     """
 
     def __init__(
@@ -170,6 +199,7 @@ class SequencePageStore:
         verify_checksums: bool = True,
         cache_bytes: int | None = None,
         use_mmap: bool | None = None,
+        fsync: bool | None = None,
     ) -> None:
         self._validate_geometry(sequence_length, page_size)
         self.path = os.fspath(path)
@@ -178,6 +208,7 @@ class SequencePageStore:
         self.format_version = 2
         self.verify_checksums = bool(verify_checksums)
         self.stats = IOStats()
+        self._init_fsync(fsync)
         self._init_cache(cache_bytes)
         self._init_mmap(use_mmap)
         self._init_geometry()
@@ -236,6 +267,13 @@ class SequencePageStore:
         self._mmap: np.memmap | None = None
         self._mmap_rows = 0
 
+    def _init_fsync(self, fsync: bool | None) -> None:
+        self._fsync = (
+            fsync_enabled_from_env(default=False)
+            if fsync is None
+            else bool(fsync)
+        )
+
     @property
     def cache(self) -> SequenceCache | None:
         """The hot-read cache, or ``None`` when caching is disabled."""
@@ -245,6 +283,11 @@ class SequencePageStore:
     def uses_mmap(self) -> bool:
         """Whether raw blocks are served from a memory map of the file."""
         return self._use_mmap
+
+    @property
+    def fsync_enabled(self) -> bool:
+        """Whether appends are forced through ``fsync(2)``."""
+        return self._fsync
 
     @classmethod
     def open(
@@ -256,6 +299,7 @@ class SequencePageStore:
         verify_checksums: bool = True,
         cache_bytes: int | None = None,
         use_mmap: bool | None = None,
+        fsync: bool | None = None,
     ) -> "SequencePageStore":
         """Reopen an existing store file, validating its header.
 
@@ -328,6 +372,7 @@ class SequencePageStore:
         store.format_version = version
         store.verify_checksums = bool(verify_checksums)
         store.stats = IOStats()
+        store._init_fsync(fsync)
         store._init_cache(cache_bytes)
         store._init_mmap(use_mmap)
         store._init_geometry()
@@ -429,6 +474,7 @@ class SequencePageStore:
         self._file.write(self._encode_block(arr.tobytes()))
         obs.add("storage.page_writes", self._pages_per_sequence)
         self._count += 1
+        self._maybe_sync()
         return seq_id
 
     def append_matrix(self, matrix: np.ndarray) -> list[int]:
@@ -461,6 +507,7 @@ class SequencePageStore:
             self._file.write(encoded.data)
         obs.add("storage.page_writes", count * self._pages_per_sequence)
         self._count += count
+        self._maybe_sync()
         return list(range(first, first + count))
 
     def _offset_of(self, seq_id: int) -> int:
@@ -468,6 +515,25 @@ class SequencePageStore:
             self._data_offset
             + seq_id * self._pages_per_sequence * self.page_size
         )
+
+    def flush(self) -> None:
+        """Push buffered writes to the OS, without forcing them to disk.
+
+        Enough for *visibility*: a concurrently opened reader sees a
+        complete file.  Durability against power loss additionally
+        needs :meth:`sync`.
+        """
+        self._file.flush()
+
+    def sync(self) -> None:
+        """Flush buffers and force the bytes to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        obs.add("storage.fsyncs")
+
+    def _maybe_sync(self) -> None:
+        if self._fsync:
+            self.sync()
 
     def _encode_block(self, payload: bytes) -> bytes:
         """Serialise one sequence as zero-padded, checksummed pages."""

@@ -1,0 +1,104 @@
+"""Real-time burst alerting over the live tier.
+
+The batch pipeline answers "which days of this series were bursty?"
+after the fact; a streaming store can do better and say so *as the day
+completes*.  :class:`LiveBurstMonitor` keeps one
+:class:`~repro.bursts.streaming.OnlineBurstDetector` per live series,
+feeds it every completed day (full-series adds feed their whole
+history; each rollover feeds the day it just closed), and raises a
+:class:`BurstAlert` on the *rising edge* — the first bursting day after
+a quiet one — so a multi-day burst alerts once, not daily.
+
+Alerts accumulate in a drain buffer (``stream.burst_alerts`` counts
+them); :meth:`LiveBurstMonitor.drain` hands them over and clears it.
+The detectors are exactly the batch detector run incrementally, so an
+alert here is bit-for-bit the decision
+:class:`~repro.bursts.detection.BurstDetector` would have made on the
+same prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.bursts.streaming import OnlineBurstDetector
+
+__all__ = ["BurstAlert", "LiveBurstMonitor"]
+
+
+@dataclass(frozen=True)
+class BurstAlert:
+    """One rising-edge burst notification."""
+
+    name: str  #: the bursting series
+    day: int  #: 0-based index of the day in the series' observed stream
+    value: float  #: the raw count of the day that tripped the cutoff
+    smoothed: float  #: its moving average, the value actually compared
+    cutoff: float  #: the threshold at alert time
+
+
+class LiveBurstMonitor:
+    """Per-series online burst detection with edge-triggered alerts.
+
+    Parameters
+    ----------
+    window / threshold_sigmas:
+        Forwarded to every per-series
+        :class:`~repro.bursts.streaming.OnlineBurstDetector`.
+    """
+
+    def __init__(self, window: int = 7, threshold_sigmas: float = 1.5) -> None:
+        self.window = int(window)
+        self.threshold_sigmas = float(threshold_sigmas)
+        self._detectors: dict[str, OnlineBurstDetector] = {}
+        self._bursting: dict[str, bool] = {}
+        self._alerts: list[BurstAlert] = []
+
+    def __len__(self) -> int:
+        return len(self._detectors)
+
+    def detector(self, name: str) -> OnlineBurstDetector | None:
+        """The per-series detector, or ``None`` if never observed."""
+        return self._detectors.get(name)
+
+    def observe(self, name: str, value: float) -> BurstAlert | None:
+        """Feed one completed day; returns the alert if one fired."""
+        detector = self._detectors.get(name)
+        if detector is None:
+            detector = OnlineBurstDetector(self.window, self.threshold_sigmas)
+            self._detectors[name] = detector
+            self._bursting[name] = False
+        bursting = detector.push(value)
+        alert = None
+        if bursting and not self._bursting[name]:
+            alert = BurstAlert(
+                name=name,
+                day=len(detector) - 1,
+                value=float(value),
+                smoothed=float(detector.smoothed[-1]),
+                cutoff=detector.cutoff,
+            )
+            self._alerts.append(alert)
+            obs.add("stream.burst_alerts")
+        self._bursting[name] = bursting
+        return alert
+
+    def observe_series(self, name: str, values) -> list[BurstAlert]:
+        """Feed a whole history (e.g. a full-series add), day by day."""
+        alerts = []
+        for value in values:
+            alert = self.observe(name, float(value))
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def forget(self, name: str) -> None:
+        """Drop a series' detector (after a tombstone)."""
+        self._detectors.pop(name, None)
+        self._bursting.pop(name, None)
+
+    def drain(self) -> list[BurstAlert]:
+        """All alerts raised since the last drain; clears the buffer."""
+        alerts, self._alerts = self._alerts, []
+        return alerts

@@ -1,0 +1,277 @@
+"""Generational manifests: the stream store's source of truth.
+
+A stream directory holds immutable segment files, one live WAL and a
+series of manifest files ``MANIFEST-000001.json``, ``MANIFEST-000002
+.json``, … — one per *generation*.  Each manifest is a complete,
+self-checksummed description of one consistent snapshot: which segments
+exist (file, row count, row names), which WAL feeds the live tier,
+which sealed names are tombstoned, and which files the generation's
+compaction retired.  Readers adopt exactly one manifest and therefore
+always see a complete snapshot; writers never modify a manifest in
+place — they commit the next generation via write-to-temp + ``fsync`` +
+atomic rename, so a manifest either exists whole or not at all.
+
+Generation numbers are monotonic; adoption is "newest valid wins": a
+manifest that fails its CRC (or disagrees with its own filename) is
+renamed aside to ``*.quarantined`` (``stream.manifests_quarantined``)
+and the scan falls back to the previous generation — torn or hand-
+edited metadata costs at most the last batch, never the store.
+
+Crash seams: ``manifest.tmp.write`` (before the temp file is written)
+and ``manifest.rename`` (after the temp file is durable, before the
+atomic rename publishes it).  A kill at either seam leaves the previous
+generation intact and at most a ``*.tmp`` orphan behind, which the next
+open garbage-collects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import asdict, dataclass
+
+from repro import obs
+from repro.exceptions import CorruptionError
+from repro.resilience.faults import crashpoint
+from repro.storage.pagestore import fsync_enabled_from_env
+
+__all__ = ["ManifestLog", "SegmentInfo", "StreamManifest"]
+
+_FORMAT = "repro-stream-manifest"
+_VERSION = 1
+_NAME_RE = re.compile(r"^MANIFEST-(\d{6,})\.json$")
+
+
+def manifest_filename(generation: int) -> str:
+    """The canonical file name of generation ``generation``."""
+    return f"MANIFEST-{generation:06d}.json"
+
+
+def wal_filename(generation: int) -> str:
+    """The canonical WAL file name created alongside ``generation``."""
+    return f"wal-{generation:06d}.log"
+
+
+def segment_filename(ordinal: int) -> str:
+    """The canonical segment file name for segment counter ``ordinal``."""
+    return f"segment-{ordinal:06d}.pages"
+
+
+def _checksum(payload: dict) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One immutable sealed segment as the manifest records it."""
+
+    file: str  #: page-store file name within the stream directory
+    count: int  #: number of rows the segment must hold
+    names: tuple[str, ...]  #: row names, in storage order
+
+    def __post_init__(self) -> None:
+        if len(self.names) != self.count:
+            raise CorruptionError(
+                f"segment {self.file!r} lists {len(self.names)} names "
+                f"for {self.count} rows"
+            )
+
+
+@dataclass(frozen=True)
+class StreamManifest:
+    """One generation's complete snapshot description."""
+
+    generation: int  #: monotonic, 1-based
+    sequence_length: int  #: window length shared by every series
+    wal: str  #: live-tier WAL file name for this generation
+    next_segment: int  #: monotonic counter naming the next segment file
+    segments: tuple[SegmentInfo, ...]
+    tombstones: tuple[str, ...]  #: sealed names hidden from every reader
+    retired: tuple[str, ...]  #: files this generation's commit retired
+
+    def __post_init__(self) -> None:
+        if self.generation < 1:
+            raise CorruptionError(
+                f"manifest generation must be >= 1, got {self.generation}"
+            )
+        if self.sequence_length < 1:
+            raise CorruptionError(
+                f"manifest sequence_length must be >= 1, "
+                f"got {self.sequence_length}"
+            )
+
+    def payload(self) -> dict:
+        """The checksummed body (everything but format/version/crc)."""
+        body = asdict(self)
+        body["segments"] = [
+            {"file": s.file, "count": s.count, "names": list(s.names)}
+            for s in self.segments
+        ]
+        body["tombstones"] = list(self.tombstones)
+        body["retired"] = list(self.retired)
+        return body
+
+    def referenced_files(self) -> frozenset[str]:
+        """File names this snapshot depends on (WAL + segments)."""
+        return frozenset({self.wal, *(s.file for s in self.segments)})
+
+
+class ManifestLog:
+    """The directory-level commit/adopt protocol for stream manifests.
+
+    Parameters
+    ----------
+    directory:
+        The stream directory the manifests live in.
+    fsync:
+        Force commits through ``fsync(2)`` (temp file *and* directory
+        entry).  ``None`` consults ``REPRO_FSYNC`` with a default of
+        **on**: a manifest that evaporates with the page cache would
+        silently roll the store back a generation.
+    """
+
+    def __init__(self, directory, *, fsync: bool | None = None) -> None:
+        self.directory = os.fspath(directory)
+        self._fsync = (
+            fsync_enabled_from_env(default=True) if fsync is None else bool(fsync)
+        )
+
+    # ------------------------------------------------------------------
+    # Commit side
+    # ------------------------------------------------------------------
+    def commit(self, manifest: StreamManifest) -> str:
+        """Atomically publish ``manifest``; returns its path.
+
+        Refuses to move backwards: committing a generation that already
+        exists (or is older than an existing one) is a logic error that
+        would break "newest valid wins" adoption.
+        """
+        name = manifest_filename(manifest.generation)
+        path = os.path.join(self.directory, name)
+        if os.path.exists(path):
+            raise CorruptionError(
+                f"refusing to overwrite existing manifest {path!r}"
+            )
+        payload = manifest.payload()
+        document = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "crc32": _checksum(payload),
+            **payload,
+        }
+        tmp_path = path + ".tmp"
+        crashpoint("manifest.tmp.write")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        crashpoint("manifest.rename")
+        os.replace(tmp_path, path)
+        if self._fsync:
+            self._sync_directory()
+        obs.add("stream.manifest_commits")
+        return path
+
+    def _sync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Adopt side
+    # ------------------------------------------------------------------
+    def candidates(self) -> list[tuple[int, str]]:
+        """``(generation, path)`` of every manifest file, newest first."""
+        found: list[tuple[int, str]] = []
+        try:
+            entries = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            match = _NAME_RE.match(entry)
+            if match:
+                found.append(
+                    (int(match.group(1)), os.path.join(self.directory, entry))
+                )
+        found.sort(reverse=True)
+        return found
+
+    def load(self, path: str) -> StreamManifest:
+        """Read and verify one manifest file.
+
+        Raises :class:`~repro.exceptions.CorruptionError` for a missing
+        or unparseable file, a foreign format, a CRC mismatch, or a
+        generation that disagrees with the filename it sits under.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            raise CorruptionError(f"no stream manifest at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CorruptionError(
+                f"unreadable stream manifest at {path}: {exc}"
+            ) from exc
+        if document.get("format") != _FORMAT:
+            raise CorruptionError(
+                f"{path} is not a stream manifest "
+                f"(format={document.get('format')!r})"
+            )
+        if document.get("version") != _VERSION:
+            raise CorruptionError(
+                f"unsupported stream manifest version "
+                f"{document.get('version')!r} in {path}"
+            )
+        recorded = document.get("crc32")
+        try:
+            manifest = StreamManifest(
+                generation=int(document["generation"]),
+                sequence_length=int(document["sequence_length"]),
+                wal=document["wal"],
+                next_segment=int(document["next_segment"]),
+                segments=tuple(
+                    SegmentInfo(
+                        file=s["file"],
+                        count=int(s["count"]),
+                        names=tuple(s["names"]),
+                    )
+                    for s in document["segments"]
+                ),
+                tombstones=tuple(document["tombstones"]),
+                retired=tuple(document["retired"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptionError(
+                f"malformed stream manifest at {path}: {exc}"
+            ) from exc
+        actual = _checksum(manifest.payload())
+        if recorded != actual:
+            raise CorruptionError(
+                f"stream manifest checksum mismatch at {path}: "
+                f"recorded {recorded}, computed {actual}"
+            )
+        expected_name = manifest_filename(manifest.generation)
+        if os.path.basename(path) != expected_name:
+            raise CorruptionError(
+                f"manifest at {path} claims generation "
+                f"{manifest.generation} (expected file {expected_name})"
+            )
+        return manifest
+
+    def quarantine(self, path: str) -> str:
+        """Move a failed manifest aside; returns its new path."""
+        target = path + ".quarantined"
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = f"{path}.quarantined.{suffix}"
+        os.replace(path, target)
+        obs.add("stream.manifests_quarantined")
+        return target

@@ -1,0 +1,286 @@
+"""The write-ahead log under the live tier.
+
+Every mutation of the live tier — a full-series add, a single-day count
+event, a day rollover, a tombstone — is serialised into this log
+*before* it touches memory, so an acknowledged write survives a crash:
+recovery replays the log into a fresh
+:class:`~repro.stream.live.LiveTier` and lands exactly where the writer
+stopped.
+
+File layout::
+
+    8 bytes   magic  b"RPRWAL1\\x00"
+    records   <u32 payload_len> <u32 crc32(payload)> <payload> ...
+
+Record payload::
+
+    <u8 kind> <u16 name_len> <name utf-8> <body>
+
+with kinds ``1=add`` (body: the raw float64 day counts), ``2=event``
+(body: ``<u32 day> <f64 count>``), ``3=roll`` (empty), ``4=tomb``
+(empty).
+
+Atomicity model: a *group* of records (e.g. one ``append_many`` batch)
+is serialised into a single buffer and handed to the OS in **one
+write(2) call** on an unbuffered file, so the in-process crash model
+(:func:`~repro.resilience.faults.crashpoint` fires between syscalls)
+sees either the whole group or none of it.  A *physically* torn write —
+power loss mid-sector — is the CRC's job: replay stops at the first
+record whose length or checksum does not hold, and with ``repair=True``
+truncates the tail away (``stream.wal_truncations``) instead of raising
+:class:`~repro.exceptions.TornWriteError`.  There is no resync after a
+bad record: bytes past the first invalid record were never
+acknowledged-and-then-trusted, so dropping them loses nothing durable.
+
+Crash seams: ``wal.write`` (before the group's write call — a kill here
+loses the whole group) and ``wal.sync`` (after the write, before
+``fsync`` — a kill here keeps the group).  Durability defaults *on*
+here (``REPRO_FSYNC`` overrides): the WAL is the one file whose loss
+loses acknowledged data.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import CorruptionError, StorageError, TornWriteError
+from repro.resilience.faults import crashpoint
+from repro.storage.pagestore import fsync_enabled_from_env
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+_MAGIC = b"RPRWAL1\x00"
+_RECORD = struct.Struct("<II")  # payload length, payload CRC32
+_HEAD = struct.Struct("<BH")  # kind, name length
+_EVENT = struct.Struct("<Id")  # day index, count
+#: Record kinds on the wire.
+_KIND_ADD, _KIND_EVENT, _KIND_ROLL, _KIND_TOMB = 1, 2, 3, 4
+_KIND_NAMES = {
+    _KIND_ADD: "add",
+    _KIND_EVENT: "event",
+    _KIND_ROLL: "roll",
+    _KIND_TOMB: "tomb",
+}
+#: Sanity bound on a single record's payload, far above any real series.
+_MAX_PAYLOAD = 1 << 28
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed log entry."""
+
+    kind: str  #: "add" | "event" | "roll" | "tomb"
+    name: str = ""  #: series name ("" for roll records)
+    day: int = 0  #: day index within the window (event records)
+    count: float = 0.0  #: the event's count increment
+    values: np.ndarray | None = None  #: full raw series (add records)
+
+
+def _encode(kind: int, name: str, body: bytes) -> bytes:
+    encoded_name = name.encode("utf-8")
+    if len(encoded_name) > 0xFFFF:
+        raise StorageError(f"series name too long for the WAL: {name[:32]!r}…")
+    return _HEAD.pack(kind, len(encoded_name)) + encoded_name + body
+
+
+def _decode(payload: bytes, path: str) -> WalRecord:
+    if len(payload) < _HEAD.size:
+        raise CorruptionError(f"WAL {path!r}: record shorter than its header")
+    kind, name_len = _HEAD.unpack_from(payload)
+    label = _KIND_NAMES.get(kind)
+    if label is None:
+        raise CorruptionError(f"WAL {path!r}: unknown record kind {kind}")
+    body = payload[_HEAD.size + name_len :]
+    name = payload[_HEAD.size : _HEAD.size + name_len].decode("utf-8")
+    if label == "add":
+        if len(body) % 8:
+            raise CorruptionError(
+                f"WAL {path!r}: add record for {name!r} has a ragged body"
+            )
+        values = np.frombuffer(body, dtype="<f8").astype(np.float64)
+        return WalRecord(kind="add", name=name, values=values)
+    if label == "event":
+        if len(body) != _EVENT.size:
+            raise CorruptionError(
+                f"WAL {path!r}: event record for {name!r} has a bad body"
+            )
+        day, count = _EVENT.unpack(body)
+        return WalRecord(kind="event", name=name, day=day, count=count)
+    return WalRecord(kind=label, name=name)
+
+
+class WriteAheadLog:
+    """Append side of the log.  Use :meth:`replay` to read one back.
+
+    Parameters
+    ----------
+    path:
+        The log file.  :meth:`create` initialises a fresh one (writing
+        the magic); the constructor opens an existing file for append.
+    fsync:
+        Force every group through ``fsync(2)``.  ``None`` consults
+        ``REPRO_FSYNC`` with a default of **on** — see the module
+        docstring.
+    """
+
+    def __init__(self, path, *, fsync: bool | None = None) -> None:
+        self.path = os.fspath(path)
+        self._fsync = (
+            fsync_enabled_from_env(default=True) if fsync is None else bool(fsync)
+        )
+        # Unbuffered: one .write() is one write(2), which is what makes
+        # "a group is atomic under in-process crashes" true by
+        # construction rather than by buffering luck.
+        self._file = open(self.path, "ab", buffering=0)
+
+    @classmethod
+    def create(cls, path, *, fsync: bool | None = None) -> "WriteAheadLog":
+        """Initialise an empty log (truncating any leftover file).
+
+        Truncation is deliberate: a WAL file is only ever created for a
+        manifest generation that does not reference it yet, so any bytes
+        already at ``path`` belong to a crashed earlier attempt and were
+        never part of a committed generation.
+        """
+        path = os.fspath(path)
+        with open(path, "wb", buffering=0) as handle:
+            handle.write(_MAGIC)
+            resolved = (
+                fsync_enabled_from_env(default=True) if fsync is None else fsync
+            )
+            if resolved:
+                os.fsync(handle.fileno())
+        return cls(path, fsync=fsync)
+
+    @property
+    def fsync_enabled(self) -> bool:
+        return self._fsync
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Append side
+    # ------------------------------------------------------------------
+    @staticmethod
+    def encode_add(name: str, values: np.ndarray) -> bytes:
+        """Payload for a full-series add (raw day counts)."""
+        body = np.ascontiguousarray(values, dtype="<f8").tobytes()
+        return _encode(_KIND_ADD, name, body)
+
+    @staticmethod
+    def encode_event(name: str, day: int, count: float) -> bytes:
+        """Payload for a single-day count event."""
+        return _encode(_KIND_EVENT, name, _EVENT.pack(int(day), float(count)))
+
+    @staticmethod
+    def encode_roll() -> bytes:
+        """Payload for a day rollover."""
+        return _encode(_KIND_ROLL, "", b"")
+
+    @staticmethod
+    def encode_tomb(name: str) -> bytes:
+        """Payload for a tombstone."""
+        return _encode(_KIND_TOMB, name, b"")
+
+    def append_group(self, payloads) -> None:
+        """Durably append a group of records as one atomic write.
+
+        The group either fully lands or (under a crash before the write
+        seam) fully does not; there is no state in which a prefix of the
+        group is acknowledged.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return
+        buffer = bytearray()
+        for payload in payloads:
+            buffer += _RECORD.pack(len(payload), zlib.crc32(payload))
+            buffer += payload
+        crashpoint("wal.write")
+        self._file.write(bytes(buffer))
+        crashpoint("wal.sync")
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        obs.add("stream.wal_appends", len(payloads))
+
+    # ------------------------------------------------------------------
+    # Replay side
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path, *, repair: bool = False) -> tuple[list[WalRecord], int]:
+        """Read a log back; returns ``(records, truncated_bytes)``.
+
+        Stops at the first record whose length prefix or CRC32 does not
+        hold.  Without ``repair`` a non-empty invalid tail raises
+        :class:`~repro.exceptions.TornWriteError`; with ``repair=True``
+        the tail is truncated off the file (the self-healing path) and
+        its byte count returned.  A record whose CRC holds but whose
+        payload is malformed is *corruption*, not tearing — it raises
+        :class:`~repro.exceptions.CorruptionError` regardless of
+        ``repair``, because those bytes were written intact.
+        """
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise StorageError(f"cannot open WAL {path!r}: {exc}") from exc
+        if data[: len(_MAGIC)] != _MAGIC:
+            if len(data) < len(_MAGIC) and _MAGIC.startswith(data):
+                raise TornWriteError(f"WAL {path!r}: truncated magic")
+            raise CorruptionError(
+                f"{path!r} is not a write-ahead log (bad magic {data[:8]!r})"
+            )
+        records: list[WalRecord] = []
+        offset = len(_MAGIC)
+        valid_end = offset
+        torn = False
+        while offset < len(data):
+            if offset + _RECORD.size > len(data):
+                torn = True
+                break
+            length, stored_crc = _RECORD.unpack_from(data, offset)
+            start = offset + _RECORD.size
+            if length > _MAX_PAYLOAD or start + length > len(data):
+                torn = True
+                break
+            payload = data[start : start + length]
+            if zlib.crc32(payload) != stored_crc:
+                torn = True
+                break
+            records.append(_decode(payload, path))
+            offset = start + length
+            valid_end = offset
+        truncated = len(data) - valid_end if torn else 0
+        if torn:
+            if not repair:
+                raise TornWriteError(
+                    f"WAL {path!r}: {truncated} bytes of torn tail past "
+                    f"the last valid record — replay with repair=True to "
+                    f"truncate"
+                )
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            obs.add("stream.wal_truncations")
+            obs.add("resilience.storage_repairs")
+        return records, truncated

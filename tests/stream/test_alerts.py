@@ -1,0 +1,104 @@
+"""Online burst detection: bit-identity to the batch detector, alerts."""
+
+import numpy as np
+import pytest
+
+from repro.bursts.detection import BurstDetector
+from repro.bursts.streaming import OnlineBurstDetector
+from repro.stream import LiveBurstMonitor
+
+
+def _series(days: int = 60, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    values = rng.poisson(20, size=days).astype(float)
+    values[40:45] += 90.0  # an unmistakable burst
+    return values
+
+
+class TestOnlineBurstDetector:
+    @pytest.mark.parametrize("window", [1, 7, 30])
+    def test_bit_identical_to_batch_on_every_prefix(self, window):
+        values = _series()
+        batch = BurstDetector(window, 1.5, mode="trailing")
+        online = OnlineBurstDetector(window, 1.5)
+        for i in range(1, values.size + 1):
+            online.push(values[i - 1])
+            expected = batch.detect(values[:i])
+            got = online.annotation()
+            assert got.window == expected.window
+            assert got.cutoff == expected.cutoff  # exact, not approx
+            np.testing.assert_array_equal(got.smoothed, expected.smoothed)
+            np.testing.assert_array_equal(got.mask, expected.mask)
+
+    def test_push_return_matches_final_mask_entry(self):
+        values = _series(days=50, seed=3)
+        online = OnlineBurstDetector(7, 1.5)
+        for value in values:
+            bursting = online.push(value)
+            assert bursting == bool(online.annotation().mask[-1])
+
+    def test_growth_past_initial_capacity(self):
+        # Initial buffers hold 15 smoothed values; push far beyond.
+        online = OnlineBurstDetector(7, 1.5)
+        values = _series(days=200, seed=5)
+        for value in values:
+            online.push(value)
+        assert len(online) == 200
+        expected = BurstDetector(7, 1.5, mode="trailing").detect(values)
+        np.testing.assert_array_equal(
+            online.annotation().smoothed, expected.smoothed
+        )
+
+    def test_rejects_bad_parameters_and_values(self):
+        with pytest.raises(ValueError):
+            OnlineBurstDetector(0)
+        with pytest.raises(ValueError):
+            OnlineBurstDetector(7, 0.0)
+        with pytest.raises(ValueError):
+            OnlineBurstDetector(7).annotation()
+        detector = OnlineBurstDetector(7)
+        with pytest.raises(Exception):
+            detector.push(float("nan"))
+
+
+class TestLiveBurstMonitor:
+    def test_rising_edge_alerts_once_per_burst(self):
+        monitor = LiveBurstMonitor(window=3, threshold_sigmas=1.5)
+        quiet = [10.0] * 12
+        burst = [200.0] * 4
+        alerts = monitor.observe_series("q", quiet + burst + quiet + burst)
+        # Two separate burst episodes, two alerts — not one per bursty day.
+        assert len(alerts) == 2
+        assert all(a.name == "q" for a in alerts)
+        for alert in alerts:
+            assert alert.smoothed > alert.cutoff
+            assert alert.value == 200.0
+
+    def test_alert_day_indexes_the_observed_stream(self):
+        monitor = LiveBurstMonitor(window=3)
+        values = [5.0] * 10 + [500.0]
+        (alert,) = monitor.observe_series("q", values)
+        assert alert.day == 10
+
+    def test_drain_hands_over_and_clears(self):
+        monitor = LiveBurstMonitor(window=3)
+        monitor.observe_series("q", [5.0] * 10 + [500.0])
+        drained = monitor.drain()
+        assert len(drained) == 1
+        assert monitor.drain() == []
+
+    def test_forget_resets_a_series(self):
+        monitor = LiveBurstMonitor(window=3)
+        monitor.observe_series("q", [5.0] * 8)
+        assert monitor.detector("q") is not None
+        monitor.forget("q")
+        assert monitor.detector("q") is None
+        monitor.forget("never-seen")  # idempotent
+
+    def test_independent_series_do_not_interact(self):
+        monitor = LiveBurstMonitor(window=3)
+        monitor.observe_series("loud", [5.0] * 10 + [500.0] * 3)
+        alerts = monitor.observe_series("calm", [7.0] * 13)
+        assert alerts == []
+        assert len(monitor) == 2
+        assert len(monitor.detector("calm")) == 13

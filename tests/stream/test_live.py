@@ -1,0 +1,105 @@
+"""Tests for the mutable live tier: rollovers and re-normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IngestionError, KeyNotFoundError, StorageError
+from repro.stream import LiveTier
+from repro.timeseries.preprocessing import zscore
+
+
+@pytest.fixture
+def tier():
+    return LiveTier(8)
+
+
+class TestMutators:
+    def test_add_and_read_back(self, tier):
+        values = np.arange(8, dtype=float)
+        tier.add("a", values)
+        np.testing.assert_array_equal(tier.raw("a"), values)
+        assert "a" in tier and len(tier) == 1
+
+    def test_add_copies_its_input(self, tier):
+        values = np.ones(8)
+        tier.add("a", values)
+        values[0] = 99.0
+        assert tier.raw("a")[0] == 1.0
+
+    def test_add_rejects_wrong_geometry(self, tier):
+        with pytest.raises(IngestionError):
+            tier.add("a", np.ones(5))
+        with pytest.raises(IngestionError):
+            tier.add("a", np.ones((2, 8)))
+
+    def test_add_rejects_duplicate(self, tier):
+        tier.add("a", np.ones(8))
+        with pytest.raises(IngestionError):
+            tier.add("a", np.ones(8))
+
+    def test_record_accumulates(self, tier):
+        tier.add("a", np.zeros(8))
+        tier.record("a", 7, 3.0)
+        tier.record("a", 7, 2.0)
+        assert tier.raw("a")[7] == 5.0
+
+    def test_record_on_unknown_name_starts_zero_window(self, tier):
+        tier.record("fresh", 2, 4.0)
+        expected = np.zeros(8)
+        expected[2] = 4.0
+        np.testing.assert_array_equal(tier.raw("fresh"), expected)
+
+    def test_record_bounds_checked(self, tier):
+        with pytest.raises(IngestionError):
+            tier.record("a", 8, 1.0)
+        with pytest.raises(IngestionError):
+            tier.record("a", -1, 1.0)
+
+    def test_rollover_slides_and_reports_completed_days(self, tier):
+        tier.add("a", np.arange(8, dtype=float))
+        completed = tier.rollover()
+        assert completed == [("a", 7.0)]
+        np.testing.assert_array_equal(
+            tier.raw("a"), [1, 2, 3, 4, 5, 6, 7, 0]
+        )
+
+    def test_delete_and_clear(self, tier):
+        tier.add("a", np.ones(8))
+        tier.delete("a")
+        assert "a" not in tier
+        with pytest.raises(KeyNotFoundError):
+            tier.delete("a")
+        tier.add("b", np.ones(8))
+        tier.clear()
+        assert len(tier) == 0
+
+    def test_sequence_length_validated(self):
+        with pytest.raises(StorageError):
+            LiveTier(0)
+
+
+class TestReadSide:
+    def test_matrix_is_per_row_zscore_of_current_window(self, tier):
+        rows = {
+            "a": np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=float),
+            "b": np.array([5, 0, 5, 0, 5, 0, 5, 0], dtype=float),
+        }
+        for name, values in rows.items():
+            tier.add(name, values)
+        tier.rollover()
+        matrix = tier.matrix()
+        for row, values in zip(matrix, rows.values()):
+            shifted = np.concatenate([values[1:], [0.0]])
+            np.testing.assert_array_equal(row, zscore(shifted))
+
+    def test_constant_window_zscores_to_zeros(self, tier):
+        tier.add("flat", np.full(8, 3.0))
+        np.testing.assert_array_equal(tier.matrix()[0], np.zeros(8))
+
+    def test_empty_tier_matrices_are_shaped(self, tier):
+        assert tier.matrix().shape == (0, 8)
+        assert tier.raw_matrix().shape == (0, 8)
+
+    def test_missing_name_raises(self, tier):
+        with pytest.raises(KeyNotFoundError):
+            tier.raw("ghost")
