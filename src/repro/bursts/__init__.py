@@ -7,8 +7,34 @@ from repro.bursts.elastic import (
     ElasticBurstDetector,
     ShiftedWaveletTree,
 )
+from repro.bursts.kernel import TrailingMA, burst_cutoff
 from repro.bursts.kleinberg import KleinbergBurst, KleinbergDetector
-from repro.bursts.query import BurstDatabase, BurstMatch
+from repro.bursts.leaderboard import BurstinessLeaderboard, LeaderboardEntry
+from repro.bursts.models import (
+    ElasticModel,
+    KleinbergModel,
+    MACDModel,
+    MovingAverageModel,
+)
+from repro.bursts.protocol import (
+    BurstModel,
+    BurstRegion,
+    OnlineDetector,
+    RegionAlert,
+    ReplayDetector,
+    mask_regions,
+)
+from repro.bursts.query import (
+    BurstDatabase,
+    BurstMatch,
+    BurstRegionDatabase,
+    region_overlap_score,
+)
+from repro.bursts.registry import (
+    MODEL_BUILDERS,
+    available_burst_models,
+    get_burst_model,
+)
 from repro.bursts.similarity import (
     burst_similarity,
     intersect,
@@ -26,6 +52,21 @@ __all__ = [
     "BurstAnnotation",
     "BurstDetector",
     "OnlineBurstDetector",
+    "TrailingMA",
+    "burst_cutoff",
+    "BurstModel",
+    "BurstRegion",
+    "OnlineDetector",
+    "RegionAlert",
+    "ReplayDetector",
+    "mask_regions",
+    "MovingAverageModel",
+    "KleinbergModel",
+    "ElasticModel",
+    "MACDModel",
+    "MODEL_BUILDERS",
+    "available_burst_models",
+    "get_burst_model",
     "Burst",
     "compact_bursts",
     "expand_bursts",
@@ -35,6 +76,10 @@ __all__ = [
     "burst_similarity",
     "BurstDatabase",
     "BurstMatch",
+    "BurstRegionDatabase",
+    "region_overlap_score",
+    "BurstinessLeaderboard",
+    "LeaderboardEntry",
     "KleinbergBurst",
     "KleinbergDetector",
     "ElasticBurst",

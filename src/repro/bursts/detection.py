@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.bursts.kernel import TrailingMA, burst_cutoff
 from repro.timeseries.preprocessing import as_float_array, moving_average
 from repro.timeseries.series import TimeSeries
 
@@ -116,10 +117,15 @@ class BurstDetector:
         arr = as_float_array(values)
         with obs.span("bursts.detect"):
             window = min(self.window, arr.size)
-            smoothed = moving_average(arr, window, self.mode)
-            cutoff = float(
-                smoothed.mean() + self.threshold_sigmas * smoothed.std()
-            )
+            if self.mode == "trailing" and arr.size:
+                # The shared batch/online kernel: the same implementation
+                # the streaming OnlineBurstDetector extends one value at
+                # a time, so online-equivalence is structural, not
+                # coincidental (see bursts/kernel.py).
+                smoothed = TrailingMA(window).extend(arr)
+            else:
+                smoothed = moving_average(arr, window, self.mode)
+            cutoff = burst_cutoff(smoothed, self.threshold_sigmas)
             annotation = BurstAnnotation(
                 mask=smoothed > cutoff,
                 smoothed=smoothed,

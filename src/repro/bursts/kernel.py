@@ -1,0 +1,143 @@
+"""The one trailing moving-average kernel shared by batch and online paths.
+
+Before this module existed the repo held *two* implementations of the
+paper's §6.1 recipe: :func:`repro.timeseries.preprocessing.moving_average`
+(vectorised, used by the batch :class:`~repro.bursts.detection
+.BurstDetector`) and a hand-rolled prefix-sum recurrence inside
+``bursts/streaming.py``.  The online-equivalence tests then had to prove
+two independent codepaths agree — a proof that silently weakens every
+time either side is edited.  Now both sides call here:
+
+* :class:`TrailingMA` is the stateful kernel.  :meth:`TrailingMA.push`
+  extends the smoothed series in O(1) through the prefix-sum recurrence;
+  :meth:`TrailingMA.extend` from an *empty* state is the vectorised
+  ``np.cumsum`` formulation.  The two are bit-identical because
+  ``np.cumsum`` performs the same sequential left-to-right additions the
+  recurrence does, and the window arithmetic
+  ``(prefix[i+1] - prefix[lo]) / (i + 1 - lo)`` is the same IEEE
+  expression scalar-by-scalar or vectorised.
+* :func:`burst_cutoff` is the shared threshold ``mean(MA) + x*std(MA)``
+  — one numpy reduction spelling for both sides, so the cutoffs cannot
+  drift apart either.
+
+``tests/bursts/test_kernel.py`` asserts push-vs-extend bit-identity on
+random data for every window; the detector-level equivalence suites then
+inherit it instead of re-proving it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.preprocessing import as_float_array
+
+__all__ = ["TrailingMA", "burst_cutoff"]
+
+
+def burst_cutoff(smoothed: np.ndarray, threshold_sigmas: float) -> float:
+    """The §6.1 threshold ``mean(MA) + x * std(MA)`` over a smoothed series."""
+    if threshold_sigmas <= 0:
+        raise ValueError(
+            f"threshold_sigmas must be positive, got {threshold_sigmas}"
+        )
+    return float(smoothed.mean() + threshold_sigmas * smoothed.std())
+
+
+class TrailingMA:
+    """Append-only trailing moving average over a growing sequence.
+
+    Prefixes shorter than ``window`` average only the points seen so far
+    (a growing prefix window), exactly like the batch detector's
+    ``min(window, size)`` clamp.  Smoothed values never change once
+    computed — only downstream statistics (e.g. the cutoff) move — so
+    the internal buffers are append-only with doubling capacity.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._size = 0
+        self._prefix = np.zeros(16, dtype=np.float64)  # prefix[0] == 0.0
+        self._smoothed = np.empty(15, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def effective_window(self) -> int:
+        """The batch detector's ``min(window, size)`` clamp."""
+        return min(self.window, self._size) if self._size else self.window
+
+    @property
+    def smoothed(self) -> np.ndarray:
+        """Read-only view of the smoothed series over every pushed value."""
+        view = self._smoothed[: self._size]
+        view.setflags(write=False)
+        return view
+
+    def smoothed_copy(self) -> np.ndarray:
+        """A writable copy of the smoothed series."""
+        return self._smoothed[: self._size].copy()
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._smoothed.size
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity = 2 * capacity + 1
+        prefix = np.zeros(capacity + 1, dtype=np.float64)
+        prefix[: self._size + 1] = self._prefix[: self._size + 1]
+        smoothed = np.empty(capacity, dtype=np.float64)
+        smoothed[: self._size] = self._smoothed[: self._size]
+        self._prefix = prefix
+        self._smoothed = smoothed
+
+    def push(self, value) -> float:
+        """Absorb one value; returns its smoothed (trailing-mean) value.
+
+        O(1): one prefix-sum addition and one window division, the same
+        arithmetic ``np.cumsum`` + vectorised division performs in
+        :meth:`extend`.
+        """
+        arr = as_float_array([value])  # same validation as the batch path
+        self._reserve(1)
+        index = self._size
+        self._prefix[index + 1] = self._prefix[index] + arr[0]
+        lo = max(index - self.window + 1, 0)
+        smoothed = (self._prefix[index + 1] - self._prefix[lo]) / (
+            index + 1 - lo
+        )
+        self._smoothed[index] = smoothed
+        self._size += 1
+        return float(smoothed)
+
+    def extend(self, values) -> np.ndarray:
+        """Absorb a block of values; returns their smoothed values.
+
+        From an empty state this is the vectorised batch formulation
+        (one ``np.cumsum``, one vectorised window division) — bit-identical
+        to pushing one value at a time because ``np.cumsum`` accumulates
+        sequentially.  A non-empty state falls back to sequential pushes:
+        seeding a cumsum with the running prefix total would re-associate
+        the additions and break bit-identity.
+        """
+        arr = as_float_array(values)
+        if self._size > 0:
+            return np.array([self.push(v) for v in arr], dtype=np.float64)
+        n = arr.size
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        self._reserve(n)
+        self._prefix[1 : n + 1] = np.cumsum(arr)
+        idx = np.arange(n)
+        lo = np.maximum(idx - self.window + 1, 0)
+        smoothed = (self._prefix[idx + 1] - self._prefix[lo]) / (idx + 1 - lo)
+        self._smoothed[:n] = smoothed
+        self._size = n
+        return smoothed.copy()

@@ -104,13 +104,30 @@ class KleinbergDetector:
     # ------------------------------------------------------------------
     def state_sequence(self, counts) -> np.ndarray:
         """The optimal (Viterbi) automaton state per day."""
+        states, _ = self.weighted_states(counts)
+        return states
+
+    def weighted_states(self, counts) -> tuple[np.ndarray, np.ndarray]:
+        """Optimal states plus the per-day burst weight of each day.
+
+        The weight of day ``t`` is Kleinberg's emission-cost saving
+        ``cost(count_t | state 0) - cost(count_t | state_t)`` — how much
+        cheaper the day is to explain from its assigned state than from
+        the baseline.  Summed over a bursty run it is the run's burst
+        weight (zero on baseline days by construction).
+        """
         if isinstance(counts, TimeSeries):
             counts = counts.values
         arr = np.maximum(np.round(as_float_array(counts)), 0.0)
         n = arr.size
         rates = self._rates(arr)
         emission = self._emission_costs(arr, rates)
+        states = self._viterbi(n, emission)
+        days = np.arange(n)
+        savings = emission[days, 0] - emission[days, states]
+        return states, savings
 
+    def _viterbi(self, n: int, emission: np.ndarray) -> np.ndarray:
         transition = np.zeros((self.states, self.states))
         for i in range(self.states):
             for j in range(self.states):

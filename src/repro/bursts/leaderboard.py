@@ -1,0 +1,149 @@
+"""The burstiness leaderboard: top-N bursting queries per window.
+
+The paper's S2 demo surfaces "the most interesting queries" of a time
+span; with scored :class:`~repro.bursts.protocol.BurstRegion` output
+from every registered model this becomes a ranking primitive: score
+each query by the total weight of its burst regions (optionally
+pro-rated to a ``[lo, hi]`` day window via
+:meth:`~repro.bursts.protocol.BurstRegion.windowed_weight`), and take
+the top N.
+
+Weights are model-specific currencies (MA: area over the cutoff;
+Kleinberg: emission-cost savings; elastic: window sums; MACD: histogram
+mass), so one leaderboard ranks under exactly one model — comparing
+across models is the agreement report's job, not the leaderboard's.
+
+Ranking is **deterministic**: entries order by ``(-score, name)``, so
+equal scores resolve by query id and repeated runs over the same data
+produce byte-identical boards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.bursts.protocol import BurstModel, BurstRegion
+from repro.bursts.registry import get_burst_model
+from repro.exceptions import UnknownQueryError
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["LeaderboardEntry", "BurstinessLeaderboard"]
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One ranked query on the board."""
+
+    name: str  #: the query
+    score: float  #: total (or windowed) region weight under the model
+    regions: tuple[BurstRegion, ...]  #: the regions behind the score
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LeaderboardEntry({self.name!r}, score={self.score:.3f}, "
+            f"regions={len(self.regions)})"
+        )
+
+
+class BurstinessLeaderboard:
+    """Ranked burstiness over a population of queries, one model.
+
+    Parameters
+    ----------
+    model:
+        A registered burst-model name or a built
+        :class:`~repro.bursts.protocol.BurstModel`; extra keyword
+        arguments configure a model named by string.
+    """
+
+    def __init__(self, model: BurstModel | str = "ma", **model_kwargs) -> None:
+        self.model = get_burst_model(model, **model_kwargs)
+        self._regions: dict[str, tuple[BurstRegion, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._regions)
+
+    def add(self, name: str, values) -> tuple[BurstRegion, ...]:
+        """Detect and store one query's regions; returns them.
+
+        Re-adding a name replaces its regions (e.g. after new log days).
+        """
+        if isinstance(values, TimeSeries):
+            values = values.values
+        if not name:
+            raise UnknownQueryError("leaderboard members must be named")
+        regions = tuple(self.model.detect(values))
+        self._regions[name] = regions
+        obs.add("bursts.leaderboard_adds")
+        return regions
+
+    def add_collection(self, collection) -> int:
+        """Add every series of a :class:`TimeSeriesCollection`.
+
+        Returns the total number of regions stored.
+        """
+        return sum(
+            len(self.add(series.name, series.values))
+            for series in collection
+        )
+
+    def remove(self, name: str) -> None:
+        """Drop a query from the board."""
+        if name not in self._regions:
+            raise UnknownQueryError(name)
+        del self._regions[name]
+
+    def regions_of(self, name: str) -> tuple[BurstRegion, ...]:
+        """The stored regions of one query."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise UnknownQueryError(name) from None
+
+    def score(
+        self, name: str, lo: int | None = None, hi: int | None = None
+    ) -> float:
+        """One query's burstiness score, optionally windowed to [lo, hi]."""
+        regions = self.regions_of(name)
+        if lo is None and hi is None:
+            return float(sum(r.weight for r in regions))
+        lo = 0 if lo is None else int(lo)
+        hi = 2**62 if hi is None else int(hi)
+        return float(sum(r.windowed_weight(lo, hi) for r in regions))
+
+    def top(
+        self,
+        count: int = 10,
+        lo: int | None = None,
+        hi: int | None = None,
+        min_score: float = 0.0,
+    ) -> list[LeaderboardEntry]:
+        """The ``count`` burstiest queries, optionally within [lo, hi].
+
+        Entries score at least ``min_score`` (strictly above 0 by
+        default, dropping never-bursting queries) and order by
+        ``(-score, name)`` — canonical and reproducible.
+        """
+        with obs.span("bursts.leaderboard"):
+            scored = []
+            for name in self._regions:
+                value = self.score(name, lo, hi)
+                if value > min_score:
+                    scored.append(
+                        LeaderboardEntry(
+                            name=name,
+                            score=value,
+                            regions=self._regions[name],
+                        )
+                    )
+            scored.sort(key=lambda e: (-e.score, e.name))
+        obs.add("bursts.leaderboard_queries")
+        return scored[:count]

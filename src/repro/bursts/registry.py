@@ -1,0 +1,108 @@
+"""String-keyed registry of the pluggable burst models.
+
+Mirrors :mod:`repro.engine.registry`: experiment configuration names a
+burst backend the same way it names an index structure, so the stream
+monitor, the miner, query-by-burst and the evaluation runner construct
+detectors from strings instead of hard-coded classes::
+
+    from repro.bursts import get_burst_model
+
+    model = get_burst_model("kleinberg", gamma=2.0)
+    regions = model.detect(values)          # batch
+    detector = model.online()               # incremental counterpart
+
+Every registered model implements the
+:class:`~repro.bursts.protocol.BurstModel` protocol and honours the
+online-equivalence contract (``online()`` bit-identical to ``detect`` at
+every prefix — see ``tests/bursts/test_models.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bursts.protocol import BurstModel
+from repro.exceptions import ReproError
+
+__all__ = ["MODEL_BUILDERS", "available_burst_models", "get_burst_model"]
+
+
+def _build_ma(**kwargs) -> BurstModel:
+    from repro.bursts.models import MovingAverageModel
+
+    return MovingAverageModel(**kwargs)
+
+
+def _build_kleinberg(**kwargs) -> BurstModel:
+    from repro.bursts.models import KleinbergModel
+
+    return KleinbergModel(**kwargs)
+
+
+def _build_elastic(**kwargs) -> BurstModel:
+    from repro.bursts.models import ElasticModel
+
+    return ElasticModel(**kwargs)
+
+
+def _build_macd(**kwargs) -> BurstModel:
+    from repro.bursts.models import MACDModel
+
+    return MACDModel(**kwargs)
+
+
+#: Builders keyed by registry name; model classes import lazily so the
+#: registry stays cycle-free with the modules that consume it.
+MODEL_BUILDERS: dict[str, Callable[..., BurstModel]] = {
+    "ma": _build_ma,
+    "kleinberg": _build_kleinberg,
+    "elastic": _build_elastic,
+    "macd": _build_macd,
+}
+
+#: Alternate spellings accepted by :func:`get_burst_model`.
+_ALIASES = {
+    "moving_average": "ma",
+    "moving-average": "ma",
+    "trailing": "ma",
+    "automaton": "kleinberg",
+    "swt": "elastic",
+    "shifted_wavelet_tree": "elastic",
+    "crossover": "macd",
+}
+
+
+def available_burst_models() -> tuple[str, ...]:
+    """The registered model names, in registration order."""
+    return tuple(MODEL_BUILDERS)
+
+
+def get_burst_model(name, **kwargs) -> BurstModel:
+    """Build the burst model registered under ``name``.
+
+    Keyword arguments are forwarded to the model's constructor (``ma``:
+    ``window``/``threshold_sigmas``; ``kleinberg``: ``scaling``/
+    ``gamma``/``states``; ``elastic``: ``threshold``/``lengths``/
+    ``offset``/``rate``; ``macd``: ``fast``/``slow``/``signal``).  An
+    already-constructed :class:`BurstModel` passes through untouched
+    (keyword arguments are then rejected), so call sites accept either a
+    string or an instance.  Raises
+    :class:`~repro.exceptions.ReproError` for an unknown name, listing
+    what is available.
+    """
+    if isinstance(name, BurstModel):
+        if kwargs:
+            raise ReproError(
+                "cannot apply keyword arguments to an already-constructed "
+                f"model instance ({name.name!r})"
+            )
+        return name
+    key = _ALIASES.get(name, name)
+    try:
+        builder = MODEL_BUILDERS[key]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise ReproError(
+            f"unknown burst model {name!r}; available: {known}"
+        ) from None
+    return builder(**kwargs)

@@ -5,14 +5,16 @@ needs the whole sequence before it can smooth, threshold and mask.  A
 streaming ingest path (``repro.stream``) sees one completed day at a
 time, so this module incrementalises the same three-line recipe:
 
-1. the trailing moving average extends in O(1) per pushed value, by
-   maintaining the same prefix sums the batch path builds with
-   ``np.cumsum`` — sequential left-to-right additions, so every smoothed
-   value is *bit-identical* to the batch computation on the same prefix;
+1. the trailing moving average extends in O(1) per pushed value through
+   the *shared* :class:`~repro.bursts.kernel.TrailingMA` kernel — the
+   identical implementation the batch detector runs vectorised, so every
+   smoothed value is *bit-identical* to the batch computation on the
+   same prefix by construction, not by parallel maintenance;
 2. the cutoff ``mean(MA) + x * std(MA)`` is recomputed over the
-   accumulated smoothed array with the same numpy reductions the batch
-   detector uses (O(n) per push — the honest price of an exactly
-   matching cutoff, since one new day moves the global mean and std);
+   accumulated smoothed array with the shared
+   :func:`~repro.bursts.kernel.burst_cutoff` reduction (O(n) per push —
+   the honest price of an exactly matching cutoff, since one new day
+   moves the global mean and std);
 3. the burst decision for the newest day falls out of the fresh cutoff.
 
 Equivalence contract (asserted by ``tests/stream/test_alerts.py``):
@@ -32,7 +34,7 @@ import numpy as np
 
 from repro import obs
 from repro.bursts.detection import LONG_TERM_WINDOW, BurstAnnotation
-from repro.timeseries.preprocessing import as_float_array
+from repro.bursts.kernel import TrailingMA, burst_cutoff
 
 __all__ = ["OnlineBurstDetector"]
 
@@ -53,25 +55,17 @@ class OnlineBurstDetector:
     def __init__(
         self, window: int = LONG_TERM_WINDOW, threshold_sigmas: float = 1.5
     ) -> None:
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
         if threshold_sigmas <= 0:
             raise ValueError(
                 f"threshold_sigmas must be positive, got {threshold_sigmas}"
             )
-        self.window = int(window)
         self.threshold_sigmas = float(threshold_sigmas)
-        self._size = 0
-        # Growing buffers (doubling capacity): prefix sums of the raw
-        # values, and the smoothed (moving-average) series.  Trailing
-        # smoothed values never change once computed — only the cutoff
-        # moves — so both arrays are append-only.
-        self._prefix = np.zeros(16, dtype=np.float64)  # prefix[0] == 0.0
-        self._smoothed = np.empty(15, dtype=np.float64)
+        self._kernel = TrailingMA(window)  # validates the window
+        self.window = self._kernel.window
         self._cutoff = 0.0
 
     def __len__(self) -> int:
-        return self._size
+        return self._kernel.size
 
     @property
     def cutoff(self) -> float:
@@ -81,55 +75,31 @@ class OnlineBurstDetector:
     @property
     def smoothed(self) -> np.ndarray:
         """The moving-average series over every pushed value (a copy)."""
-        return self._smoothed[: self._size].copy()
-
-    def _grow(self) -> None:
-        capacity = self._smoothed.size
-        if self._size < capacity:
-            return
-        prefix = np.zeros(2 * capacity + 2, dtype=np.float64)
-        prefix[: self._size + 1] = self._prefix[: self._size + 1]
-        smoothed = np.empty(2 * capacity, dtype=np.float64)
-        smoothed[: self._size] = self._smoothed[: self._size]
-        self._prefix = prefix
-        self._smoothed = smoothed
+        return self._kernel.smoothed_copy()
 
     def push(self, value) -> bool:
         """Absorb one completed day; returns whether it is bursting.
 
-        The smoothed extension is O(1); the cutoff recomputation is a
-        numpy ``mean``/``std`` pass over the accumulated moving average,
-        so a push costs O(days seen) — the price of a cutoff that is
-        bit-identical to the batch detector's at every prefix.
+        The smoothed extension is O(1) through the shared kernel; the
+        cutoff recomputation is a numpy ``mean``/``std`` pass over the
+        accumulated moving average, so a push costs O(days seen) — the
+        price of a cutoff that is bit-identical to the batch detector's
+        at every prefix.
         """
-        arr = as_float_array([value])  # same validation as the batch path
-        self._grow()
-        index = self._size
-        # Identical arithmetic to moving_average(..., "trailing"): the
-        # prefix array is built by the same sequential additions
-        # np.cumsum performs, and the window is clamped to the prefix
-        # length exactly like the batch detector's min(w, n).
-        self._prefix[index + 1] = self._prefix[index] + arr[0]
-        lo = max(index - self.window + 1, 0)
-        self._smoothed[index] = (
-            self._prefix[index + 1] - self._prefix[lo]
-        ) / (index + 1 - lo)
-        self._size += 1
-        smoothed = self._smoothed[: self._size]
-        self._cutoff = float(
-            smoothed.mean() + self.threshold_sigmas * smoothed.std()
-        )
+        latest = self._kernel.push(value)
+        smoothed = self._kernel.smoothed
+        self._cutoff = burst_cutoff(smoothed, self.threshold_sigmas)
         obs.add("bursts.online_pushes")
-        return bool(smoothed[index] > self._cutoff)
+        return bool(latest > self._cutoff)
 
     def annotation(self) -> BurstAnnotation:
         """The batch-identical :class:`BurstAnnotation` for all days seen."""
-        if self._size == 0:
+        if self._kernel.size == 0:
             raise ValueError("no values pushed yet")
-        smoothed = self._smoothed[: self._size].copy()
+        smoothed = self._kernel.smoothed_copy()
         return BurstAnnotation(
             mask=smoothed > self._cutoff,
             smoothed=smoothed,
             cutoff=self._cutoff,
-            window=min(self.window, self._size),
+            window=self._kernel.effective_window,
         )

@@ -31,6 +31,11 @@ mid-seal injected crash with bit-identical recovery asserted, and a
 compaction), verified against an independent reference index (see
 :func:`repro.evaluation.streaming.stream_experiment`).
 
+``--bursts [MODEL]`` appends the pluggable-burst-model section: the
+named backend's burstiness leaderboard over the catalog, plus the
+cross-model agreement matrix with the worst-agreeing query per pair
+(see :func:`repro.evaluation.bursts.burst_model_experiment`).
+
 ``--faults [SEED]`` skips the report and runs the resilience drill
 instead (see :func:`repro.evaluation.fault_drill.fault_drill`): every
 index backend under seeded transient faults and permanent corruption,
@@ -51,6 +56,7 @@ from repro.bursts.detection import BurstDetector
 from repro.bursts.query import BurstDatabase
 from repro.compression.budget import StorageBudget
 from repro.datagen.generator import QueryLogGenerator
+from repro.evaluation.bursts import burst_model_experiment
 from repro.evaluation.ingest import ingest_experiment
 from repro.evaluation.pruning import pruning_power_experiment
 from repro.evaluation.sharding import shard_scaling_experiment
@@ -79,6 +85,7 @@ def run_report(
     shards: int | None = None,
     ingest: bool = False,
     stream: bool = False,
+    bursts: str | None = None,
     out=None,
 ) -> None:
     """Run every experiment once and print the consolidated report."""
@@ -208,6 +215,17 @@ def run_report(
             file=out,
         )
 
+    if bursts is not None:
+        _section(
+            f"pluggable burst models - {bursts!r} leaderboard and "
+            f"cross-model agreement (2002 catalog)",
+            out,
+        )
+        report = burst_model_experiment(
+            year.catalog_collection(), model=bursts, top=10
+        )
+        print(report.as_table(), file=out)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -248,6 +266,16 @@ def main(argv=None) -> int:
         help="append the streaming-ingest section: WAL-backed appends, "
         "a timed seal, an injected mid-seal crash with bit-identical "
         "recovery asserted, and a compaction",
+    )
+    parser.add_argument(
+        "--bursts",
+        nargs="?",
+        const="ma",
+        default=None,
+        metavar="MODEL",
+        help="append the pluggable-burst-model section: the MODEL "
+        "leaderboard over the catalog (default 'ma') plus the "
+        "cross-model agreement matrix",
     )
     parser.add_argument(
         "--faults",
@@ -291,6 +319,7 @@ def main(argv=None) -> int:
             shards=args.shards,
             ingest=args.ingest,
             stream=args.stream,
+            bursts=args.bursts,
         )
     finally:
         if watch:

@@ -31,7 +31,10 @@ import numpy as np
 from repro import obs
 from repro.bursts.compaction import Burst
 from repro.bursts.detection import BurstDetector
-from repro.bursts.query import BurstDatabase, BurstMatch
+from repro.bursts.leaderboard import BurstinessLeaderboard, LeaderboardEntry
+from repro.bursts.protocol import BurstModel, BurstRegion
+from repro.bursts.query import BurstDatabase, BurstMatch, BurstRegionDatabase
+from repro.bursts.registry import get_burst_model
 from repro.compression.best_k import BestMinErrorCompressor
 from repro.datagen.components import DayGrid
 from repro.datagen.events import LogAggregator, LogRecord
@@ -74,6 +77,15 @@ class QueryLogMiner:
     detectors:
         Burst detectors for the burst table (defaults to the paper's
         long/short-term pair at 2 sigma).
+    burst_model:
+        The pluggable region backend behind the burstiness leaderboard
+        and region-scored query-by-burst — a
+        :func:`~repro.bursts.registry.get_burst_model` name
+        (``"ma"``, ``"kleinberg"``, ``"elastic"``, ``"macd"``) or a
+        built :class:`~repro.bursts.protocol.BurstModel`.  Region
+        detection runs on the **raw counts** (Kleinberg's Poisson model
+        needs them); the classic ``detectors`` table keeps the paper's
+        z-scored pipeline.
     seed:
         Seed for the index-construction randomness.
     index_backend:
@@ -109,6 +121,7 @@ class QueryLogMiner:
         days: int = 365,
         compressor_k: int = 14,
         detectors: Sequence[BurstDetector] | None = None,
+        burst_model: BurstModel | str = "ma",
         seed: int = 0,
         index_backend: str = "vptree",
         shards: int | None = None,
@@ -146,6 +159,12 @@ class QueryLogMiner:
         self._compressor = BestMinErrorCompressor(compressor_k)
         self._period_detector = PeriodDetector(interpolate=True)
         self._burst_db = BurstDatabase(detectors=detectors)
+        # Resolved eagerly so a bad name fails at construction, not on
+        # the first leaderboard call; the structures themselves build
+        # lazily (one detect per series) and refresh after ingestion.
+        self._burst_model = get_burst_model(burst_model)
+        self._leaderboard: BurstinessLeaderboard | None = None
+        self._region_db: BurstRegionDatabase | None = None
         self._series: dict[str, TimeSeries] = {}
         self._order: list[str] = []
         self._index = None
@@ -250,6 +269,10 @@ class QueryLogMiner:
             self._order.append(series.name)
             self._burst_db.add(series)
             self._dtw = None  # envelopes are stale
+            if self._leaderboard is not None:
+                self._leaderboard.add(series.name, series.values)
+            if self._region_db is not None:
+                self._region_db.add(series)
             if self._index is not None:
                 can_insert = getattr(
                     self._index,
@@ -330,6 +353,22 @@ class QueryLogMiner:
                 self._matrix(), band=0.05, names=list(self._order)
             )
         return self._dtw
+
+    def _live_leaderboard(self) -> BurstinessLeaderboard:
+        if self._leaderboard is None:
+            board = BurstinessLeaderboard(self._burst_model)
+            for name in self._order:
+                board.add(name, self._series[name].values)
+            self._leaderboard = board
+        return self._leaderboard
+
+    def _live_region_db(self) -> BurstRegionDatabase:
+        if self._region_db is None:
+            db = BurstRegionDatabase(self._burst_model)
+            for name in self._order:
+                db.add(self._series[name])
+            self._region_db = db
+        return self._region_db
 
     def _standardized_query(self, query) -> np.ndarray:
         if isinstance(query, str):
@@ -429,6 +468,47 @@ class QueryLogMiner:
         """Queries that burst together with ``query`` (query-by-burst)."""
         with obs.span("miner.co_bursting"):
             return self._burst_db.query(query, top=top)
+
+    @property
+    def burst_model(self) -> BurstModel:
+        """The configured pluggable burst backend."""
+        return self._burst_model
+
+    def burst_regions(self, name: str) -> tuple[BurstRegion, ...]:
+        """Scored burst regions of an ingested query, under the
+        configured :attr:`burst_model`, detected on the raw counts."""
+        if name not in self._series:
+            raise UnknownQueryError(name)
+        return self._live_leaderboard().regions_of(name)
+
+    def burstiness_leaderboard(
+        self,
+        count: int = 10,
+        lo: int | None = None,
+        hi: int | None = None,
+    ) -> list[LeaderboardEntry]:
+        """The ``count`` burstiest ingested queries, optionally windowed.
+
+        Scores are total region weight under :attr:`burst_model`
+        (pro-rated to the inclusive day window ``[lo, hi]`` when
+        given); ties break on query name, so the board is deterministic
+        for a given log.
+        """
+        with obs.span("miner.leaderboard"):
+            return self._live_leaderboard().top(count, lo=lo, hi=hi)
+
+    def co_bursting_regions(self, query, top: int = 5) -> list[BurstMatch]:
+        """Region-scored query-by-burst under :attr:`burst_model`.
+
+        Like :meth:`co_bursting` but over the scored regions of the
+        configured model — so "what bursts with this query" can be
+        answered under Kleinberg or MACD semantics, weighted by how
+        hard both sides burst where they overlap.
+        """
+        with obs.span("miner.co_bursting_regions"):
+            if isinstance(query, str) and query not in self._series:
+                raise UnknownQueryError(query)
+            return self._live_region_db().query(query, top=top)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -7,12 +7,15 @@ from repro.periods.detector import (
     detect_periods,
     exponential_fit,
 )
+from repro.periods.online import OnlinePeriodDetector, PeriodChange
 
 __all__ = [
     "DetectedPeriod",
     "PeriodDetector",
     "detect_periods",
     "exponential_fit",
+    "OnlinePeriodDetector",
+    "PeriodChange",
     "SharedPeriod",
     "shared_periods",
 ]

@@ -144,6 +144,27 @@ class PeriodDetector:
         """The power threshold :math:`T_p = -\\mu \\ln(p)`."""
         return -mean_power * math.log(self.tail_probability)
 
+    def significant_indexes(
+        self, power: np.ndarray, n: int
+    ) -> frozenset[int]:
+        """The significant half-spectrum bins of a power array.
+
+        The same selection rule :meth:`detect` applies (band mean →
+        exponential-tail threshold → ``max_period`` filter), factored
+        out so the online monitor can evaluate it against the sliding
+        periodogram's recurrence-grade powers without building the full
+        result object.  With ``interpolate=False`` (the default) this
+        equals ``{p.index for p in detect(values)}`` exactly.
+        """
+        band = np.asarray(power, dtype=np.float64)[self.min_index :]
+        if band.size == 0:
+            return frozenset()
+        threshold = self.threshold(float(band.mean()))
+        indexes = np.flatnonzero(band > threshold) + self.min_index
+        if self.max_period is not None:
+            indexes = indexes[n / indexes <= self.max_period]
+        return frozenset(int(i) for i in indexes)
+
     @staticmethod
     def _refined_frequency(coefficients: np.ndarray, n: int, index: int) -> float:
         """Jacobsen's estimator of the true (off-grid) peak frequency.

@@ -1,6 +1,7 @@
 """Spectral analysis substrate: normalised DFT, periodogram, reconstruction."""
 
 from repro.spectral.dft import Spectrum, dft, half_spectrum, half_weights, idft
+from repro.spectral.online import OnlinePeriodogram
 from repro.spectral.periodogram import Periodogram, periodogram
 from repro.spectral.reconstruction import (
     best_indexes,
@@ -17,6 +18,7 @@ __all__ = [
     "half_weights",
     "Periodogram",
     "periodogram",
+    "OnlinePeriodogram",
     "first_indexes",
     "best_indexes",
     "reconstruct",

@@ -20,13 +20,21 @@ package is the LSM-style write path that absorbs it durably:
   over sealed + live, so every backend (and the sharded router) queries
   the union with the pruning invariant intact;
 * :class:`~repro.stream.alerts.LiveBurstMonitor` — real-time burst
-  alerts, bit-identical to the batch detector on every prefix.
+  alerts through any registered burst model, bit-identical to the
+  model's batch form on every prefix;
+* :class:`~repro.stream.alerts.LivePeriodMonitor` — real-time
+  period-*change* alerts over a sliding incremental periodogram.
 
 Formats, the generation lifecycle, compaction invariants and the
 failure matrix are specified in ``docs/STREAMING.md``.
 """
 
-from repro.stream.alerts import BurstAlert, LiveBurstMonitor
+from repro.stream.alerts import (
+    BurstAlert,
+    LiveBurstMonitor,
+    LivePeriodMonitor,
+    PeriodAlert,
+)
 from repro.stream.index import StreamIndex
 from repro.stream.live import LiveTier
 from repro.stream.manifest import ManifestLog, SegmentInfo, StreamManifest
@@ -36,6 +44,8 @@ from repro.stream.wal import WalRecord, WriteAheadLog
 __all__ = [
     "BurstAlert",
     "LiveBurstMonitor",
+    "LivePeriodMonitor",
+    "PeriodAlert",
     "LiveTier",
     "ManifestLog",
     "RecoveryReport",

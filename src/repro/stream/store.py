@@ -66,7 +66,12 @@ from repro.exceptions import (
 from repro.resilience.faults import InjectedCrashError, crashpoint
 from repro.resilience.ingest import validate_counts
 from repro.storage.pagestore import SequencePageStore, fsync_enabled_from_env
-from repro.stream.alerts import BurstAlert, LiveBurstMonitor
+from repro.stream.alerts import (
+    BurstAlert,
+    LiveBurstMonitor,
+    LivePeriodMonitor,
+    PeriodAlert,
+)
 from repro.stream.index import StreamIndex
 from repro.stream.live import LiveTier
 from repro.stream.manifest import (
@@ -113,6 +118,15 @@ class StreamStore:
     burst_window / burst_sigmas:
         Configuration of the per-series real-time burst monitor; a
         ``burst_window`` of ``None`` disables alerting.
+    burst_model:
+        The burst backend the monitor runs — a registered model name
+        (``"ma"``, ``"kleinberg"``, ``"elastic"``, ``"macd"``), a
+        built :class:`~repro.bursts.protocol.BurstModel`, or ``None``
+        for the paper's moving-average detector with
+        ``burst_window`` / ``burst_sigmas``.
+    period_window:
+        Window (days) of the per-series period-change monitor; ``None``
+        (the default) disables period alerting.
     """
 
     def __init__(
@@ -123,6 +137,8 @@ class StreamStore:
         fsync: bool | None = None,
         burst_window: int | None = 7,
         burst_sigmas: float = 1.5,
+        burst_model=None,
+        period_window: int | None = None,
     ) -> None:
         self.directory = os.fspath(directory)
         self._fsync = (
@@ -130,8 +146,13 @@ class StreamStore:
         )
         self._manifests = ManifestLog(self.directory, fsync=self._fsync)
         self._monitor = (
-            LiveBurstMonitor(burst_window, burst_sigmas)
+            LiveBurstMonitor(burst_window, burst_sigmas, model=burst_model)
             if burst_window is not None
+            else None
+        )
+        self._period_monitor = (
+            LivePeriodMonitor(window=period_window)
+            if period_window is not None
             else None
         )
         self._segments: list[tuple[SegmentInfo, SequencePageStore]] = []
@@ -298,24 +319,22 @@ class StreamStore:
         """
         if record.kind == "add":
             self._live.add(record.name, record.values)
-            if self._monitor is not None:
-                # Feed every *completed* day; the final slot is the
-                # still-open "today", fed by the rollover that closes it.
-                self._monitor.observe_series(
-                    record.name, record.values[:-1]
-                )
+            # Feed every *completed* day; the final slot is the
+            # still-open "today", fed by the rollover that closes it.
+            for monitor in self._monitors():
+                monitor.observe_series(record.name, record.values[:-1])
         elif record.kind == "event":
             self._live.record(record.name, record.day, record.count)
         elif record.kind == "roll":
             for name, value in self._live.rollover():
-                if self._monitor is not None:
-                    self._monitor.observe(name, value)
+                for monitor in self._monitors():
+                    monitor.observe(name, value)
         elif record.kind == "tomb":
             if record.name in self._live:
                 self._live.delete(record.name)
             self._tombstones.add(record.name)
-            if self._monitor is not None:
-                self._monitor.forget(record.name)
+            for monitor in self._monitors():
+                monitor.forget(record.name)
         else:  # pragma: no cover - decode guarantees the kind set
             raise CorruptionError(f"unknown WAL record kind {record.kind!r}")
 
@@ -769,16 +788,36 @@ class StreamStore:
     # ------------------------------------------------------------------
     # Alerts
     # ------------------------------------------------------------------
+    def _monitors(self):
+        """The active live monitors (burst, then period)."""
+        active = []
+        if self._monitor is not None:
+            active.append(self._monitor)
+        if self._period_monitor is not None:
+            active.append(self._period_monitor)
+        return active
+
     def drain_alerts(self) -> list[BurstAlert]:
         """Burst alerts raised since the last drain (empty if disabled)."""
         if self._monitor is None:
             return []
         return self._monitor.drain()
 
+    def drain_period_alerts(self) -> list[PeriodAlert]:
+        """Period-change alerts since the last drain (empty if disabled)."""
+        if self._period_monitor is None:
+            return []
+        return self._period_monitor.drain()
+
     @property
     def monitor(self) -> LiveBurstMonitor | None:
         """The live burst monitor, or ``None`` when alerting is off."""
         return self._monitor
+
+    @property
+    def period_monitor(self) -> LivePeriodMonitor | None:
+        """The live period monitor, or ``None`` when period alerting is off."""
+        return self._period_monitor
 
     # ------------------------------------------------------------------
     # Introspection used by drills and docs examples

@@ -1,0 +1,108 @@
+"""Cross-model agreement on the catalog's named exemplars.
+
+Four models, four different notions of "bursty" — so this suite does
+NOT demand they agree in general (the experiment's mean Jaccard between
+e.g. ``ma`` and ``macd`` is well under 0.5, and that disagreement is a
+documented result, not a bug).  What every model *must* agree on is the
+obvious cases: for the catalog's sharpest annual events, each model's
+heaviest region overlaps the known event window.  The structural tests
+then pin the agreement report itself: scores in range, worst offenders
+named, deterministic output.
+"""
+
+import datetime as _dt
+
+import pytest
+
+from repro.datagen.generator import QueryLogGenerator
+from repro.evaluation.bursts import (
+    burst_model_experiment,
+    experiment_models,
+)
+
+_START = _dt.date(2002, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return QueryLogGenerator(seed=0, start=_START, days=365).catalog_collection()
+
+
+@pytest.fixture(scope="module")
+def models(collection):
+    return experiment_models(collection)
+
+
+def _day(month, day):
+    return (_dt.date(2002, month, day) - _START).days
+
+
+#: (query, inclusive day window the heaviest region must overlap).  The
+#: windows wrap the catalog's ramp-then-drop shapes: the ramp rises for
+#: up to ~30 days before the event, so the window opens that far early.
+_EXEMPLARS = [
+    ("halloween", (_day(10, 31) - 25, _day(10, 31) + 10)),
+    ("christmas", (_day(12, 25) - 35, 364)),
+    ("easter", (_day(3, 31) - 35, _day(3, 31) + 10)),  # Easter 2002: Mar 31
+    ("thanksgiving", (_day(11, 28) - 20, _day(11, 28) + 7)),
+    ("valentines day", (_day(2, 14) - 15, _day(2, 14) + 7)),
+]
+
+
+class TestObviousBursts:
+    @pytest.mark.parametrize(
+        "query, window", _EXEMPLARS, ids=[q for q, _ in _EXEMPLARS]
+    )
+    def test_every_model_finds_the_event(self, models, collection, query, window):
+        lo, hi = window
+        values = collection[query].values
+        for name, model in models.items():
+            regions = model.detect(values)
+            assert regions, f"{name} found no bursts in {query!r}"
+            heaviest = max(regions, key=lambda r: r.weight)
+            assert heaviest.overlap_days(lo, hi) > 0, (
+                f"{name}'s heaviest region {heaviest} misses the "
+                f"{query!r} window [{lo}, {hi}]"
+            )
+
+
+class TestAgreementReport:
+    @pytest.fixture(scope="class")
+    def report(self, collection):
+        return burst_model_experiment(collection, model="ma", top=10)
+
+    def test_every_pair_is_compared_once(self, report):
+        pairs = {(a.left, a.right) for a in report.agreements}
+        assert len(pairs) == 6  # C(4, 2)
+        assert all(left != right for left, right in pairs)
+
+    def test_jaccard_scores_are_in_range(self, report):
+        for agreement in report.agreements:
+            assert 0.0 <= agreement.mean_jaccard <= 1.0
+            assert 0.0 <= agreement.worst_jaccard <= 1.0
+            assert agreement.worst_jaccard <= agreement.mean_jaccard + 1e-12
+
+    def test_disagreements_are_documented_not_hidden(self, report):
+        for agreement in report.agreements:
+            assert 0 < agreement.compared <= report.queries
+            assert agreement.worst_query  # the offender is named
+
+    def test_leaderboard_is_ranked_and_bounded(self, report):
+        board = report.leaderboard
+        assert 0 < len(board) <= 10
+        keys = [(-e.score, e.name) for e in board]
+        assert keys == sorted(keys)
+        assert all(e.score > 0.0 for e in board)
+
+    def test_report_is_deterministic(self, collection, report):
+        again = burst_model_experiment(collection, model="ma", top=10)
+        assert again == report
+
+    def test_unknown_headline_model_is_rejected(self, collection):
+        with pytest.raises(ValueError, match="unknown model"):
+            burst_model_experiment(collection, model="wavelets")
+
+    def test_as_table_mentions_every_model(self, report):
+        table = report.as_table()
+        for name in ("ma", "kleinberg", "elastic", "macd"):
+            assert name in table

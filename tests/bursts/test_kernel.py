@@ -1,0 +1,85 @@
+"""The shared trailing-MA kernel: one implementation, two consumers."""
+
+import numpy as np
+import pytest
+
+from repro.bursts.kernel import TrailingMA, burst_cutoff
+from repro.timeseries.preprocessing import moving_average
+
+
+def _series(days=80, seed=4):
+    rng = np.random.default_rng(seed)
+    return rng.normal(10.0, 3.0, size=days)
+
+
+class TestTrailingMA:
+    @pytest.mark.parametrize("window", [1, 3, 7, 30])
+    def test_push_matches_reference_moving_average(self, window):
+        values = _series()
+        kernel = TrailingMA(window)
+        for i, value in enumerate(values, start=1):
+            kernel.push(value)
+            clamped = min(window, i)
+            expected = moving_average(values[:i], clamped, "trailing")
+            np.testing.assert_array_equal(kernel.smoothed, expected)
+
+    def test_extend_from_empty_equals_sequential_pushes(self):
+        values = _series(days=50, seed=9)
+        vectorised = TrailingMA(7).extend(values)
+        sequential = TrailingMA(7)
+        for value in values:
+            sequential.push(value)
+        np.testing.assert_array_equal(vectorised, sequential.smoothed)
+
+    def test_extend_on_nonempty_state_continues_the_stream(self):
+        values = _series(days=40, seed=2)
+        split = TrailingMA(7)
+        split.extend(values[:15])
+        split.extend(values[15:])
+        whole = TrailingMA(7).extend(values)
+        np.testing.assert_array_equal(split.smoothed, whole)
+
+    def test_push_returns_the_latest_smoothed_value(self):
+        kernel = TrailingMA(3)
+        for value in _series(days=20):
+            latest = kernel.push(value)
+            assert latest == kernel.smoothed[-1]
+
+    def test_growth_past_initial_capacity(self):
+        kernel = TrailingMA(7)
+        values = _series(days=300, seed=8)
+        for value in values:
+            kernel.push(value)
+        assert kernel.size == 300
+        np.testing.assert_array_equal(
+            kernel.smoothed, moving_average(values, 7, "trailing")
+        )
+
+    def test_effective_window_clamps_to_size(self):
+        kernel = TrailingMA(30)
+        kernel.extend([1.0, 2.0, 3.0])
+        assert kernel.effective_window == 3
+        kernel.extend(np.ones(40))
+        assert kernel.effective_window == 30
+
+    def test_smoothed_copy_is_independent(self):
+        kernel = TrailingMA(3)
+        kernel.extend([1.0, 2.0, 3.0])
+        copy = kernel.smoothed_copy()
+        copy[:] = 0.0
+        assert kernel.smoothed[-1] != 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TrailingMA(0)
+
+
+class TestBurstCutoff:
+    def test_matches_mean_plus_sigmas_times_std(self):
+        smoothed = _series(days=60, seed=1)
+        cutoff = burst_cutoff(smoothed, 1.5)
+        assert cutoff == float(smoothed.mean() + 1.5 * smoothed.std())
+
+    def test_rejects_nonpositive_sigmas(self):
+        with pytest.raises(ValueError):
+            burst_cutoff(np.ones(4), 0.0)

@@ -1,0 +1,98 @@
+"""The pluggable-burst-model evaluation section and its runner flag."""
+
+import io
+
+import pytest
+
+from repro.evaluation.bursts import (
+    ModelAgreement,
+    _jaccard,
+    burst_model_experiment,
+    experiment_models,
+)
+from repro.evaluation.runner import run_report
+from repro.timeseries.collection import TimeSeriesCollection
+from repro.timeseries.series import TimeSeries
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(13)
+    days = 180
+    series = []
+    for i, name in enumerate(["spiky", "calm", "ramp"]):
+        values = rng.poisson(15.0, size=days).astype(np.float64)
+        if name == "spiky":
+            values[60:72] += 120.0
+        if name == "ramp":
+            values[120:160] += np.linspace(0.0, 90.0, 40)
+        series.append(TimeSeries(values, name=name))
+    return TimeSeriesCollection(series)
+
+
+class TestExperimentModels:
+    def test_one_configuration_per_registered_model(self, collection):
+        models = experiment_models(collection)
+        assert set(models) == {"ma", "kleinberg", "elastic", "macd"}
+        for name, model in models.items():
+            assert model.name == name
+
+    def test_elastic_is_rebased_to_the_collection_scale(self, collection):
+        models = experiment_models(collection)
+        mean_count = float(
+            np.mean([np.mean(s.values) for s in collection])
+        )
+        assert models["elastic"].offset == 0.0
+        assert models["elastic"].rate == 2.0 * mean_count
+        # Purity: the threshold is a function of the window length only.
+        assert models["elastic"].threshold(7) == 2.0 * mean_count * 7
+
+
+class TestJaccard:
+    def test_both_empty_is_full_agreement(self):
+        assert _jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_partial_overlap(self):
+        assert _jaccard(frozenset({1, 2, 3}), frozenset({3, 4})) == 0.25
+
+
+class TestBurstModelExperiment:
+    def test_report_shape(self, collection):
+        report = burst_model_experiment(collection, model="ma", top=2)
+        assert report.model == "ma"
+        assert report.queries == len(collection)
+        assert len(report.leaderboard) <= 2
+        assert len(report.agreements) == 6
+        assert all(isinstance(a, ModelAgreement) for a in report.agreements)
+        assert report.leaderboard[0].name == "spiky"
+
+    def test_unknown_model_is_rejected(self, collection):
+        with pytest.raises(ValueError, match="unknown model"):
+            burst_model_experiment(collection, model="nope")
+
+    def test_table_renders_both_halves(self, collection):
+        table = burst_model_experiment(collection, model="macd").as_table()
+        assert "burstiness leaderboard" in table
+        assert "cross-model agreement" in table
+        assert "worst query" in table
+
+
+class TestRunnerFlag:
+    def test_bursts_section_appends_to_the_report(self):
+        out = io.StringIO()
+        run_report(
+            db_size=64,
+            days=128,
+            queries=2,
+            pairs=5,
+            seed=2,
+            budgets=(8,),
+            bursts="macd",
+            out=out,
+        )
+        text = out.getvalue()
+        assert "pluggable burst models - 'macd' leaderboard" in text
+        assert "cross-model agreement (burst-day overlap)" in text
+        assert "ma/kleinberg" in text

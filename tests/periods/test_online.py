@@ -1,0 +1,143 @@
+"""The incremental period detector: change alerts, exactly confirmed."""
+
+import numpy as np
+import pytest
+
+from repro.periods.detector import PeriodDetector
+from repro.periods.online import OnlinePeriodDetector, PeriodChange
+
+
+def _noise(days, seed):
+    return np.random.default_rng(seed).normal(0.0, 0.4, size=days)
+
+
+def _weekly(days, seed):
+    t = np.arange(days)
+    return np.sin(2 * np.pi * t / 7.0) + _noise(days, seed)
+
+
+class TestSignificantIndexes:
+    """The factored-out selection rule equals the full detection's."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("max_period", [None, 40.0])
+    def test_matches_detect_on_exact_powers(self, seed, max_period):
+        detector = PeriodDetector(interpolate=False, max_period=max_period)
+        values = _weekly(128, seed)
+        result = detector.detect(values)
+        cheap = detector.significant_indexes(
+            result.periodogram.power, result.periodogram.n
+        )
+        assert cheap == {p.index for p in result.periods}
+
+    def test_empty_band_has_no_significant_bins(self):
+        detector = PeriodDetector(min_index=10)
+        assert detector.significant_indexes(np.ones(5), 5) == frozenset()
+
+
+class TestOnlinePeriodDetector:
+    def test_gains_then_loses_the_weekly_rhythm(self):
+        window = 64
+        monitor = OnlinePeriodDetector(window=window)
+        rhythm_bin = window // 7  # ~7-day period in a 64-day window
+        alerts = monitor.extend(_noise(100, seed=3))
+        assert not any(
+            rhythm_bin in {p.index for p in a.gained} for a in alerts
+        )
+        (gained_alerts, lost_alerts) = ([], [])
+        for alert in monitor.extend(_weekly(150, seed=4)):
+            gained_alerts.append(alert)
+        assert any(
+            abs(p.period - 7.0) < 1.5
+            for a in gained_alerts
+            for p in a.gained
+        ), "acquiring a weekly rhythm must raise a gain alert"
+        for alert in monitor.extend(_noise(150, seed=5)):
+            lost_alerts.append(alert)
+        assert any(
+            abs(p.period - 7.0) < 1.5 for a in lost_alerts for p in a.lost
+        ), "losing the rhythm must raise a loss alert"
+
+    def test_confirmed_state_matches_batch_on_the_window(self):
+        window = 64
+        monitor = OnlinePeriodDetector(window=window)
+        values = _weekly(300, seed=6)
+        monitor.extend(values)
+        batch = PeriodDetector(interpolate=False).detect(values[-window:])
+        assert monitor.significant_indexes == {
+            p.index for p in batch.periods
+        }
+        # The last confirmed result may predate the newest day, but its
+        # period set is the live one by the two-tier invariant.
+        assert {p.index for p in monitor.periods()} == {
+            p.index for p in batch.periods
+        }
+
+    def test_alert_result_is_batch_identical_at_alert_time(self):
+        window = 64
+        monitor = OnlinePeriodDetector(window=window)
+        values = np.concatenate(
+            [_noise(80, seed=7), _weekly(120, seed=8)]
+        )
+        alerts = []
+        for day, value in enumerate(values):
+            raised = monitor.push(day, value)
+            for alert in raised:
+                lo = max(0, day + 1 - window)
+                batch = PeriodDetector(interpolate=False).detect(
+                    values[lo : day + 1]
+                )
+                assert alert.result.periods == batch.periods
+                assert alert.result.threshold == batch.threshold
+                alerts.append(alert)
+        assert alerts
+
+    def test_quiet_days_skip_the_exact_detection(self):
+        monitor = OnlinePeriodDetector(window=64)
+        exact_calls = 0
+        inner = monitor._detector.detect
+
+        def counting(values):
+            nonlocal exact_calls
+            exact_calls += 1
+            return inner(values)
+
+        monitor._detector.detect = counting
+        monitor.extend(_weekly(600, seed=9))
+        assert exact_calls < 600 // 2, (
+            "the cheap recurrence tier should absorb most days"
+        )
+
+    def test_no_alerts_before_min_samples(self):
+        monitor = OnlinePeriodDetector(window=32, min_samples=16)
+        assert monitor.extend(_weekly(15, seed=10)) == []
+        assert monitor.current is None
+        assert monitor.periods() == ()
+
+    def test_days_must_arrive_in_order(self):
+        monitor = OnlinePeriodDetector(window=32)
+        monitor.push(0, 1.0)
+        with pytest.raises(ValueError):
+            monitor.push(2, 1.0)
+        with pytest.raises(ValueError):
+            monitor.push(0, 1.0)
+
+    def test_rejects_small_min_samples(self):
+        with pytest.raises(ValueError):
+            OnlinePeriodDetector(min_samples=3)
+
+    def test_gained_periods_are_sorted_strongest_first(self):
+        monitor = OnlinePeriodDetector(window=64)
+        values = _weekly(200, seed=11) + 0.8 * np.sin(
+            2 * np.pi * np.arange(200) / 16.0
+        )
+        for alert in monitor.extend(values):
+            assert isinstance(alert, PeriodChange)
+            powers = [p.power for p in alert.gained]
+            assert powers == sorted(powers, reverse=True)
+
+    def test_size_tracks_the_stream(self):
+        monitor = OnlinePeriodDetector(window=32)
+        monitor.extend(_weekly(50, seed=12))
+        assert monitor.size == 50
+        assert len(monitor) == 50

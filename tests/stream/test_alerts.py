@@ -5,7 +5,8 @@ import pytest
 
 from repro.bursts.detection import BurstDetector
 from repro.bursts.streaming import OnlineBurstDetector
-from repro.stream import LiveBurstMonitor
+from repro.bursts.models import MACDModel
+from repro.stream import LiveBurstMonitor, LivePeriodMonitor, PeriodAlert
 
 
 def _series(days: int = 60, seed: int = 11) -> np.ndarray:
@@ -102,3 +103,95 @@ class TestLiveBurstMonitor:
         assert alerts == []
         assert len(monitor) == 2
         assert len(monitor.detector("calm")) == 13
+
+
+class TestLiveBurstMonitorModels:
+    """The monitor runs any registered backend, not just the MA default."""
+
+    def test_default_is_the_paper_moving_average(self):
+        monitor = LiveBurstMonitor(window=3, threshold_sigmas=2.0)
+        assert monitor.model.name == "ma"
+        assert monitor.model.window == 3
+        assert monitor.model.threshold_sigmas == 2.0
+
+    def test_model_by_registry_name(self):
+        monitor = LiveBurstMonitor(model="macd")
+        quiet = [10.0] * 30
+        alerts = monitor.observe_series("q", quiet + [400.0] * 5)
+        assert monitor.model.name == "macd"
+        assert len(alerts) >= 1
+        assert alerts[0].day >= 30
+
+    def test_model_by_instance(self):
+        model = MACDModel(fast=3.0, slow=12.0)
+        monitor = LiveBurstMonitor(model=model)
+        assert monitor.model is model
+
+    def test_alias_spellings_resolve(self):
+        assert LiveBurstMonitor(model="crossover").model.name == "macd"
+        assert LiveBurstMonitor(model="automaton").model.name == "kleinberg"
+
+    def test_alert_carries_the_scored_region(self):
+        monitor = LiveBurstMonitor(window=3)
+        (alert,) = monitor.observe_series("q", [5.0] * 10 + [500.0])
+        assert alert.region is not None
+        assert alert.region.start <= alert.day <= alert.region.end
+
+    def test_alerts_match_the_batch_decision_per_prefix(self):
+        values = _series()
+        monitor = LiveBurstMonitor(model="macd")
+        monitor.observe_series("q", values)
+        model = monitor.model
+        assert monitor.detector("q").regions() == model.detect(values)
+
+
+class TestLivePeriodMonitor:
+    @staticmethod
+    def _weekly(days, seed=0):
+        t = np.arange(days)
+        rng = np.random.default_rng(seed)
+        return np.sin(2 * np.pi * t / 8.0) + rng.normal(0.0, 0.3, size=days)
+
+    def test_gaining_a_rhythm_raises_a_period_alert(self):
+        monitor = LivePeriodMonitor(window=32)
+        alerts = monitor.observe_series("q", self._weekly(100))
+        assert alerts
+        assert all(isinstance(a, PeriodAlert) for a in alerts)
+        assert all(a.name == "q" for a in alerts)
+        gained = [p for a in alerts for p in a.gained]
+        assert any(abs(p.period - 8.0) < 1.5 for p in gained)
+
+    def test_drain_hands_over_and_clears(self):
+        monitor = LivePeriodMonitor(window=32)
+        monitor.observe_series("q", self._weekly(100))
+        assert monitor.drain()
+        assert monitor.drain() == []
+
+    def test_forget_resets_a_series(self):
+        monitor = LivePeriodMonitor(window=32)
+        monitor.observe_series("q", self._weekly(50))
+        assert monitor.detector("q") is not None
+        monitor.forget("q")
+        assert monitor.detector("q") is None
+        monitor.forget("never-seen")  # idempotent
+
+    def test_independent_series_do_not_interact(self):
+        monitor = LivePeriodMonitor(window=32)
+        monitor.observe_series("rhythmic", self._weekly(100, seed=1))
+        flat = np.random.default_rng(2).normal(0.0, 0.3, size=100)
+        monitor.observe_series("flat", flat)
+        assert len(monitor) == 2
+        gained = [
+            p
+            for a in monitor.drain()
+            if a.name == "flat"
+            for p in a.gained
+        ]
+        assert not any(abs(p.period - 8.0) < 0.5 for p in gained)
+
+    def test_alert_day_indexes_the_observed_stream(self):
+        monitor = LivePeriodMonitor(window=32)
+        alerts = monitor.observe_series("q", self._weekly(100))
+        for alert in alerts:
+            assert 0 <= alert.day < 100
+            assert alert.result.periods is not None

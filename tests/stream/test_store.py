@@ -299,3 +299,74 @@ class TestFsyncKnob:
             assert store._fsync is True
             store.append("q", _counts(1))  # fsync path actually runs
             store.seal()
+
+
+class TestPluggableAlerting:
+    """burst_model / period_window wiring through the WAL-replayed path."""
+
+    def _spiky(self):
+        values = np.full(DAYS, 10.0)
+        values[-1] = 500.0  # today's still-open slot
+        return values
+
+    def test_store_runs_a_named_burst_model(self, tmp_path):
+        with StreamStore(
+            tmp_path / "stream", DAYS, fsync=False, burst_model="macd"
+        ) as store:
+            assert store.monitor.model.name == "macd"
+            store.append("q", self._spiky())
+            assert store.drain_alerts() == []  # flat history: no momentum
+            store.rollover()
+            (alert,) = store.drain_alerts()
+            assert alert.name == "q" and alert.value == 500.0
+            assert alert.region is not None
+
+    def test_replay_reproduces_the_alerts(self, tmp_path):
+        directory = tmp_path / "stream"
+        with StreamStore(
+            directory, DAYS, fsync=False, burst_model="macd"
+        ) as store:
+            store.append("q", self._spiky())
+            store.rollover()
+            live = store.drain_alerts()
+        assert live
+        with StreamStore(
+            directory, fsync=False, burst_model="macd"
+        ) as reopened:
+            replayed = reopened.drain_alerts()
+        assert replayed == live  # recovery replays the same WAL records
+
+    def test_period_monitoring_is_opt_in(self, store):
+        assert store.period_monitor is None
+        assert store.drain_period_alerts() == []
+
+    def test_period_window_raises_change_alerts(self, tmp_path):
+        t = np.arange(DAYS, dtype=float)
+        rhythmic = np.sin(2 * np.pi * t / 8.0) * 40.0 + 50.0
+        with StreamStore(
+            tmp_path / "stream",
+            DAYS,
+            fsync=False,
+            # 24 on-grid samples of a period-8 tone; a 16-sample window
+            # leaves too few bins for the 0.9999-confidence tail test.
+            period_window=24,
+        ) as store:
+            assert store.period_monitor is not None
+            store.append("q", rhythmic)
+            alerts = store.drain_period_alerts()
+            assert alerts
+            gained = [p for a in alerts for p in a.gained]
+            assert any(abs(p.period - 8.0) < 1.5 for p in gained)
+            assert store.drain_period_alerts() == []
+
+    def test_tombstone_forgets_both_monitors(self, tmp_path):
+        with StreamStore(
+            tmp_path / "stream",
+            DAYS,
+            fsync=False,
+            period_window=16,
+        ) as store:
+            store.append("q", self._spiky())
+            store.delete("q")
+            assert store.monitor.detector("q") is None
+            assert store.period_monitor.detector("q") is None

@@ -1,0 +1,115 @@
+"""The miner's pluggable burst surface: leaderboard and region queries."""
+
+import datetime as dt
+
+import pytest
+
+from repro.bursts.models import MACDModel
+from repro.bursts.protocol import BurstRegion
+from repro.datagen import QueryLogGenerator
+from repro.exceptions import ReproError, UnknownQueryError
+from repro.miner import QueryLogMiner
+
+_NAMES = (
+    "halloween",
+    "christmas",
+    "christmas gifts",
+    "gingerbread men",
+    "easter",
+    "cinema",
+    "dudley moore",
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return QueryLogGenerator(seed=0, start=dt.date(2002, 1, 1), days=365)
+
+
+def _build(generator, names=_NAMES, **kwargs):
+    miner = QueryLogMiner(start=dt.date(2002, 1, 1), days=365, **kwargs)
+    for name in names:
+        miner.add_series(generator.series(name))
+    return miner
+
+
+@pytest.fixture(scope="module")
+def miner(generator):
+    return _build(generator, burst_model="kleinberg")
+
+
+class TestConfiguration:
+    def test_default_model_is_the_papers_ma(self, generator):
+        assert _build(generator, names=()).burst_model.name == "ma"
+
+    def test_model_by_name_and_instance(self, generator):
+        assert (
+            _build(generator, names=(), burst_model="macd").burst_model.name
+            == "macd"
+        )
+        model = MACDModel(fast=5.0, slow=20.0)
+        assert _build(generator, names=(), burst_model=model).burst_model is model
+
+    def test_bad_model_name_fails_at_construction(self):
+        with pytest.raises(ReproError, match="unknown burst model"):
+            QueryLogMiner(burst_model="wavelets")
+
+
+class TestBurstRegions:
+    def test_regions_come_from_the_configured_model(self, miner, generator):
+        regions = miner.burst_regions("halloween")
+        assert regions
+        assert all(isinstance(r, BurstRegion) for r in regions)
+        expected = tuple(
+            miner.burst_model.detect(generator.series("halloween").values)
+        )
+        assert regions == expected
+
+    def test_unknown_query_raises(self, miner):
+        with pytest.raises(UnknownQueryError):
+            miner.burst_regions("bogus")
+
+
+class TestLeaderboard:
+    def test_ranks_holiday_bursts_above_flat_queries(self, miner):
+        board = miner.burstiness_leaderboard()
+        names = [entry.name for entry in board]
+        assert "christmas" in names
+        assert "halloween" in names
+        scores = [entry.score for entry in board]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_windowing_isolates_the_season(self, miner):
+        autumn = miner.burstiness_leaderboard(count=3, lo=270, hi=330)
+        assert autumn[0].name == "halloween"
+        december = miner.burstiness_leaderboard(count=3, lo=330, hi=364)
+        assert december[0].name in ("christmas", "christmas gifts")
+
+    def test_deterministic_across_rebuilds(self, generator):
+        lhs = _build(generator, burst_model="kleinberg")
+        rhs = _build(generator, burst_model="kleinberg")
+        assert lhs.burstiness_leaderboard() == rhs.burstiness_leaderboard()
+
+    def test_incremental_add_matches_fresh_build(self, generator):
+        staged = _build(generator, names=_NAMES[:-1], burst_model="kleinberg")
+        staged.burstiness_leaderboard()  # force the lazy build...
+        staged.add_series(generator.series(_NAMES[-1]))  # ...then grow it
+        fresh = _build(generator, burst_model="kleinberg")
+        assert staged.burstiness_leaderboard() == fresh.burstiness_leaderboard()
+
+
+class TestCoBurstingRegions:
+    def test_christmas_cohort_overlaps(self, miner):
+        matches = miner.co_bursting_regions("christmas", top=3)
+        names = {m.name for m in matches}
+        assert names & {"christmas gifts", "gingerbread men"}
+        assert "christmas" not in names  # self-excluded
+
+    def test_unknown_query_raises(self, miner):
+        with pytest.raises(UnknownQueryError):
+            miner.co_bursting_regions("bogus")
+
+    def test_raw_values_are_queryable(self, miner, generator):
+        values = generator.series("christmas gifts").values
+        matches = miner.co_bursting_regions(values, top=3)
+        assert any(m.name == "christmas" for m in matches)
