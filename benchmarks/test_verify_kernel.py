@@ -26,7 +26,7 @@ import time
 import numpy as np
 import pytest
 
-from _bench_io import REPO_ROOT, append_trend
+from _bench_io import REPO_ROOT, append_trend, regression_delta
 from repro.engine import get_index
 from repro.evaluation import format_table
 from repro.storage.pagestore import SequencePageStore
@@ -120,7 +120,20 @@ def test_verify_kernel_throughput(report, monkeypatch, tmp_path):
         "mmap_read_seconds": round(mmap_wall, 4),
         "mmap_read_ratio": round(buffered_wall / mmap_wall, 2),
     }
+    fingerprint = {
+        "database_size": rows,
+        "sequence_length": length,
+        "cpu_count": cpus,
+    }
+    delta = regression_delta(
+        BENCH_JSON, record, "verify_speedup", match=fingerprint
+    )
     append_trend(BENCH_JSON, record)
+    trend_line = (
+        "first recorded run at this configuration"
+        if delta is None
+        else f"verify_speedup {delta:+.1%} vs previous comparable run"
+    )
 
     report(
         format_table(
@@ -137,6 +150,7 @@ def test_verify_kernel_throughput(report, monkeypatch, tmp_path):
             ),
             digits=3,
         ),
+        trend_line,
         f"BENCH {json.dumps(record)}",
     )
 

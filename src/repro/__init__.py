@@ -73,7 +73,7 @@ from repro.index import LinearScanIndex, Neighbor, SearchStats, VPTreeIndex
 
 # The index structures import the engine's verification core, so the
 # index package must initialise before the engine package does.
-from repro.engine import available_indexes, get_index, search_many
+from repro.engine import ApproxPolicy, available_indexes, get_index, search_many
 from repro.cluster import (
     Partitioner,
     ShardRouter,
@@ -115,6 +115,7 @@ __all__ = [
     "VPTreeIndex",
     "Neighbor",
     "SearchStats",
+    "ApproxPolicy",
     "available_indexes",
     "get_index",
     "search_many",

@@ -36,6 +36,7 @@ from repro.compression.database import SketchDatabase
 from repro.engine.executor import fork_map
 from repro.exceptions import CorruptionError, ReproError, SeriesMismatchError
 from repro.storage.pagestore import SequencePageStore
+from repro.tools.envparse import parse_env_int
 
 __all__ = [
     "build_sharded",
@@ -44,7 +45,7 @@ __all__ = [
     "open_sharded",
 ]
 
-#: Fallback shard count when ``REPRO_SHARDS`` is unset or unusable.
+#: Fallback shard count when ``REPRO_SHARDS`` is unset or blank.
 DEFAULT_SHARDS = 2
 
 #: Registry backends whose constructors accept a ``store=`` keyword.
@@ -56,13 +57,13 @@ _SEEDED_BACKENDS = frozenset({"vptree", "mvptree"})
 
 
 def default_shard_count() -> int:
-    """Shard count from ``REPRO_SHARDS``, else :data:`DEFAULT_SHARDS`."""
-    raw = os.environ.get("REPRO_SHARDS", "").strip()
-    try:
-        value = int(raw)
-    except ValueError:
-        return DEFAULT_SHARDS
-    return value if value >= 1 else DEFAULT_SHARDS
+    """Shard count from ``REPRO_SHARDS``, else :data:`DEFAULT_SHARDS`.
+
+    A set-but-unusable value raises :class:`~repro.exceptions.ReproError`
+    naming the variable — a mistyped knob should fail loudly, not
+    silently rebuild the population over the default shard count.
+    """
+    return parse_env_int("REPRO_SHARDS", DEFAULT_SHARDS, minimum=1)
 
 
 def default_worker_pool() -> bool:

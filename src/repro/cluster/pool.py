@@ -23,12 +23,19 @@ refactor:
 
 Request protocol (one in-flight request per worker, strictly
 request/response): ``("ping",)``, ``("knn", query, k)``,
-``("range", query, radius)``, ``("batch", queries, k)``, ``("stop",)``.
-Responses are ``("ok", payload)`` / ``("err", reason)``; candidate
-payloads are exactly the ``(CandidateSet, SearchStats, error)`` triples
-the router's fork-pool scatter produced, so the gather (and therefore
-the answers) is bit-identical to both the fork path and the serial
-path.
+``("range", query, radius)``, ``("batch", queries, k, policy_wire)``,
+``("cands", queries, k)``, ``("stop",)``.  Responses are
+``("ok", payload)`` / ``("err", reason)``; candidate payloads are
+exactly the ``(CandidateSet, SearchStats, error)`` triples the router's
+fork-pool scatter produced, so the gather (and therefore the answers)
+is bit-identical to both the fork path and the serial path.
+``policy_wire`` is the batch's resolved
+:meth:`~repro.engine.approx.ApproxPolicy.wire` tuple — shipped
+explicitly so a worker never re-reads ``REPRO_APPROX_*`` on its own
+(an approximate *batch* never uses ``batch`` anyway: global slack and
+patience decisions cannot be made per shard, so the router gathers
+``cands`` batches and verifies at the parent — see
+``engine/batch.py``).
 
 Failure model (see ``docs/CONCURRENCY.md`` for the full matrix): a
 worker death — crash, SIGKILL, OOM — is detected by the collect loop
@@ -52,6 +59,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.engine.approx import ApproxPolicy, resolve_policy
 from repro.engine.core import CandidateSet
 from repro.exceptions import (
     CorruptionError,
@@ -284,11 +292,20 @@ def _worker_main(spec: ShardSpec, arena_meta: ArenaMeta | None, conn) -> None:
                     conn.send(("ok", payload))
                 elif op == "batch":
                     queries, k = request[1], int(request[2])
+                    policy = ApproxPolicy.from_wire(request[3])
                     sub_k = min(k, len(sub))
                     results = [
-                        _search_one(sub, query, sub_k) for query in queries
+                        _search_one(sub, query, sub_k, policy)
+                        for query in queries
                     ]
                     conn.send(("ok", results))
+                elif op == "cands":
+                    queries, k = request[1], int(request[2])
+                    payloads = [
+                        _candidate_payload(sub, "knn", query, k)
+                        for query in queries
+                    ]
+                    conn.send(("ok", payloads))
                 else:
                     conn.send(("err", f"unknown op {op!r}"))
             except Exception as exc:
@@ -755,18 +772,25 @@ class ShardWorkerPool:
     def scatter_range(self, query, radius: float) -> list:
         return self.scatter_candidates("range", query, float(radius))
 
-    def batch_search(self, queries, k: int) -> dict[int, list | None]:
+    def batch_search(
+        self, queries, k: int, policy=None
+    ) -> dict[int, list | None]:
         """Whole-batch sub-searches, one per populated shard.
 
         Each worker runs the full query batch against its warm index at
         ``min(k, shard_size)`` and returns per-query ``(neighbors,
         stats)`` with shard-local ids; the caller merges.  A dead
         worker maps to ``None`` — the caller falls back to the
-        per-query scatter path, which serves that shard degraded.
+        per-query scatter path, which serves that shard degraded.  The
+        resolved :class:`~repro.engine.approx.ApproxPolicy` travels on
+        the wire so workers never consult their own environment; the
+        router only routes *exact* batches here (see
+        ``engine/batch.py``).
         """
+        wire = resolve_policy(policy).wire()
         with obs.span("cluster.pool.batch"):
             responses = self._scatter_request(
-                lambda shard: ("batch", queries, int(k))
+                lambda shard: ("batch", queries, int(k), wire)
             )
         out: dict[int, list | None] = {}
         for shard, spec in self._specs.items():
@@ -777,6 +801,51 @@ class ShardWorkerPool:
                 if message is None or message[0] != "ok":
                     self._crash_triple(spec, message)  # book-keeping only
                 out[shard] = None
+        return out
+
+    def batch_candidates(self, queries, k: int) -> list[list] | None:
+        """Whole-batch candidate scatter: per-query triples per shard.
+
+        Ships the entire batch to every warm worker in one ``cands``
+        request; each worker runs its k-NN generator once per query and
+        answers with one ``(CandidateSet, SearchStats, error)`` triple
+        per query — the same payloads ``scatter_knn`` would produce one
+        query at a time, so a parent-side gather over them is
+        bit-identical to the per-query scatter.  Returns one
+        full-shard-range triple list per query (the
+        :meth:`scatter_candidates` shape), or ``None`` when any worker
+        died — partial batches are not reasoned about; the caller falls
+        back to per-query scatter, which serves the dead shard
+        degraded.
+        """
+        with obs.span("cluster.pool.batch_cands"):
+            responses = self._scatter_request(
+                lambda shard: ("cands", queries, int(k))
+            )
+        per_shard: dict[int, list] = {}
+        for shard, spec in self._specs.items():
+            message = responses.get(shard)
+            if message is not None and message[0] == "ok":
+                per_shard[shard] = message[1]
+            else:
+                self._crash_triple(spec, message)  # book-keeping only
+                return None
+        out: list[list] = []
+        for position in range(len(queries)):
+            triples = []
+            for shard in range(self._shard_count):
+                shard_payloads = per_shard.get(shard)
+                if shard_payloads is None:
+                    triples.append(
+                        (
+                            CandidateSet(entries=[], generated=0),
+                            SearchStats(),
+                            None,
+                        )
+                    )
+                else:
+                    triples.append(shard_payloads[position])
+            out.append(triples)
         return out
 
     def request_candidates(self, shard: int, op: str, query, arg):

@@ -501,6 +501,23 @@ class ShardRouter:
         with obs.span("cluster.gather"):
             return self._merge_knn(shard_sets, k)
 
+    def gather_knn(
+        self, triples, k: int, stats: SearchStats
+    ) -> CandidateSet:
+        """Absorb pre-scattered per-shard triples into one candidate set.
+
+        The gather half of :meth:`knn_candidates` for candidates the
+        worker pool already produced in a batched ``cands`` request
+        (see ``engine/batch.py``): ``triples`` is one
+        ``(CandidateSet, SearchStats, error)`` per shard, aligned to
+        the full shard range exactly as ``scatter_knn`` returns them,
+        so the merged result — quarantine notes, fallback scans and
+        the rebuilt global σ_UB included — is bit-identical to a
+        per-query scatter.
+        """
+        with obs.span("cluster.gather"):
+            return self._merge_knn(self._absorb_triples(triples, stats), k)
+
     def range_candidates(
         self, query: np.ndarray, radius: float, stats: SearchStats
     ) -> CandidateSet:
@@ -523,15 +540,17 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
+    def search(
+        self, query, k: int = 1, policy=None
+    ) -> tuple[list[Neighbor], SearchStats]:
         """The ``k`` nearest neighbours across all shards (exact)."""
-        return execute_knn(self, query, k)
+        return execute_knn(self, query, k, policy)
 
     def range_search(
-        self, query, radius: float
+        self, query, radius: float, policy=None
     ) -> tuple[list[Neighbor], SearchStats]:
         """All sequences within ``radius``, across all shards."""
-        return execute_range(self, query, radius)
+        return execute_range(self, query, radius, policy)
 
     # ------------------------------------------------------------------
     # Dynamic ingestion

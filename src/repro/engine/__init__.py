@@ -4,12 +4,22 @@ One shared verification/accounting core (:mod:`repro.engine.core`), a
 string-keyed registry of the index structures — the six monolithic ones
 plus the sharded scatter-gather router
 (:mod:`repro.engine.registry`), a batched multi-query entry point
-(:mod:`repro.engine.batch`), and the shared fork-pool executor both the
+(:mod:`repro.engine.batch`), the shared fork-pool executor both the
 batched and the sharded paths fan out through
-(:mod:`repro.engine.executor`).  See ``docs/ENGINE.md`` and
-``docs/SHARDING.md``.
+(:mod:`repro.engine.executor`), and the opt-in approximate tier's
+policy object (:mod:`repro.engine.approx`).  See ``docs/ENGINE.md``,
+``docs/SHARDING.md`` and ``docs/APPROX.md``.
 """
 
+from repro.engine.approx import (
+    DEFAULT_EPSILON,
+    DEFAULT_PATIENCE,
+    EPSILON_ENV,
+    PATIENCE_ENV,
+    ApproxPolicy,
+    env_approx_policy,
+    resolve_policy,
+)
 from repro.engine.batch import search_many
 from repro.engine.core import (
     DEFAULT_VERIFY_BLOCK,
@@ -27,18 +37,25 @@ from repro.engine.executor import fork_map
 from repro.engine.registry import available_indexes, get_index
 
 __all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_PATIENCE",
     "DEFAULT_VERIFY_BLOCK",
+    "EPSILON_ENV",
+    "PATIENCE_ENV",
     "RANGE_SLACK",
     "VERIFY_BLOCK_ENV",
+    "ApproxPolicy",
     "CandidateSet",
     "EngineIndex",
     "SigmaTracker",
     "available_indexes",
     "block_distances_sq",
+    "env_approx_policy",
     "execute_knn",
     "execute_range",
     "fork_map",
     "get_index",
+    "resolve_policy",
     "search_many",
     "verify_block_size",
 ]

@@ -27,9 +27,12 @@ import math
 import numpy as np
 
 from repro import obs
+from repro.engine.approx import ApproxPolicy, resolve_policy
 from repro.engine.core import (
+    _activate_policy,
     _check_invariant,
     _generate_guarded,
+    _publish_approx,
     _refine_knn,
 )
 from repro.engine.executor import fork_map
@@ -39,15 +42,20 @@ from repro.index.results import Neighbor, SearchStats
 __all__ = ["search_many"]
 
 
-def _search_one(index, query, k: int) -> tuple[list[Neighbor], SearchStats]:
+def _search_one(
+    index, query, k: int, policy: ApproxPolicy | None = None
+) -> tuple[list[Neighbor], SearchStats]:
     """One query through the generator + the shared core verifier."""
+    policy = resolve_policy(policy)
     size = len(index)
     stats = SearchStats()
     cands, stats = _generate_guarded(
         index, lambda s: index.knn_candidates(query, k, s), stats, size
     )
-    best = _refine_knn(index, query, k, cands, stats, size)
+    active = _activate_policy(policy, stats)
+    best = _refine_knn(index, query, k, cands, stats, size, active)
     _check_invariant(stats, size, index)
+    _publish_approx(stats)
     neighbors = sorted(
         Neighbor(math.sqrt(d_sq), seq_id, index.result_name(seq_id))
         for d_sq, seq_id in best
@@ -75,6 +83,7 @@ def search_many(
     k: int = 1,
     *,
     workers: int | None = None,
+    policy: ApproxPolicy | None = None,
 ) -> list[tuple[list[Neighbor], SearchStats]]:
     """k-NN for every row of ``queries``; returns one result per query.
 
@@ -90,29 +99,38 @@ def search_many(
         ``None`` (or 1) runs in-process; ``N > 1`` fans contiguous query
         chunks out over ``N`` forked worker processes.  Falls back to
         in-process execution where fork is unavailable.
+    policy:
+        An :class:`~repro.engine.ApproxPolicy` opting the whole batch
+        into the approximate tier; ``None`` defers to the
+        ``REPRO_APPROX_*`` knobs.  The policy is resolved once here and
+        shipped explicitly to forked and pooled workers, so a batch is
+        never split across two readings of the environment.
 
-    Each query's result is exactly what ``index.search(query, k)``
-    returns; per-query stats are published to the active obs registry
-    under the index's usual ``<obs_name>.search`` prefix, with the whole
-    batch wrapped in an ``engine.search_many`` span.
+    Each query's result is exactly what ``index.search(query, k,
+    policy)`` returns; per-query stats are published to the active obs
+    registry under the index's usual ``<obs_name>.search`` prefix, with
+    the whole batch wrapped in an ``engine.search_many`` span.
     """
     queries = _validate(index, queries)
     if not 1 <= k <= len(index):
         raise ValueError(f"k must be in [1, {len(index)}], got {k}")
+    policy = resolve_policy(policy)
 
     with obs.span("engine.search_many"):
         results: list[tuple[list[Neighbor], SearchStats]] | None = None
         if callable(getattr(index, "shard_views", None)):
-            results = _sharded_fanout(index, queries, k, workers)
+            results = _sharded_fanout(index, queries, k, workers, policy)
         else:
             if workers is not None and workers > 1 and len(queries) > 1:
                 results = fork_map(
-                    lambda query: _search_one(index, query, k),
+                    lambda query: _search_one(index, query, k, policy),
                     queries,
                     workers,
                 )
             if results is None:
-                results = [_search_one(index, query, k) for query in queries]
+                results = [
+                    _search_one(index, query, k, policy) for query in queries
+                ]
 
     prefix = f"{index.obs_name}.search"
     for _, stats in results:
@@ -120,7 +138,7 @@ def search_many(
     return results
 
 
-def _pool_parts(router, queries, k):
+def _pool_parts(router, queries, k, policy):
     """Per-shard batch results from the persistent worker pool.
 
     Returns one ``[(neighbors, stats), ...]`` list per populated shard,
@@ -128,7 +146,7 @@ def _pool_parts(router, queries, k):
     died, in which case the caller falls back to the per-query scatter
     path (which serves dead shards degraded).
     """
-    batches = router.worker_pool.batch_search(queries, k)
+    batches = router.worker_pool.batch_search(queries, k, policy)
     parts = []
     for shard in router.populated_shards():
         shard_results = batches.get(shard)
@@ -138,7 +156,65 @@ def _pool_parts(router, queries, k):
     return parts
 
 
-def _sharded_fanout(router, queries, k, workers):
+def _routed_query_from_triples(router, query, k, triples, policy):
+    """Finish one query from pre-scattered per-shard candidate triples.
+
+    The same pipeline as ``execute_knn(router, query, k, policy)`` —
+    guarded gather, policy activation, global refinement, invariant —
+    just with candidate generation already done by the pool's batched
+    scatter, so the answer (results *and* stats) is bit-identical to
+    the per-query path.
+    """
+    size = len(router)
+    stats = SearchStats()
+    cands, stats = _generate_guarded(
+        router, lambda s: router.gather_knn(triples, k, s), stats, size
+    )
+    active = _activate_policy(policy, stats)
+    best = _refine_knn(router, query, k, cands, stats, size, active)
+    _check_invariant(stats, size, router)
+    _publish_approx(stats)
+    neighbors = sorted(
+        Neighbor(math.sqrt(d_sq), seq_id, router.result_name(seq_id))
+        for d_sq, seq_id in best
+    )
+    return neighbors, stats
+
+
+def _sharded_fanout_approx(router, queries, k, workers, policy):
+    """Batched fan-out under a non-exact policy: verify at the parent.
+
+    The exact batch path runs one *full sub-search per shard* and merges
+    per-shard answers — legal because exact per-shard top-k unions
+    contain the global top-k.  An approximate policy breaks that
+    argument: slack skips and patience stops depend on the *global*
+    σ_UB and the *global* LB-ordered stream, so per-shard approximate
+    sub-searches would neither match ``router.search(query, policy)``
+    nor compose into any guarantee.  Instead the batch axis moves to
+    candidate generation: pooled routers ship the whole batch to the
+    warm workers in one ``cands`` request per shard (generation stays
+    amortised), and the parent verifies each query once, globally —
+    bit-identical to the per-query path.
+    """
+    pool = getattr(router, "worker_pool", None)
+    if pool is not None:
+        per_query = pool.batch_candidates(queries, k)
+        if per_query is not None:
+            return [
+                _routed_query_from_triples(router, query, k, triples, policy)
+                for query, triples in zip(queries, per_query)
+            ]
+        # A worker died mid-batch: the per-query scatter path absorbs
+        # worker death (fallback scan + quarantine note).
+        return [router.search(query, k=k, policy=policy) for query in queries]
+    # No pool: the per-query scatter already fans out across shards
+    # (``fork_map`` inside ``router.search``), and ``fork_map`` is not
+    # reentrant — an outer fork over queries would have its inherited
+    # globals cleared by the inner call — so the query axis stays serial.
+    return [router.search(query, k=k, policy=policy) for query in queries]
+
+
+def _sharded_fanout(router, queries, k, workers, policy):
     """One full sub-search per shard, merged into global per-query top-k.
 
     The parallelism axis is the *shard*: each task runs the whole query
@@ -150,16 +226,19 @@ def _sharded_fanout(router, queries, k, workers):
     published under each shard's own obs name; the merged per-query
     stats keep the extended accounting invariant globally, because the
     shards partition the population and each sub-search already honours
-    it locally.
+    it locally.  That containment argument needs *exact* sub-searches,
+    so non-exact policies take :func:`_sharded_fanout_approx` instead.
     """
     if workers is None:
         workers = getattr(router, "scatter_workers", None)
+    if not policy.exact:
+        return _sharded_fanout_approx(router, queries, k, workers, policy)
     views = router.shard_views()
 
     def shard_task(view):
         sub, _ = view
         sub_k = min(k, len(sub))
-        return [_search_one(sub, query, sub_k) for query in queries]
+        return [_search_one(sub, query, sub_k, policy) for query in queries]
 
     parts = None
     pool = getattr(router, "worker_pool", None)
@@ -167,13 +246,13 @@ def _sharded_fanout(router, queries, k, workers):
         # Persistent-pool fan-out: every warm worker runs the whole
         # batch against its shard in one request — the same work as
         # ``shard_task``, without a fork or a re-pickle of the index.
-        parts = _pool_parts(router, queries, k)
+        parts = _pool_parts(router, queries, k, policy)
         if parts is None:
             # A worker died mid-batch.  The per-query scatter path
             # absorbs worker death (fallback scan + quarantine note,
             # answers exact but flagged degraded), so route the batch
             # through it rather than reasoning about partial results.
-            return [router.search(query, k=k) for query in queries]
+            return [router.search(query, k=k, policy=policy) for query in queries]
     if parts is None:
         parts = fork_map(shard_task, views, workers)
     if parts is None:

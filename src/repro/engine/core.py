@@ -48,25 +48,44 @@ rows the abandoning loop never touches (charged to
 :class:`~repro.storage.pagestore.IOStats`, discarded unread), so
 ``store.stats.read_calls >= stats.full_retrievals`` under blocking, with
 equality in scalar mode.
+
+**Approximate tier (opt-in).**  ``execute_knn``/``execute_range`` accept
+an :class:`~repro.engine.approx.ApproxPolicy`: ``epsilon`` relaxes the
+k-NN termination rule against the running best-so-far cutoff (every
+reported distance stays within :math:`(1+\\varepsilon)` of the true
+k-th-NN distance, because the cutoff is itself a reported distance) and
+the range filter against the fixed radius (missed matches confined to
+the :math:`(r/(1+\\varepsilon), r]` annulus); ``patience`` stops
+LB-ordered refinement after that many consecutive candidates without a
+top-k improvement (heuristic; recall is measured, see docs/APPROX.md).
+Members the policy skips are accounted
+as ``skipped_approx`` — the invariant extends to ``pruned + retrievals
++ quarantined + skipped_approx == database_size`` — and the relaxation
+lives *only* in this verifier, never in the candidate generators, so a
+shard router's gathered candidate stream sees exactly the thresholds a
+monolithic index would: sharded-approx ≡ monolithic-approx bit-for-bit.
+The default exact policy multiplies lower bounds by exactly ``1.0`` and
+arms no stop counter, so the exact tier remains the executable spec.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-import os
 from dataclasses import dataclass, field
 from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro import obs
+from repro.engine.approx import ApproxPolicy, resolve_policy
 from repro.exceptions import ReproError, SeriesMismatchError, StorageError
 from repro.index.distance import VERIFY_CHUNK, euclidean_early_abandon_sq
 from repro.index.results import Neighbor, SearchStats
 from repro.resilience.quarantine import quarantine_of
 from repro.resilience.retry import active_policy
 from repro.timeseries.preprocessing import as_float_array
+from repro.tools.envparse import parse_env_int
 
 __all__ = [
     "DEFAULT_VERIFY_BLOCK",
@@ -92,15 +111,15 @@ VERIFY_BLOCK_ENV = "REPRO_VERIFY_BLOCK"
 
 
 def verify_block_size() -> int:
-    """The active verify block size (``REPRO_VERIFY_BLOCK``, default 256)."""
-    raw = os.environ.get(VERIFY_BLOCK_ENV, "").strip()
-    if not raw:
-        return DEFAULT_VERIFY_BLOCK
-    try:
-        value = int(raw)
-    except ValueError:
-        return DEFAULT_VERIFY_BLOCK
-    return max(value, 0)
+    """The active verify block size (``REPRO_VERIFY_BLOCK``, default 256).
+
+    Junk values raise a :class:`~repro.exceptions.ReproError` naming the
+    variable (they used to fall back to the default silently, masking
+    misconfiguration).
+    """
+    return parse_env_int(
+        VERIFY_BLOCK_ENV, DEFAULT_VERIFY_BLOCK, minimum=0
+    )
 
 #: Floating-point slack for range-search rejections: a computed lower
 #: bound may exceed the true distance by rounding error, so rejection
@@ -327,7 +346,7 @@ def _fetch_block_guarded(index, ids: list[int]) -> np.ndarray | None:
 
 
 def _prefetch_block(
-    index, query, entries, start: int, stop: int, paid
+    index, query, entries, start: int, stop: int, paid, slack=None
 ) -> dict[int, float] | None:
     """Bulk-fetch one candidate block and compute its exact distances.
 
@@ -336,13 +355,24 @@ def _prefetch_block(
     applied at replay time, in entry order, exactly where the scalar
     loop would have skipped them).  Returns ``None`` when the bulk fetch
     failed and the caller must fall back to per-id guarded fetches.
+
+    ``slack`` is the *range* path's active ε relaxation, a
+    ``(relax_sq, radius_threshold_sq)`` pair: entries whose relaxed
+    lower bound clears the fixed radius threshold are left unfetched,
+    and the replay loop accounts them as slack skips with the same
+    predicate.  The threshold must be a constant of the query (the
+    radius) — k-NN refinement never passes one, because its thresholds
+    move with the running cutoff and its relaxation lives in the
+    termination rule instead.
     """
     quarantine = getattr(index, "_resilience_quarantine", None)
     outcomes: dict[int, float | None] = {}
     fetch_ids: list[int] = []
     for offset in range(start, stop):
-        seq_id = entries[offset][1]
+        lb_sq, seq_id = entries[offset]
         if seq_id in paid:
+            continue
+        if slack is not None and lb_sq * slack[0] > slack[1]:
             continue
         if quarantine is not None and seq_id in quarantine:
             outcomes[seq_id] = None
@@ -373,18 +403,22 @@ def _validate_query(index, query) -> np.ndarray:
 
 
 def _check_invariant(stats: SearchStats, size: int, index) -> None:
-    # The uniform-accounting contract: every member pruned, retrieved or
-    # quarantined, exactly once.  A failure means a generator
-    # double-emitted or lost a candidate — surface it loudly instead of
-    # skewing fig. 22 metrics.
+    # The uniform-accounting contract: every member pruned, retrieved,
+    # quarantined or approx-skipped, exactly once.  A failure means a
+    # generator double-emitted or lost a candidate — surface it loudly
+    # instead of skewing fig. 22 metrics.
     accounted = (
-        stats.candidates_pruned + stats.full_retrievals + stats.quarantined
+        stats.candidates_pruned
+        + stats.full_retrievals
+        + stats.quarantined
+        + stats.skipped_approx
     )
     assert accounted == size, (
         f"{index.obs_name}: accounting drift — "
         f"{stats.candidates_pruned} pruned + "
         f"{stats.full_retrievals} retrieved + "
-        f"{stats.quarantined} quarantined != {size} members"
+        f"{stats.quarantined} quarantined + "
+        f"{stats.skipped_approx} approx-skipped != {size} members"
     )
 
 
@@ -486,12 +520,93 @@ def _generate_guarded(index, generate, stats: SearchStats, size: int):
 
 
 # ----------------------------------------------------------------------
+# Approximate-tier bookkeeping (docs/APPROX.md)
+# ----------------------------------------------------------------------
+_EXACT_POLICY = ApproxPolicy()
+
+
+def _activate_policy(policy: ApproxPolicy, stats: SearchStats) -> ApproxPolicy:
+    """The policy actually applied to this candidate set.
+
+    A candidate set that is already degraded — the generator fell back
+    to a linear scan, or a shard's scatter leg failed — carries zero
+    lower bounds for the affected members, so neither the ε slack nor
+    the patience stop has an ordered stream to reason about.  Degraded
+    serving promises "exact over every readable member"; approximation
+    is suspended rather than compounded on top of it, and fallback-scan
+    candidates are therefore never counted as ``skipped_approx``.
+    """
+    if policy.exact:
+        return _EXACT_POLICY
+    if stats.degraded:
+        obs.add("engine.approx.suspended")
+        return _EXACT_POLICY
+    stats.approximate = True
+    obs.add("engine.approx.queries")
+    return policy
+
+
+def _note_slack_skip(quarantine, seq_id: int, stats: SearchStats) -> None:
+    """Account one candidate the ε slack let the verifier skip.
+
+    A member that is *already quarantined* keeps its own bucket (the
+    exact engine would have skipped it degraded, not pruned): approx
+    accounting must never launder a storage fault into a policy skip.
+    """
+    if quarantine is not None and seq_id in quarantine:
+        stats.quarantined += 1
+        stats.degraded = True
+        stats.quarantined_ids += (seq_id,)
+    else:
+        stats.skipped_approx += 1
+
+
+def _classify_remaining(
+    index, remaining, paid, cutoff_sq: float, stats: SearchStats
+) -> None:
+    """Account entries an approximate policy left unrefined at its stop.
+
+    Mirrors what the exact engine would have done with each entry: a
+    lower bound above the cutoff would have been pruned by the exact
+    termination rule too; a quarantined member would have been served
+    degraded; everything else is an approximation casualty
+    (``skipped_approx``).
+    """
+    quarantine = getattr(index, "_resilience_quarantine", None)
+    for lb_sq, seq_id in remaining:
+        if seq_id in paid:
+            continue
+        if lb_sq > cutoff_sq:
+            stats.candidates_pruned += 1
+        elif quarantine is not None and seq_id in quarantine:
+            stats.quarantined += 1
+            stats.degraded = True
+            stats.quarantined_ids += (seq_id,)
+        else:
+            stats.skipped_approx += 1
+
+
+def _publish_approx(stats: SearchStats) -> None:
+    if not stats.approximate or not obs.is_enabled():
+        return
+    if stats.skipped_approx:
+        obs.add("engine.approx.skipped", stats.skipped_approx)
+    if stats.stopped_early:
+        obs.add("engine.approx.early_stops")
+
+
+# ----------------------------------------------------------------------
 # k-NN execution
 # ----------------------------------------------------------------------
 def execute_knn(
-    index: EngineIndex, query, k: int = 1
+    index: EngineIndex, query, k: int = 1, policy: ApproxPolicy | None = None
 ) -> tuple[list[Neighbor], SearchStats]:
-    """The ``k`` nearest neighbours of ``query`` (exact under sound bounds)."""
+    """The ``k`` nearest neighbours of ``query`` (exact under sound bounds).
+
+    ``policy`` opts into the approximate tier; ``None`` defers to the
+    ``REPRO_APPROX_*`` environment knobs (exact when unset).
+    """
+    policy = resolve_policy(policy)
     query = _validate_query(index, query)
     size = len(index)
     if not 1 <= k <= size:
@@ -504,9 +619,17 @@ def execute_knn(
             stats,
             size,
         )
-        best = _refine_knn(index, query, k, cands, stats, size)
+        active = _activate_policy(policy, stats)
+        if active.exact:
+            best = _refine_knn(index, query, k, cands, stats, size, active)
+        else:
+            with obs.span("engine.approx.refine"):
+                best = _refine_knn(
+                    index, query, k, cands, stats, size, active
+                )
     _check_invariant(stats, size, index)
     stats.publish(f"{index.obs_name}.search")
+    _publish_approx(stats)
     neighbors = sorted(
         Neighbor(math.sqrt(d_sq), seq_id, index.result_name(seq_id))
         for d_sq, seq_id in best
@@ -515,7 +638,13 @@ def execute_knn(
 
 
 def _refine_knn(
-    index, query, k: int, cands: CandidateSet, stats: SearchStats, size: int
+    index,
+    query,
+    k: int,
+    cands: CandidateSet,
+    stats: SearchStats,
+    size: int,
+    policy: ApproxPolicy,
 ) -> list[tuple[float, int]]:
     """LB-ordered exact refinement; returns ``(distance^2, seq_id)`` pairs.
 
@@ -525,6 +654,22 @@ def _refine_knn(
     exceeds it.  Ties on exact distance are broken by sequence id, so the
     result is the canonical k smallest ``(distance, seq_id)`` pairs no
     matter what order a traversal emitted the candidates in.
+
+    An active :class:`ApproxPolicy` relaxes exactly one comparison:
+    termination fires as soon as ``lb_sq * (1+ε)^2`` exceeds the running
+    cutoff — the best-so-far k-th distance, a distance the answer
+    actually reports, which is what makes the relaxation sound (every
+    member left behind is provably more than ``reported_kth/(1+ε)``
+    away; a relaxation against the σ_UB filter would carry no such
+    guarantee, because the members *achieving* σ_UB could themselves be
+    skipped).  The entries the early stop leaves unrefined are
+    classified by :func:`_classify_remaining` (``skipped_approx``).
+    ``patience`` consecutive consumed candidates without a top-k
+    improvement stop refinement early — the unit is a candidate under
+    both verifiers, so the knob's meaning does not depend on
+    ``REPRO_VERIFY_BLOCK``.  The exact policy multiplies by exactly ``1.0``
+    and arms no counter, so this loop remains the executable
+    specification the blocked path replays.
 
     Entry lists are consumed through :func:`_refine_knn_blocked` (bulk
     fetches, vectorised distances) unless ``REPRO_VERIFY_BLOCK`` selects
@@ -543,57 +688,89 @@ def _refine_knn(
         stats.candidates_pruned += cands.generated - len(cands.entries)
         block = verify_block_size()
         if block > 1:
-            return _refine_knn_blocked(index, query, k, cands, stats, block)
+            return _refine_knn_blocked(
+                index, query, k, cands, stats, block, policy
+            )
         ordered = iter(cands.entries)
+
+    relax_sq = policy.relax_sq
+    patience = policy.patience
 
     best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
     cutoff_sq = math.inf
     cutoff_id = -1
     consumed = 0
     terminated = False
+    stopped = False
+    unimproved = 0
     for lb_sq, seq_id in ordered:
-        if len(best) == k and lb_sq > cutoff_sq:
+        if len(best) == k and lb_sq * relax_sq > cutoff_sq:
             # Increasing-LB order: every remaining candidate is at least
             # as far, and cannot even tie (its distance is strictly
-            # above the cutoff).
+            # above the cutoff — or above cutoff/(1+ε) under the
+            # relaxation, which is sound because the cutoff is a real
+            # distance the answer reports: every member left behind is
+            # provably more than reported_kth/(1+ε) away).
             terminated = True
             break
         consumed += 1
+        d_sq = None
         if seq_id in paid:
             d_sq = paid[seq_id]  # already fetched and counted
         else:
             row = _guarded_fetch(index, seq_id, stats)
-            if row is None:
-                continue  # quarantined: served degraded, not retrieved
-            stats.full_retrievals += 1
-            d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
-            if d_sq == math.inf:
-                stats.early_abandons += 1
-                continue
-        if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
-            continue  # not better than the incumbent k-th, ties included
-        heapq.heappush(best, (-d_sq, -seq_id))
-        if len(best) > k:
-            heapq.heappop(best)
-        if len(best) == k:
-            cutoff_sq = -best[0][0]
-            cutoff_id = -best[0][1]
+            if row is not None:
+                stats.full_retrievals += 1
+                d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
+                if d_sq == math.inf:
+                    stats.early_abandons += 1
+                    d_sq = None
+            # else quarantined: served degraded, not retrieved
+        improved = False
+        if d_sq is not None and not (
+            len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id)
+        ):
+            # Better than the incumbent k-th (ties lose to lower ids).
+            heapq.heappush(best, (-d_sq, -seq_id))
+            if len(best) > k:
+                heapq.heappop(best)
+            if len(best) == k:
+                cutoff_sq = -best[0][0]
+                cutoff_id = -best[0][1]
+            improved = True
+        if patience is not None and len(best) == k:
+            unimproved = 0 if improved else unimproved + 1
+            if unimproved >= patience:
+                stats.stopped_early = True
+                stopped = True
+                break
 
     if cands.stream is not None:
         # Streaming generators bound members lazily; everything not
         # consumed before termination was pruned by the stream's own
         # increasing-LB guarantee.  (Streams never carry paid entries.)
+        # A patience stop leaves later members unbounded, so they land
+        # here too — the ``stopped_early`` flag is the honest record.
         stats.candidates_pruned += size - consumed
-    elif terminated:
+    elif terminated or stopped:
         remaining = cands.entries[consumed:]
-        stats.candidates_pruned += sum(
-            1 for _, seq_id in remaining if seq_id not in paid
-        )
+        if policy.exact:
+            stats.candidates_pruned += sum(
+                1 for _, seq_id in remaining if seq_id not in paid
+            )
+        else:
+            _classify_remaining(index, remaining, paid, cutoff_sq, stats)
     return [(-neg_d, -neg_id) for neg_d, neg_id in best]
 
 
 def _refine_knn_blocked(
-    index, query, k: int, cands: CandidateSet, stats: SearchStats, block: int
+    index,
+    query,
+    k: int,
+    cands: CandidateSet,
+    stats: SearchStats,
+    block: int,
+    policy: ApproxPolicy,
 ) -> list[tuple[float, int]]:
     """Block-vectorised refinement, bit-identical to the scalar loop.
 
@@ -608,17 +785,30 @@ def _refine_knn_blocked(
     distances alone.  A terminating block may have prefetched rows the
     scalar loop never reads — physical I/O only; they are discarded
     without touching the logical accounting.
+
+    An active policy replays the same decisions as the scalar loop:
+    ε relaxes the identical termination comparison and ``patience`` is
+    counted per consumed candidate inside the replay, so *every*
+    policy — not just the exact one — is bit-identical between the
+    blocked and scalar paths.  A patience stop mid-block discards the
+    rest of the prefetched rows exactly like a termination does:
+    physical I/O only, no logical accounting.
     """
     entries = cands.entries
     paid = cands.paid
+    relax_sq = policy.relax_sq
+    patience = policy.patience
+
     best: list[tuple[float, int]] = []  # max-heap of (-d^2, -seq_id)
     cutoff_sq = math.inf
     cutoff_id = -1
     consumed = 0
     terminated = False
+    stopped = False
+    unimproved = 0
     total = len(entries)
     position = 0
-    while position < total and not terminated:
+    while position < total and not terminated and not stopped:
         stop = min(position + block, total)
         # Quarantine membership is re-sampled per block: a per-id
         # fallback below may quarantine rows mid-query.
@@ -627,23 +817,25 @@ def _refine_knn_blocked(
         )
         for offset in range(position, stop):
             lb_sq, seq_id = entries[offset]
-            if len(best) == k and lb_sq > cutoff_sq:
+            if len(best) == k and lb_sq * relax_sq > cutoff_sq:
                 terminated = True
                 break
             consumed += 1
+            d_sq = None
             if seq_id in paid:
                 d_sq = paid[seq_id]  # already fetched and counted
             elif prefetched is None:
                 # Bulk fetch failed: consume this block per id through
                 # the scalar guarded path (exact fault semantics).
                 row = _guarded_fetch(index, seq_id, stats)
-                if row is None:
-                    continue
-                stats.full_retrievals += 1
-                d_sq = euclidean_early_abandon_sq(query, row, cutoff_sq)
-                if d_sq == math.inf:
-                    stats.early_abandons += 1
-                    continue
+                if row is not None:
+                    stats.full_retrievals += 1
+                    d_sq = euclidean_early_abandon_sq(
+                        query, row, cutoff_sq
+                    )
+                    if d_sq == math.inf:
+                        stats.early_abandons += 1
+                        d_sq = None
             else:
                 value = prefetched.get(seq_id)
                 if value is None:
@@ -652,28 +844,40 @@ def _refine_knn_blocked(
                     stats.quarantined += 1
                     stats.degraded = True
                     stats.quarantined_ids += (seq_id,)
-                    continue
-                stats.full_retrievals += 1
-                d_sq = value
-                if d_sq > cutoff_sq:
-                    # Replay of the kernel's mid-sum abandon.
-                    stats.early_abandons += 1
-                    continue
-            if len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id):
-                continue  # not better than the incumbent k-th
-            heapq.heappush(best, (-d_sq, -seq_id))
-            if len(best) > k:
-                heapq.heappop(best)
-            if len(best) == k:
-                cutoff_sq = -best[0][0]
-                cutoff_id = -best[0][1]
+                else:
+                    stats.full_retrievals += 1
+                    if value > cutoff_sq:
+                        # Replay of the kernel's mid-sum abandon.
+                        stats.early_abandons += 1
+                    else:
+                        d_sq = value
+            improved = False
+            if d_sq is not None and not (
+                len(best) == k and (d_sq, seq_id) >= (cutoff_sq, cutoff_id)
+            ):
+                heapq.heappush(best, (-d_sq, -seq_id))
+                if len(best) > k:
+                    heapq.heappop(best)
+                if len(best) == k:
+                    cutoff_sq = -best[0][0]
+                    cutoff_id = -best[0][1]
+                improved = True
+            if patience is not None and len(best) == k:
+                unimproved = 0 if improved else unimproved + 1
+                if unimproved >= patience:
+                    stats.stopped_early = True
+                    stopped = True
+                    break
         position = stop
 
-    if terminated:
+    if terminated or stopped:
         remaining = entries[consumed:]
-        stats.candidates_pruned += sum(
-            1 for _, seq_id in remaining if seq_id not in paid
-        )
+        if policy.exact:
+            stats.candidates_pruned += sum(
+                1 for _, seq_id in remaining if seq_id not in paid
+            )
+        else:
+            _classify_remaining(index, remaining, paid, cutoff_sq, stats)
     return [(-neg_d, -neg_id) for neg_d, neg_id in best]
 
 
@@ -681,9 +885,20 @@ def _refine_knn_blocked(
 # Range execution
 # ----------------------------------------------------------------------
 def execute_range(
-    index: EngineIndex, query, radius: float
+    index: EngineIndex,
+    query,
+    radius: float,
+    policy: ApproxPolicy | None = None,
 ) -> tuple[list[Neighbor], SearchStats]:
-    """All sequences within ``radius`` of ``query`` (epsilon search)."""
+    """All sequences within ``radius`` of ``query`` (epsilon search).
+
+    ``policy`` opts into the approximate tier: candidates whose relaxed
+    lower bound clears the radius are skipped, so only hits in the
+    ``(radius/(1+ε), radius]`` annulus can be missed; every hit reported
+    is still exact.  ``patience`` does not apply — range verification
+    has no evolving top-k to watch.
+    """
+    policy = resolve_policy(policy)
     query = _validate_query(index, query)
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
@@ -696,9 +911,19 @@ def execute_range(
             stats,
             size,
         )
-        hits = _refine_range(index, query, radius, cands, stats, size)
+        active = _activate_policy(policy, stats)
+        if active.exact:
+            hits = _refine_range(
+                index, query, radius, cands, stats, size, active
+            )
+        else:
+            with obs.span("engine.approx.refine"):
+                hits = _refine_range(
+                    index, query, radius, cands, stats, size, active
+                )
     _check_invariant(stats, size, index)
     stats.publish(f"{index.obs_name}.range_search")
+    _publish_approx(stats)
     return sorted(hits), stats
 
 
@@ -709,6 +934,7 @@ def _refine_range(
     cands: CandidateSet,
     stats: SearchStats,
     size: int,
+    policy: ApproxPolicy,
 ) -> list[Neighbor]:
     slack_sq = (radius + RANGE_SLACK) ** 2
     radius_sq = radius * radius
@@ -723,15 +949,31 @@ def _refine_range(
     stats.candidates_pruned += size - len(entries)
 
     paid = cands.paid
+    # The ε slack reuses the verification threshold (radius plus the
+    # floating-point slack), so at ε=0 the predicate is exactly the
+    # filter the generator already applied and can never fire.
+    slack = (policy.relax_sq, slack_sq) if policy.epsilon > 0.0 else None
+    quarantine = getattr(index, "_resilience_quarantine", None)
     block = verify_block_size()
     if block > 1:
         return _refine_range_blocked(
-            index, query, entries, paid, stats, slack_sq, radius_sq, block
+            index,
+            query,
+            entries,
+            paid,
+            stats,
+            slack_sq,
+            radius_sq,
+            block,
+            slack,
         )
     hits: list[Neighbor] = []
     for lb_sq, seq_id in entries:
         if seq_id in paid:
             d_sq = paid[seq_id]
+        elif slack is not None and lb_sq * slack[0] > slack[1]:
+            _note_slack_skip(quarantine, seq_id, stats)
+            continue
         else:
             row = _guarded_fetch(index, seq_id, stats)
             if row is None:
@@ -759,6 +1001,7 @@ def _refine_range_blocked(
     slack_sq: float,
     radius_sq: float,
     block: int,
+    slack=None,
 ) -> list[Neighbor]:
     """Block-vectorised range verification (see :func:`_refine_knn_blocked`).
 
@@ -767,18 +1010,25 @@ def _refine_range_blocked(
     a row is abandoned iff its full squared distance exceeds
     ``slack_sq``, and every entry is consumed (no termination, hence no
     prefetch overshoot: ``read_calls`` matches ``full_retrievals`` here
-    even under blocking).
+    even under blocking).  ``slack`` is an active ε-policy's
+    ``(relax_sq, threshold_sq)`` pair; matching entries are excluded
+    from the bulk fetch and accounted as slack skips.
     """
+    quarantine = getattr(index, "_resilience_quarantine", None)
     hits: list[Neighbor] = []
     for position in range(0, len(entries), block):
         stop = min(position + block, len(entries))
         prefetched = _prefetch_block(
-            index, query, entries, position, stop, paid
+            index, query, entries, position, stop, paid, slack
         )
         for offset in range(position, stop):
-            seq_id = entries[offset][1]
+            lb_sq, seq_id = entries[offset]
             if seq_id in paid:
                 d_sq = paid[seq_id]
+            elif slack is not None and lb_sq * slack[0] > slack[1]:
+                # Never fetched (excluded from the bulk read above).
+                _note_slack_skip(quarantine, seq_id, stats)
+                continue
             elif prefetched is None:
                 row = _guarded_fetch(index, seq_id, stats)
                 if row is None:

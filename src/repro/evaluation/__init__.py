@@ -1,5 +1,10 @@
 """Experiment harness implementing the paper's section 7 protocols."""
 
+from repro.evaluation.approx import (
+    ApproxQualityResult,
+    ApproxQualityRow,
+    approx_quality_experiment,
+)
 from repro.evaluation.pruning import (
     PruningResult,
     fraction_examined,
@@ -23,6 +28,9 @@ from repro.evaluation.timing import (
 __all__ = [
     "format_table",
     "format_float",
+    "ApproxQualityRow",
+    "ApproxQualityResult",
+    "approx_quality_experiment",
     "TightnessResult",
     "bound_tightness_experiment",
     "PruningResult",

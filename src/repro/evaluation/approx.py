@@ -1,0 +1,248 @@
+"""The approximate-tier quality harness: measured recall, not vibes.
+
+The opt-in approximate tier (:mod:`repro.engine.approx`) makes two
+different kinds of promise.  The ε relaxation carries a *proof*: every
+reported distance is within :math:`(1+\\varepsilon)` of the true
+k-th-NN distance, because only candidates whose lower bound already
+exceeds the relaxed threshold are skipped.  The patience early-stop
+carries *no* proof — it is a heuristic, and its quality must be
+measured.  This harness does that measuring, for both knobs together,
+the way the Lernaean Hydra evaluations report approximate indexes:
+
+* **recall@k** — fraction of the exact top-k (canonical
+  ``(distance, seq_id)`` order) the approximate answer recovered;
+* **tightness** — reported k-th distance over true k-th distance, the
+  observed counterpart of the :math:`(1+\\varepsilon)` bound (mean and
+  worst-case per configuration);
+* **work** — exact vs approximate ``full_retrievals``, slack skips and
+  patience stops, so a recall number is never quoted without the work
+  it saved.
+
+Every engine backend answers through the same shared verifier, but each
+generates candidates differently — a slack skip the flat scan takes may
+never come up under the VP-tree's ordering — so quality is measured per
+backend and per shard count, against that same configuration's own
+exact answers (``ApproxPolicy()`` on the identical index: the exactness
+contract says that *is* the exact engine).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster import build_sharded
+from repro.engine import ApproxPolicy, get_index, search_many
+from repro.evaluation.reporting import format_table
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ApproxQualityRow",
+    "ApproxQualityResult",
+    "approx_quality_experiment",
+]
+
+#: The monolithic engine backends measured by default (everything in
+#: the registry except the router, which gets its own shard axis).
+DEFAULT_BACKENDS = ("flat", "vptree", "mvptree", "mtree", "rtree", "scan")
+
+_EXACT = ApproxPolicy()
+
+
+@dataclass(frozen=True)
+class ApproxQualityRow:
+    """One configuration's measured quality and work, over all queries."""
+
+    configuration: str
+    backend: str
+    #: ``None`` for a monolithic index, else the router's shard count.
+    shards: int | None
+    recall_at_k: float
+    #: Mean reported-kth / true-kth distance ratio (1.0 = exact).
+    mean_tightness: float
+    #: Worst observed ratio; ≤ 1+ε whenever patience never fired.
+    max_tightness: float
+    exact_retrievals: int
+    approx_retrievals: int
+    skipped_approx: int
+    #: Queries whose refinement the patience counter stopped early.
+    stopped_early_queries: int
+
+    @property
+    def work_ratio(self) -> float:
+        """Approximate retrievals as a fraction of exact retrievals."""
+        if self.exact_retrievals == 0:
+            return 1.0
+        return self.approx_retrievals / self.exact_retrievals
+
+
+@dataclass(frozen=True)
+class ApproxQualityResult:
+    """All measured configurations for one policy and workload."""
+
+    database_size: int
+    queries: int
+    k: int
+    epsilon: float
+    patience: int | None
+    rows: tuple[ApproxQualityRow, ...]
+
+    @property
+    def guarantee_bound(self) -> float:
+        """The proved distance bound ``1 + epsilon`` (ε skips only)."""
+        return 1.0 + self.epsilon
+
+    @property
+    def worst_recall(self) -> float:
+        """The lowest recall@k over every measured configuration."""
+        return min(row.recall_at_k for row in self.rows)
+
+    def row_for(self, configuration: str) -> ApproxQualityRow:
+        for row in self.rows:
+            if row.configuration == configuration:
+                return row
+        raise ReproError(f"no row measured for {configuration!r}")
+
+    def as_table(self) -> str:
+        rows = [
+            (
+                row.configuration,
+                row.recall_at_k,
+                row.mean_tightness,
+                row.max_tightness,
+                row.work_ratio,
+                row.skipped_approx,
+                row.stopped_early_queries,
+            )
+            for row in self.rows
+        ]
+        patience = "-" if self.patience is None else str(self.patience)
+        return format_table(
+            (
+                "configuration",
+                f"recall@{self.k}",
+                "tightness",
+                "worst",
+                "work ratio",
+                "skipped",
+                "stops",
+            ),
+            rows,
+            title=(
+                f"approx quality: {self.database_size} seqs, "
+                f"{self.queries} queries, k={self.k}, "
+                f"epsilon={self.epsilon}, patience={patience} "
+                f"(proved bound {self.guarantee_bound:g}x on skips)"
+            ),
+            digits=3,
+        )
+
+
+def _top_ids(hits) -> set:
+    return {hit.seq_id for hit in hits}
+
+
+def _kth_distance(hits) -> float:
+    return hits[-1].distance if hits else 0.0
+
+
+def _measure(index, queries, k, policy, configuration, backend, shards):
+    """Quality/work row for one built index (exact run, then approx)."""
+    exact = search_many(index, queries, k=k, policy=_EXACT)
+    approx = search_many(index, queries, k=k, policy=policy)
+    overlap = 0
+    tightness: list[float] = []
+    for (exact_hits, _), (approx_hits, _) in zip(exact, approx):
+        overlap += len(_top_ids(exact_hits) & _top_ids(approx_hits))
+        true_kth = _kth_distance(exact_hits)
+        reported_kth = _kth_distance(approx_hits)
+        if true_kth == 0.0:
+            tightness.append(1.0 if reported_kth == 0.0 else math.inf)
+        else:
+            tightness.append(reported_kth / true_kth)
+    return ApproxQualityRow(
+        configuration=configuration,
+        backend=backend,
+        shards=shards,
+        recall_at_k=overlap / (k * len(queries)),
+        mean_tightness=float(np.mean(tightness)),
+        max_tightness=float(np.max(tightness)),
+        exact_retrievals=sum(s.full_retrievals for _, s in exact),
+        approx_retrievals=sum(s.full_retrievals for _, s in approx),
+        skipped_approx=sum(s.skipped_approx for _, s in approx),
+        stopped_early_queries=sum(1 for _, s in approx if s.stopped_early),
+    )
+
+
+def approx_quality_experiment(
+    matrix: np.ndarray,
+    queries: np.ndarray,
+    *,
+    k: int = 10,
+    policy: ApproxPolicy | None = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    shard_counts: Sequence[int] = (2,),
+    shard_backend: str = "flat",
+    seed: int = 0,
+) -> ApproxQualityResult:
+    """Measure recall@k and tightness for one policy across the engine.
+
+    Every monolithic ``backend`` and every router shard count (over
+    ``shard_backend`` shards) is measured against its own exact
+    answers on the identical built index, so the comparison isolates
+    the policy — same candidates, same verifier, different thresholds.
+    ``policy=None`` measures the documented default knobs
+    (:meth:`~repro.engine.ApproxPolicy.default`), the ones the
+    benchmark gate holds to recall@10 ≥ 0.95.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if policy is None:
+        policy = ApproxPolicy.default()
+    if policy.exact:
+        raise ReproError(
+            "approx_quality_experiment needs a non-exact policy; "
+            "the exact tier's quality is a theorem, not a measurement"
+        )
+    if not 1 <= k <= len(matrix):
+        raise ReproError(f"k must be in [1, {len(matrix)}], got {k}")
+
+    rows: list[ApproxQualityRow] = []
+    for backend in backends:
+        kwargs: dict = {}
+        if backend in ("vptree", "mvptree"):
+            kwargs["seed"] = seed
+        index = get_index(backend, matrix, **kwargs)
+        rows.append(
+            _measure(index, queries, k, policy, backend, backend, None)
+        )
+    for shards in shard_counts:
+        router = build_sharded(
+            matrix, shards=int(shards), seed=seed, backend=shard_backend
+        )
+        try:
+            rows.append(
+                _measure(
+                    router,
+                    queries,
+                    k,
+                    policy,
+                    f"{shard_backend}/{int(shards)} shards",
+                    shard_backend,
+                    int(shards),
+                )
+            )
+        finally:
+            router.close()
+
+    return ApproxQualityResult(
+        database_size=len(matrix),
+        queries=len(queries),
+        k=k,
+        epsilon=policy.epsilon,
+        patience=policy.patience,
+        rows=tuple(rows),
+    )

@@ -11,7 +11,11 @@ so an operator (or CI) can replay it with one flag:
    must be *identical* to the baseline;
 3. **permanent corruption** — one sequence is corrupted for good; every
    backend must keep answering (``degraded`` results, the victim
-   quarantined and reported) instead of raising;
+   quarantined and reported) instead of raising; the same corrupted
+   workload rerun under a non-exact
+   :class:`~repro.engine.ApproxPolicy` must keep the *extended*
+   accounting invariant (``pruned + retrievals + quarantined +
+   skipped_approx == db``) and never bill the victim as a policy skip;
 4. **on-disk corruption** — a real :class:`~repro.storage.SequencePageStore`
    file gets a flipped byte; the page CRC must surface it as a typed
    :class:`~repro.exceptions.CorruptionError` and the store's
@@ -38,6 +42,7 @@ import numpy as np
 
 from repro import obs
 from repro.datagen.generator import QueryLogGenerator
+from repro.engine.approx import ApproxPolicy
 from repro.engine.registry import available_indexes, get_index
 from repro.exceptions import CorruptionError
 from repro.resilience import (
@@ -186,12 +191,38 @@ def fault_drill(
                 not hits and paid_path
             )
 
+            # Approximate tier composition: the corrupted workload rerun
+            # under a non-exact policy must close the extended invariant
+            # and keep the victim in its own bucket — a storage casualty
+            # is ``quarantined``, never ``skipped_approx``.
+            approx_broken = FaultyIndex(
+                get_index(name, matrix), FaultPlan(), [victim]
+            )
+            approx_policy = ApproxPolicy(epsilon=0.5, patience=16)
+            approx_ok = True
+            for probe in probes:
+                _, stats = approx_broken.search(probe, k, policy=approx_policy)
+                closes = (
+                    stats.candidates_pruned
+                    + stats.full_retrievals
+                    + stats.quarantined
+                    + stats.skipped_approx
+                    == db_size
+                )
+                victim_kept = (
+                    stats.quarantined == 0
+                    or victim in stats.quarantined_ids
+                )
+                if not (closes and victim_kept):
+                    approx_ok = False
+
             verdicts = {
                 "transient answers identical": identical,
                 "transient faults absorbed": absorbed,
                 "degraded queries served": served,
                 "victim flagged": flagged,
                 "victim contained": contained,
+                "approx invariant closes": approx_ok,
             }
             for check, passed in verdicts.items():
                 if not passed:

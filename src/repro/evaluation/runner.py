@@ -31,6 +31,13 @@ mid-seal injected crash with bit-identical recovery asserted, and a
 compaction), verified against an independent reference index (see
 :func:`repro.evaluation.streaming.stream_experiment`).
 
+``--approx`` appends the approximate-tier quality section: recall@k,
+tightness and work saved for the documented default
+:class:`~repro.engine.ApproxPolicy` knobs, measured per backend and per
+shard count against the same configuration's exact answers (see
+:func:`repro.evaluation.approx.approx_quality_experiment` and
+``docs/APPROX.md``).
+
 ``--bursts [MODEL]`` appends the pluggable-burst-model section: the
 named backend's burstiness leaderboard over the catalog, plus the
 cross-model agreement matrix with the worst-agreeing query per pair
@@ -56,6 +63,7 @@ from repro.bursts.detection import BurstDetector
 from repro.bursts.query import BurstDatabase
 from repro.compression.budget import StorageBudget
 from repro.datagen.generator import QueryLogGenerator
+from repro.evaluation.approx import approx_quality_experiment
 from repro.evaluation.bursts import burst_model_experiment
 from repro.evaluation.ingest import ingest_experiment
 from repro.evaluation.pruning import pruning_power_experiment
@@ -86,6 +94,7 @@ def run_report(
     ingest: bool = False,
     stream: bool = False,
     bursts: str | None = None,
+    approx: bool = False,
     out=None,
 ) -> None:
     """Run every experiment once and print the consolidated report."""
@@ -188,6 +197,27 @@ def run_report(
             file=out,
         )
 
+    if approx:
+        _section(
+            "approximate tier - recall@k and tightness vs exact answers",
+            out,
+        )
+        quality = approx_quality_experiment(
+            matrix,
+            query_matrix,
+            k=min(10, db_size),
+            shard_counts=(shards,) if shards else (2,),
+            seed=seed,
+        )
+        print(quality.as_table(), file=out)
+        print(
+            f"worst recall@{quality.k} over all configurations: "
+            f"{quality.worst_recall:.3f} "
+            f"(epsilon-skip distance bound: {quality.guarantee_bound:g}x; "
+            f"patience stops are heuristic — measured above)",
+            file=out,
+        )
+
     _section("fig 13 - significant periods (2002 catalog)", out)
     year = QueryLogGenerator(seed=0, start=_dt.date(2002, 1, 1), days=365)
     detector = PeriodDetector(interpolate=True)
@@ -268,6 +298,13 @@ def main(argv=None) -> int:
         "recovery asserted, and a compaction",
     )
     parser.add_argument(
+        "--approx",
+        action="store_true",
+        help="append the approximate-tier quality section: recall@k, "
+        "tightness and work saved at the default ApproxPolicy knobs, "
+        "per backend and shard count, against exact answers",
+    )
+    parser.add_argument(
         "--bursts",
         nargs="?",
         const="ma",
@@ -320,6 +357,7 @@ def main(argv=None) -> int:
             ingest=args.ingest,
             stream=args.stream,
             bursts=args.bursts,
+            approx=args.approx,
         )
     finally:
         if watch:

@@ -160,12 +160,14 @@ class FlatSketchIndex:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, query, k: int = 1) -> tuple[list[Neighbor], SearchStats]:
+    def search(
+        self, query, k: int = 1, policy=None
+    ) -> tuple[list[Neighbor], SearchStats]:
         """The ``k`` nearest neighbours (exact under sound bounds)."""
-        return execute_knn(self, query, k)
+        return execute_knn(self, query, k, policy)
 
     def range_search(
-        self, query, radius: float
+        self, query, radius: float, policy=None
     ) -> tuple[list[Neighbor], SearchStats]:
         """All sequences within ``radius`` of the query."""
-        return execute_range(self, query, radius)
+        return execute_range(self, query, radius, policy)

@@ -75,6 +75,21 @@ class SearchStats:
     quarantined_ids:
         The quarantined members this query skipped, for the caller's
         report.
+    skipped_approx:
+        Candidates an opt-in :class:`~repro.engine.ApproxPolicy` skipped
+        inside the ε slack or left unrefined at a patience stop —
+        neither pruned (exact search might have examined them) nor
+        retrieved.  Always 0 for an exact policy; the invariant becomes
+        ``pruned + retrievals + quarantined + skipped_approx ==
+        database_size``.  Quarantined members keep their own bucket even
+        when a slack skip would also have applied (docs/APPROX.md).
+    approximate:
+        ``True`` when a non-exact policy was in effect for this query —
+        whether or not it actually changed anything.  An exact answer
+        always carries ``False``.
+    stopped_early:
+        ``True`` when patience ran out and refinement stopped before
+        its exact termination point (a subset of ``approximate``).
     """
 
     full_retrievals: int = 0
@@ -88,6 +103,9 @@ class SearchStats:
     quarantined: int = 0
     degraded: bool = False
     quarantined_ids: tuple[int, ...] = ()
+    skipped_approx: int = 0
+    approximate: bool = False
+    stopped_early: bool = False
 
     def fraction_examined(self, database_size: int) -> float:
         """Fraction of the database compared uncompressed (fig. 22 metric)."""
@@ -105,8 +123,11 @@ class SearchStats:
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's counters into this one."""
         for spec in fields(self):
-            if spec.name == "degraded":
-                self.degraded = self.degraded or other.degraded
+            current = getattr(self, spec.name)
+            if isinstance(current, bool):
+                # Flags (degraded, approximate, stopped_early) describe
+                # the whole merged answer: any part sets the whole.
+                setattr(self, spec.name, current or getattr(other, spec.name))
             elif spec.name == "quarantined_ids":
                 self.quarantined_ids = self.quarantined_ids + tuple(
                     i for i in other.quarantined_ids

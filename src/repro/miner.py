@@ -40,7 +40,12 @@ from repro.datagen.components import DayGrid
 from repro.datagen.events import LogAggregator, LogRecord
 from repro.cluster import Partitioner, build_sharded
 from repro.dtw.search import DTWSearch
-from repro.engine import available_indexes, get_index, search_many
+from repro.engine import (
+    ApproxPolicy,
+    available_indexes,
+    get_index,
+    search_many,
+)
 from repro.exceptions import (
     IngestionError,
     SeriesMismatchError,
@@ -108,6 +113,13 @@ class QueryLogMiner:
         *oldest* rejection is dropped for each new one (newest
         rejections are the ones an operator re-ingests), counted on
         ``ingest.dead_letter.dropped``.
+    approx_policy:
+        An :class:`~repro.engine.ApproxPolicy` opting every
+        :meth:`similar` / :meth:`similar_many` call into the
+        approximate tier (``None``, the default, defers to the
+        ``REPRO_APPROX_*`` environment knobs — unset means exact).
+        Only the sketch-index similarity path is affected; DTW,
+        periods and bursts always run exact (see ``docs/APPROX.md``).
     """
 
     #: Backends that take the miner's compressor (sketch-based ones).
@@ -127,6 +139,7 @@ class QueryLogMiner:
         shards: int | None = None,
         shard_policy: str = "hash",
         dead_letter_capacity: int = 1024,
+        approx_policy: ApproxPolicy | None = None,
     ) -> None:
         if days < 4:
             raise SeriesMismatchError(f"need at least 4 days, got {days}")
@@ -170,6 +183,14 @@ class QueryLogMiner:
         self._index = None
         self._indexed_count = 0
         self._dtw: DTWSearch | None = None
+        if approx_policy is not None and not isinstance(
+            approx_policy, ApproxPolicy
+        ):
+            raise SeriesMismatchError(
+                f"approx_policy must be an ApproxPolicy or None, "
+                f"got {approx_policy!r}"
+            )
+        self._approx_policy = approx_policy
         self._dead_letter_capacity = int(dead_letter_capacity)
         self._dead_letters: list[DeadLetter] = []
         self._dead_letters_dropped = 0
@@ -380,9 +401,16 @@ class QueryLogMiner:
     # ------------------------------------------------------------------
     # Questions
     # ------------------------------------------------------------------
-    def similar(self, query, k: int = 5) -> list[Neighbor]:
-        """Queries with the most similar demand shape (exact k-NN).
+    @property
+    def approx_policy(self) -> ApproxPolicy | None:
+        """The configured similarity policy (``None``: environment)."""
+        return self._approx_policy
 
+    def similar(self, query, k: int = 5) -> list[Neighbor]:
+        """Queries with the most similar demand shape (k-NN).
+
+        Exact unless the miner was built with a non-exact
+        ``approx_policy`` (or the ``REPRO_APPROX_*`` knobs are set).
         ``query`` may be an ingested name, a :class:`TimeSeries` or a raw
         sequence; an ingested name excludes itself from the results.
         """
@@ -391,7 +419,9 @@ class QueryLogMiner:
             values = self._standardized_query(query)
             extra = 1 if exclude is not None else 0
             hits, _ = self._live_index().search(
-                values, k=min(k + extra, len(self))
+                values,
+                k=min(k + extra, len(self)),
+                policy=self._approx_policy,
             )
             return [hit for hit in hits if hit.name != exclude][:k]
 
@@ -415,7 +445,11 @@ class QueryLogMiner:
             )
             depth = min(k + 1 if any(excludes) else k, len(self))
             batched = search_many(
-                self._live_index(), matrix, k=depth, workers=workers
+                self._live_index(),
+                matrix,
+                k=depth,
+                workers=workers,
+                policy=self._approx_policy,
             )
             return [
                 [hit for hit in hits if hit.name != exclude][:k]

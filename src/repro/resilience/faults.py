@@ -532,14 +532,16 @@ class FaultyIndex:
         self._transients.check(("fetch", int(seq_id)), "fetch")
         return self._inner.fetch(seq_id)
 
-    def search(self, query, k: int = 1):
+    def search(
+        self, query, k: int = 1, policy=None
+    ):
         """k-NN through the shared engine (same entry as any index)."""
         from repro.engine.core import execute_knn
 
-        return execute_knn(self, query, k)
+        return execute_knn(self, query, k, policy)
 
-    def range_search(self, query, radius: float):
+    def range_search(self, query, radius: float, policy=None):
         """Range search through the shared engine."""
         from repro.engine.core import execute_range
 
-        return execute_range(self, query, radius)
+        return execute_range(self, query, radius, policy)

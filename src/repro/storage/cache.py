@@ -31,11 +31,11 @@ disables caching entirely — stores then behave exactly as before).
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 
 from repro import obs
 from repro.exceptions import StorageError
+from repro.tools.envparse import parse_env_int
 
 __all__ = ["SequenceCache", "cache_budget_from_env"]
 
@@ -46,20 +46,7 @@ CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
 
 def cache_budget_from_env() -> int:
     """The default cache budget in bytes (0 = caching disabled)."""
-    raw = os.environ.get(CACHE_BYTES_ENV, "").strip()
-    if not raw:
-        return 0
-    try:
-        budget = int(raw)
-    except ValueError:
-        raise StorageError(
-            f"{CACHE_BYTES_ENV} must be an integer byte count, got {raw!r}"
-        ) from None
-    if budget < 0:
-        raise StorageError(
-            f"{CACHE_BYTES_ENV} must be >= 0, got {budget}"
-        )
-    return budget
+    return parse_env_int(CACHE_BYTES_ENV, 0, minimum=0, error=StorageError)
 
 
 class SequenceCache:

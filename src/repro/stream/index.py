@@ -183,13 +183,15 @@ class StreamIndex:
     # ------------------------------------------------------------------
     # Convenience entry points (same engine as every other index)
     # ------------------------------------------------------------------
-    def search(self, query, k: int = 1):
+    def search(
+        self, query, k: int = 1, policy=None
+    ):
         """k-NN over the union through the shared engine."""
-        return execute_knn(self, query, k)
+        return execute_knn(self, query, k, policy)
 
-    def range_search(self, query, radius: float):
+    def range_search(self, query, radius: float, policy=None):
         """Range search over the union through the shared engine."""
-        return execute_range(self, query, radius)
+        return execute_range(self, query, radius, policy)
 
     def close(self) -> None:
         """Release the inner backend (routers hold files/processes)."""
